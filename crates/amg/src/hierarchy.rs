@@ -1,0 +1,376 @@
+//! AMG setup: build the multilevel hierarchy.
+//!
+//! Standard levels run strength → PMIS → interpolation → Galerkin RAP.
+//! The first `agg_levels` levels use A-1 **aggressive coarsening**: a
+//! second PMIS pass on the `S² + S` pattern of the first-pass C-points,
+//! combined with **two-stage interpolation** `P = P1·P2` — P1 interpolates
+//! to the first-pass C-points (BAMG-direct weights), P2 interpolates
+//! among them with the configured (matrix-based) operator, exactly the
+//! §4.1 recipe used for the pressure-Poisson preconditioner.
+
+use distmat::{ops, ParCsr, ParVector, RowDist};
+use krylov::{Chebyshev, L1Jacobi, TwoStageGs};
+use parcomm::Rank;
+
+use crate::coarse::CoarseSolver;
+use crate::config::{AmgConfig, InterpType, SmootherType};
+use crate::interp::build_interpolation;
+use crate::pmis::{pmis, pmis_aggressive, CfSplit, CfState};
+use crate::strength::Strength;
+
+/// The smoother bound to one level (selected by
+/// [`AmgConfig::smoother`]).
+#[derive(Clone, Debug)]
+pub enum LevelSmoother {
+    /// Two-stage Gauss-Seidel (§4.2).
+    TwoStage(TwoStageGs),
+    /// ℓ1-Jacobi.
+    L1(L1Jacobi),
+    /// Chebyshev polynomial.
+    Cheby(Chebyshev),
+}
+
+impl LevelSmoother {
+    /// Build the configured smoother for a level operator. Collective
+    /// (Chebyshev runs a power iteration).
+    pub fn build(rank: &Rank, a: &ParCsr, config: &AmgConfig) -> LevelSmoother {
+        match config.smoother {
+            SmootherType::TwoStageGs => {
+                LevelSmoother::TwoStage(TwoStageGs::new(a, config.smooth_inner, 1))
+            }
+            SmootherType::L1Jacobi => LevelSmoother::L1(L1Jacobi::new(a)),
+            SmootherType::Chebyshev => {
+                LevelSmoother::Cheby(Chebyshev::new(rank, a, config.smooth_inner.max(2)))
+            }
+        }
+    }
+
+    /// Apply `rounds` smoothing rounds. Collective.
+    pub fn smooth(&self, rank: &Rank, b: &ParVector, x: &mut ParVector, rounds: usize) {
+        match self {
+            LevelSmoother::TwoStage(s) => s.smooth(rank, b, x, rounds),
+            LevelSmoother::L1(s) => s.smooth(rank, b, x, rounds),
+            LevelSmoother::Cheby(s) => s.smooth(rank, b, x, rounds),
+        }
+    }
+}
+
+/// One level of the hierarchy.
+#[derive(Clone, Debug)]
+pub struct AmgLevel {
+    /// The operator on this level.
+    pub a: ParCsr,
+    /// Interpolation to this level from the next coarser one (absent on
+    /// the coarsest level).
+    pub p: Option<ParCsr>,
+    /// Restriction (Pᵀ) to the next coarser level.
+    pub r: Option<ParCsr>,
+    /// The level smoother.
+    pub smoother: LevelSmoother,
+}
+
+/// A complete AMG hierarchy plus complexity statistics.
+#[derive(Clone, Debug)]
+pub struct AmgHierarchy {
+    /// Levels, finest first.
+    pub levels: Vec<AmgLevel>,
+    /// Dense solver for the coarsest operator.
+    pub coarse: CoarseSolver,
+    /// Σ global rows over levels / global rows on the finest level.
+    pub grid_complexity: f64,
+    /// Σ global nnz over levels / global nnz on the finest level.
+    pub operator_complexity: f64,
+}
+
+impl AmgHierarchy {
+    /// Build the hierarchy for `a`. Collective.
+    pub fn setup(rank: &Rank, a: ParCsr, config: &AmgConfig) -> AmgHierarchy {
+        let mut levels: Vec<AmgLevel> = Vec::new();
+        let mut a_cur = a;
+        let fine_n = a_cur.row_dist().global_n().max(1);
+        let fine_nnz = a_cur.global_nnz(rank).max(1);
+        let mut sum_n = 0u64;
+        let mut sum_nnz = 0u64;
+
+        for lvl in 0..config.max_levels {
+            sum_n += a_cur.row_dist().global_n();
+            sum_nnz += a_cur.global_nnz(rank);
+            if a_cur.row_dist().global_n() <= config.max_coarse_size as u64 {
+                break;
+            }
+            let s = Strength::classical(rank, &a_cur, config.strength_threshold);
+            let seed = config.seed.wrapping_add(lvl as u64);
+            let first = pmis(rank, &a_cur, &s, seed);
+            if first.coarse_dist.global_n() == 0
+                || first.coarse_dist.global_n() == a_cur.row_dist().global_n()
+            {
+                break; // coarsening stalled
+            }
+
+            let (p, a_next) = if lvl < config.agg_levels {
+                match Self::aggressive_level(rank, &a_cur, &s, &first, config, seed) {
+                    Some(pair) => pair,
+                    None => Self::standard_level(rank, &a_cur, &s, &first, config),
+                }
+            } else {
+                Self::standard_level(rank, &a_cur, &s, &first, config)
+            };
+
+            let r = ops::par_transpose(rank, &p);
+            let smoother = LevelSmoother::build(rank, &a_cur, config);
+            levels.push(AmgLevel {
+                a: a_cur,
+                p: Some(p),
+                r: Some(r),
+                smoother,
+            });
+            a_cur = a_next;
+        }
+        // Coarsest level.
+        let smoother = LevelSmoother::build(rank, &a_cur, config);
+        let coarse = CoarseSolver::new(rank, &a_cur);
+        levels.push(AmgLevel {
+            a: a_cur,
+            p: None,
+            r: None,
+            smoother,
+        });
+
+        AmgHierarchy {
+            levels,
+            coarse,
+            grid_complexity: sum_n as f64 / fine_n as f64,
+            operator_complexity: sum_nnz as f64 / fine_nnz as f64,
+        }
+    }
+
+    /// Standard level: one PMIS pass, one interpolation, one RAP.
+    fn standard_level(
+        rank: &Rank,
+        a: &ParCsr,
+        s: &Strength,
+        split: &CfSplit,
+        config: &AmgConfig,
+    ) -> (ParCsr, ParCsr) {
+        let p = build_interpolation(rank, a, s, split, config.interp, config.trunc_factor);
+        let a_next = ops::par_rap(rank, a, &p);
+        (p, a_next)
+    }
+
+    /// Aggressive level: second PMIS on S²+S, two-stage interpolation.
+    /// Returns `None` when the second pass degenerates (falls back to
+    /// standard coarsening).
+    fn aggressive_level(
+        rank: &Rank,
+        a: &ParCsr,
+        s: &Strength,
+        first: &CfSplit,
+        config: &AmgConfig,
+        seed: u64,
+    ) -> Option<(ParCsr, ParCsr)> {
+        let agg = pmis_aggressive(rank, a, s, first, seed);
+        let n_final = rank.allreduce_sum(agg.n_coarse_local() as u64);
+        if n_final == 0 || n_final == first.coarse_dist.global_n() {
+            return None;
+        }
+        // Stage 1: interpolate to the first-pass C-points (distance-one
+        // BAMG-direct weights are standard for the first stage).
+        let p1 = build_interpolation(rank, a, s, first, InterpType::BamgDirect, config.trunc_factor);
+        let a1 = ops::par_rap(rank, a, &p1);
+        // Stage 2: CF-split of the first-pass C-points given by the
+        // second PMIS pass, interpolated with the configured (MM-based)
+        // operator on the intermediate operator A1.
+        let split2 = Self::restrict_split(rank, first, &agg);
+        let s1 = Strength::classical(rank, &a1, config.strength_threshold);
+        let p2 = build_interpolation(rank, &a1, &s1, &split2, config.interp, config.trunc_factor);
+        // P = P1·P2; A_next = P2ᵀ A1 P2 = Pᵀ A P.
+        let p = ops::par_spgemm(rank, &p1, &p2);
+        let a_next = ops::par_rap(rank, &a1, &p2);
+        Some((p, a_next))
+    }
+
+    /// Express the composed aggressive splitting relative to the
+    /// first-pass coarse points (the rows of A1).
+    fn restrict_split(rank: &Rank, first: &CfSplit, agg: &CfSplit) -> CfSplit {
+        let me = rank.rank();
+        let mut states = Vec::with_capacity(first.n_coarse_local());
+        let mut coarse_index = Vec::with_capacity(first.n_coarse_local());
+        for i in 0..first.states.len() {
+            if first.coarse_index[i].is_some() {
+                states.push(agg.states[i]);
+                coarse_index.push(agg.coarse_index[i]);
+            }
+        }
+        debug_assert_eq!(
+            states.len(),
+            first.coarse_dist.local_n(me),
+            "restricted split size mismatch"
+        );
+        CfSplit {
+            states,
+            coarse_dist: agg.coarse_dist.clone(),
+            coarse_index,
+        }
+    }
+
+    /// Number of levels.
+    pub fn n_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Global rows per level (collective-free: from stored dists).
+    pub fn level_sizes(&self) -> Vec<u64> {
+        self.levels
+            .iter()
+            .map(|l| l.a.row_dist().global_n())
+            .collect()
+    }
+}
+
+/// Convenience: how many points ended coarse on this rank.
+pub fn count_coarse(states: &[CfState]) -> usize {
+    states.iter().filter(|s| **s == CfState::Coarse).count()
+}
+
+/// Re-export for benches: build the finest-level distribution of a serial
+/// matrix and set up AMG in one call (test/bench helper).
+pub fn setup_from_serial(
+    rank: &Rank,
+    serial: &sparse_kit::Csr,
+    config: &AmgConfig,
+) -> AmgHierarchy {
+    let dist = RowDist::block(serial.nrows() as u64, rank.size());
+    let a = ParCsr::from_serial(rank, dist.clone(), dist, serial);
+    AmgHierarchy::setup(rank, a, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcomm::Comm;
+    use sparse_kit::{Coo, Csr};
+
+    fn laplacian_2d(nx: usize) -> Csr {
+        let id = |i: usize, j: usize| (i * nx + j) as u64;
+        let mut coo = Coo::new();
+        for i in 0..nx {
+            for j in 0..nx {
+                coo.push(id(i, j), id(i, j), 4.0);
+                if i > 0 {
+                    coo.push(id(i, j), id(i - 1, j), -1.0);
+                }
+                if i + 1 < nx {
+                    coo.push(id(i, j), id(i + 1, j), -1.0);
+                }
+                if j > 0 {
+                    coo.push(id(i, j), id(i, j - 1), -1.0);
+                }
+                if j + 1 < nx {
+                    coo.push(id(i, j), id(i, j + 1), -1.0);
+                }
+            }
+        }
+        let n = nx * nx;
+        Csr::from_coo(n, n, &coo)
+    }
+
+    #[test]
+    fn hierarchy_coarsens_to_small_grid() {
+        let serial = laplacian_2d(16); // 256 points
+        for p in [1, 2] {
+            let s2 = serial.clone();
+            let out = Comm::run(p, move |rank| {
+                let h = setup_from_serial(rank, &s2, &AmgConfig::standard());
+                (h.n_levels(), h.level_sizes(), h.grid_complexity, h.operator_complexity)
+            });
+            let (nl, sizes, gc, oc) = out[0].clone();
+            assert!(nl >= 2, "p={p}: {sizes:?}");
+            assert!(*sizes.last().unwrap() <= 40);
+            // Sizes strictly decreasing.
+            for w in sizes.windows(2) {
+                assert!(w[1] < w[0], "{sizes:?}");
+            }
+            assert!(gc < 2.5, "grid complexity {gc}");
+            assert!(oc < 5.0, "operator complexity {oc}");
+        }
+    }
+
+    #[test]
+    fn aggressive_reduces_complexity() {
+        let serial = laplacian_2d(20);
+        let out = Comm::run(2, move |rank| {
+            let std_cfg = AmgConfig::standard();
+            let agg_cfg = AmgConfig {
+                agg_levels: 2,
+                interp: InterpType::MmExt,
+                ..AmgConfig::standard()
+            };
+            let h_std = setup_from_serial(rank, &serial, &std_cfg);
+            let h_agg = setup_from_serial(rank, &serial, &agg_cfg);
+            (
+                h_std.grid_complexity,
+                h_agg.grid_complexity,
+                h_std.level_sizes(),
+                h_agg.level_sizes(),
+            )
+        });
+        let (gc_std, gc_agg, sizes_std, sizes_agg) = out[0].clone();
+        assert!(
+            gc_agg < gc_std,
+            "aggressive {gc_agg} ({sizes_agg:?}) vs standard {gc_std} ({sizes_std:?})"
+        );
+        // Second level must be much smaller under aggressive coarsening.
+        assert!(sizes_agg[1] < sizes_std[1]);
+    }
+
+    #[test]
+    fn hierarchy_identical_across_rank_counts() {
+        let serial = laplacian_2d(12);
+        let mut all_sizes = Vec::new();
+        for p in [1, 2, 3] {
+            let s2 = serial.clone();
+            let out = Comm::run(p, move |rank| {
+                let h = setup_from_serial(rank, &s2, &AmgConfig::pressure_default());
+                h.level_sizes()
+            });
+            all_sizes.push(out[0].clone());
+        }
+        assert_eq!(all_sizes[0], all_sizes[1]);
+        assert_eq!(all_sizes[0], all_sizes[2]);
+    }
+
+    #[test]
+    fn galerkin_operators_keep_nullspace_property() {
+        // For the Neumann-interior Laplacian rows, the coarse operator
+        // applied to constants should vanish on interior coarse points:
+        // check ‖A_c·1‖ ≪ ‖A_c‖·‖1‖ (boundary rows contribute).
+        let serial = laplacian_2d(12);
+        Comm::run(2, move |rank| {
+            let h = setup_from_serial(rank, &serial, &AmgConfig::standard());
+            if h.n_levels() < 2 {
+                return;
+            }
+            let ac = &h.levels[1].a;
+            let ones = distmat::ParVector::from_fn(rank, ac.row_dist().clone(), |_| 1.0);
+            let y = ac.spmv(rank, &ones);
+            let norm_y = y.norm2(rank);
+            // The 2-D Dirichlet Laplacian has row sums ≥ 0 with boundary
+            // contributions; the Galerkin operator inherits positive but
+            // bounded row sums.
+            assert!(norm_y.is_finite());
+            let diag_norm: f64 = ac.diagonal().iter().map(|d| d * d).sum::<f64>().sqrt();
+            let total_diag = rank.allreduce_sum_f64(diag_norm * diag_norm).sqrt();
+            assert!(norm_y < total_diag, "coarse op blew up: {norm_y} vs {total_diag}");
+        });
+    }
+
+    #[test]
+    fn small_matrix_yields_single_level() {
+        let serial = laplacian_2d(4); // 16 < max_coarse_size
+        Comm::run(1, |rank| {
+            let h = setup_from_serial(rank, &serial, &AmgConfig::standard());
+            assert_eq!(h.n_levels(), 1);
+            assert!(h.levels[0].p.is_none());
+        });
+    }
+}

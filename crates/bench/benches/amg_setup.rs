@@ -1,0 +1,72 @@
+//! AMG setup ablations (§4.1): interpolation family and aggressive
+//! coarsening, measured as end-to-end setup cost on the anisotropic
+//! operator class the pressure solves produce.
+
+use amg::{AmgConfig, AmgHierarchy, InterpType};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distmat::{ParCsr, RowDist};
+use parcomm::Comm;
+use sparse_kit::{Coo, Csr};
+
+fn anisotropic_2d(nx: usize, eps: f64) -> Csr {
+    let id = |i: usize, j: usize| (i * nx + j) as u64;
+    let mut coo = Coo::new();
+    for i in 0..nx {
+        for j in 0..nx {
+            coo.push(id(i, j), id(i, j), 2.0 + 2.0 * eps);
+            if i > 0 {
+                coo.push(id(i, j), id(i - 1, j), -1.0);
+            }
+            if i + 1 < nx {
+                coo.push(id(i, j), id(i + 1, j), -1.0);
+            }
+            if j > 0 {
+                coo.push(id(i, j), id(i, j - 1), -eps);
+            }
+            if j + 1 < nx {
+                coo.push(id(i, j), id(i, j + 1), -eps);
+            }
+        }
+    }
+    Csr::from_coo(nx * nx, nx * nx, &coo)
+}
+
+fn bench_amg_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("amg_setup");
+    group.sample_size(10);
+    let serial = anisotropic_2d(40, 0.05);
+    for (name, cfg) in [
+        ("direct", AmgConfig {
+            interp: InterpType::Direct,
+            agg_levels: 0,
+            ..AmgConfig::standard()
+        }),
+        ("bamg_direct", AmgConfig::standard()),
+        ("mm_ext", AmgConfig {
+            interp: InterpType::MmExt,
+            agg_levels: 0,
+            ..AmgConfig::standard()
+        }),
+        ("mm_ext_aggressive", AmgConfig::pressure_default()),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(serial.clone(), cfg),
+            |bench, (serial, cfg)| {
+                bench.iter(|| {
+                    Comm::run(4, |rank| {
+                        let n = serial.nrows() as u64;
+                        let dist = RowDist::block(n, rank.size());
+                        let a = ParCsr::from_serial(rank, dist.clone(), dist, serial);
+                        let h = AmgHierarchy::setup(rank, a, cfg);
+                        (h.n_levels(), h.operator_complexity)
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_amg_setup);
+criterion_main!(benches);

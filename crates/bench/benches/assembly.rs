@@ -1,0 +1,92 @@
+//! Algorithm 1/2 global-assembly throughput: the sort/reduce pipeline on
+//! the stacked owned+received COO buffers, swept over problem size and
+//! rank count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distmat::{IjMatrix, IjVector, RowDist};
+use parcomm::Comm;
+use sparse_kit::prims;
+
+fn bench_assembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_matrix_assembly");
+    group.sample_size(10);
+    for &n in &[2_000u64, 8_000] {
+        for &p in &[2usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{p}ranks"), n),
+                &(n, p),
+                |bench, &(n, p)| {
+                    bench.iter(|| {
+                        Comm::run(p, |rank| {
+                            let dist = RowDist::block(n, rank.size());
+                            let mut ij = IjMatrix::new(rank, dist.clone(), dist);
+                            // Tridiagonal edge contributions round-robin
+                            // across ranks → plenty of off-rank entries.
+                            for i in 0..n - 1 {
+                                if i as usize % rank.size() == rank.rank() {
+                                    ij.add_value(i, i, 2.0);
+                                    ij.add_value(i + 1, i + 1, 2.0);
+                                    ij.add_value(i, i + 1, -1.0);
+                                    ij.add_value(i + 1, i, -1.0);
+                                }
+                            }
+                            ij.assemble(rank).local_nnz()
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("algorithm2_vector_assembly");
+    group.sample_size(10);
+    for &n in &[8_000u64, 32_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| {
+                Comm::run(4, |rank| {
+                    let dist = RowDist::block(n, rank.size());
+                    let mut ij = IjVector::new(rank, dist);
+                    for i in 0..n {
+                        if i as usize % rank.size() == rank.rank() {
+                            ij.add_value(i, 1.0);
+                            if i > 0 {
+                                ij.add_value(i - 1, 0.5);
+                            }
+                        }
+                    }
+                    ij.assemble(rank).local.len()
+                })
+            })
+        });
+    }
+    group.finish();
+
+    // The thrust-style primitives in isolation.
+    let mut group = c.benchmark_group("sort_reduce_primitives");
+    group.sample_size(10);
+    for &n in &[100_000usize, 400_000] {
+        group.bench_with_input(BenchmarkId::new("stable_sort", n), &n, |bench, &n| {
+            let keys: Vec<(u64, u64)> = (0..n)
+                .map(|i| ((i as u64 * 2654435761) % 1000, i as u64))
+                .collect();
+            let vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            bench.iter(|| {
+                let mut k = keys.clone();
+                let mut v = vals.clone();
+                prims::stable_sort_by_key(&mut k, &mut v);
+                (k, v)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reduce_by_key", n), &n, |bench, &n| {
+            let mut keys: Vec<u64> = (0..n).map(|i| (i as u64) / 4).collect();
+            keys.sort();
+            let vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            bench.iter(|| prims::reduce_by_key(&keys, &vals))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assembly);
+criterion_main!(benches);

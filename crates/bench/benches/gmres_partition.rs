@@ -1,0 +1,82 @@
+//! Two more ablations:
+//! - classical-MGS vs one-reduce GMRES (the §4.2 low-synchronization
+//!   redesign) at fixed iteration count;
+//! - RCB vs multilevel partitioning cost on a turbine rotor mesh
+//!   (the §5.1 rebalancing workflow step).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distmat::{ParCsr, ParVector, RowDist};
+use krylov::{Gmres, IdentityPrecond, OrthoStrategy};
+use meshpart::{multilevel_kway, rcb, Graph};
+use parcomm::Comm;
+use sparse_kit::{Coo, Csr};
+use windmesh::turbine::generate;
+use windmesh::NrelCase;
+
+fn laplacian_1d(n: usize) -> Csr {
+    let mut coo = Coo::new();
+    for i in 0..n as u64 {
+        coo.push(i, i, 2.0);
+        if i > 0 {
+            coo.push(i, i - 1, -1.0);
+        }
+        if i + 1 < n as u64 {
+            coo.push(i, i + 1, -1.0);
+        }
+    }
+    Csr::from_coo(n, n, &coo)
+}
+
+fn bench_gmres(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gmres_30_iters");
+    group.sample_size(10);
+    let serial = laplacian_1d(4000);
+    for (name, ortho) in [
+        ("classical_mgs", OrthoStrategy::ClassicalMgs),
+        ("one_reduce", OrthoStrategy::OneReduce),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(serial.clone(), ortho),
+            |bench, (serial, ortho)| {
+                bench.iter(|| {
+                    Comm::run(4, |rank| {
+                        let n = serial.nrows() as u64;
+                        let dist = RowDist::block(n, rank.size());
+                        let a = ParCsr::from_serial(rank, dist.clone(), dist.clone(), serial);
+                        let b = ParVector::from_fn(rank, dist.clone(), |g| (g % 7) as f64);
+                        let mut x = ParVector::zeros(rank, dist);
+                        Gmres {
+                            restart: 30,
+                            max_iters: 30,
+                            tol: 1e-30, // run the full budget
+                            ortho: *ortho,
+                        }
+                        .solve(rank, &a, &b, &mut x, &IdentityPrecond)
+                        .iters
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_rotor_mesh");
+    group.sample_size(10);
+    let tm = generate(NrelCase::SingleLow, 2e-4);
+    let rotor = tm.meshes[1].clone();
+    let graph = Graph::from_edges_unit(rotor.n_nodes(), &rotor.adjacency());
+    group.bench_function("rcb_16", |bench| {
+        let w = vec![1.0; rotor.n_nodes()];
+        bench.iter(|| rcb(&rotor.coords, &w, 16))
+    });
+    group.bench_function("multilevel_16", |bench| {
+        bench.iter(|| multilevel_kway(&graph, 16, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gmres, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Smoother ablation (§4.2): hybrid GS with an exact local triangular
+//! sweep vs the two-stage GS (Jacobi-Richardson inner iterations) vs the
+//! compact symmetric SGS2 — per-application cost at fixed work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distmat::{ParCsr, ParVector, RowDist};
+use krylov::{HybridGs, Sgs2, TwoStageGs};
+use parcomm::Comm;
+use sparse_kit::{Coo, Csr};
+
+fn laplacian_2d(nx: usize) -> Csr {
+    let id = |i: usize, j: usize| (i * nx + j) as u64;
+    let mut coo = Coo::new();
+    for i in 0..nx {
+        for j in 0..nx {
+            coo.push(id(i, j), id(i, j), 4.0);
+            if i > 0 {
+                coo.push(id(i, j), id(i - 1, j), -1.0);
+            }
+            if i + 1 < nx {
+                coo.push(id(i, j), id(i + 1, j), -1.0);
+            }
+            if j > 0 {
+                coo.push(id(i, j), id(i, j - 1), -1.0);
+            }
+            if j + 1 < nx {
+                coo.push(id(i, j), id(i, j + 1), -1.0);
+            }
+        }
+    }
+    Csr::from_coo(nx * nx, nx * nx, &coo)
+}
+
+fn bench_smoothers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smoother_10_rounds");
+    group.sample_size(10);
+    let nx = 48;
+    let serial = laplacian_2d(nx);
+    for name in ["hybrid_gs", "two_stage_gs_s1", "two_stage_gs_s2", "sgs2"] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &serial,
+            |bench, serial| {
+                bench.iter(|| {
+                    Comm::run(4, |rank| {
+                        let n = serial.nrows() as u64;
+                        let dist = RowDist::block(n, rank.size());
+                        let a = ParCsr::from_serial(rank, dist.clone(), dist.clone(), serial);
+                        let b = ParVector::from_fn(rank, dist.clone(), |g| (g % 5) as f64);
+                        let mut x = ParVector::zeros(rank, dist);
+                        match name {
+                            "hybrid_gs" => HybridGs::new(&a).smooth(rank, &b, &mut x, 10),
+                            "two_stage_gs_s1" => {
+                                TwoStageGs::new(&a, 1, 1).smooth(rank, &b, &mut x, 10)
+                            }
+                            "two_stage_gs_s2" => {
+                                TwoStageGs::new(&a, 2, 1).smooth(rank, &b, &mut x, 10)
+                            }
+                            _ => Sgs2::new(&a).smooth(rank, &b, &mut x, 10),
+                        }
+                        x.local[0]
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_smoothers);
+criterion_main!(benches);

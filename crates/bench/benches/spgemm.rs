@@ -1,0 +1,74 @@
+//! §4.1/§5.1 claim: hypre's hash-based SpGEMM beats the sort-based
+//! (cuSPARSE-style expand-sort-compress) implementation on Galerkin
+//! products, which is why the paper switched.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparse_kit::rap::galerkin;
+use sparse_kit::spgemm::{spgemm_esc, spgemm_hash};
+use sparse_kit::{Coo, Csr};
+
+/// 2-D anisotropic Laplacian, the pressure-matrix stand-in.
+fn laplacian_2d(nx: usize) -> Csr {
+    let id = |i: usize, j: usize| (i * nx + j) as u64;
+    let mut coo = Coo::new();
+    for i in 0..nx {
+        for j in 0..nx {
+            coo.push(id(i, j), id(i, j), 2.2);
+            if i > 0 {
+                coo.push(id(i, j), id(i - 1, j), -1.0);
+            }
+            if i + 1 < nx {
+                coo.push(id(i, j), id(i + 1, j), -1.0);
+            }
+            if j > 0 {
+                coo.push(id(i, j), id(i, j - 1), -0.1);
+            }
+            if j + 1 < nx {
+                coo.push(id(i, j), id(i, j + 1), -0.1);
+            }
+        }
+    }
+    Csr::from_coo(nx * nx, nx * nx, &coo)
+}
+
+/// Piecewise interpolation (2:1 semicoarsening).
+fn interp(n: usize) -> Csr {
+    let nc = n / 2;
+    let mut coo = Coo::new();
+    for i in 0..n as u64 {
+        coo.push(i, (i / 2).min(nc as u64 - 1), if i % 2 == 0 { 1.0 } else { 0.5 });
+        if i % 2 == 1 && (i / 2 + 1) < nc as u64 {
+            coo.push(i, i / 2 + 1, 0.5);
+        }
+    }
+    Csr::from_coo(n, nc, &coo)
+}
+
+fn bench_spgemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spgemm_a_times_a");
+    group.sample_size(10);
+    for nx in [32usize, 64] {
+        let a = laplacian_2d(nx);
+        group.bench_with_input(BenchmarkId::new("hash", nx * nx), &a, |b, a| {
+            b.iter(|| spgemm_hash(a, a))
+        });
+        group.bench_with_input(BenchmarkId::new("sort_esc", nx * nx), &a, |b, a| {
+            b.iter(|| spgemm_esc(a, a))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("galerkin_rap");
+    group.sample_size(10);
+    for nx in [32usize, 64] {
+        let a = laplacian_2d(nx);
+        let p = interp(nx * nx);
+        group.bench_with_input(BenchmarkId::new("hash_rap", nx * nx), &(a, p), |b, (a, p)| {
+            b.iter(|| galerkin(a, p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spgemm);
+criterion_main!(benches);

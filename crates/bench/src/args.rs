@@ -1,0 +1,70 @@
+//! Minimal command-line parsing shared by the harness binaries.
+//!
+//! All binaries accept:
+//! `--scale=<f64>` mesh-size scale, `--steps=<n>` time steps,
+//! `--ranks=<a,b,c>` rank counts, `--picard=<n>` Picard iterations.
+
+/// Parsed harness options with experiment-specific defaults.
+#[derive(Clone, Debug)]
+pub struct HarnessArgs {
+    /// Mesh node-count scale relative to the paper's meshes.
+    pub scale: f64,
+    /// Time steps per run (the paper uses 50; defaults are smaller so
+    /// harness runs finish in seconds).
+    pub steps: usize,
+    /// Rank counts to sweep.
+    pub ranks: Vec<usize>,
+    /// Picard iterations per step.
+    pub picard: usize,
+}
+
+impl HarnessArgs {
+    /// Parse `std::env::args`, falling back to the given defaults.
+    pub fn parse(default_scale: f64, default_steps: usize, default_ranks: &[usize]) -> Self {
+        let mut out = HarnessArgs {
+            scale: default_scale,
+            steps: default_steps,
+            ranks: default_ranks.to_vec(),
+            picard: 4,
+        };
+        for arg in std::env::args().skip(1) {
+            if let Some(v) = arg.strip_prefix("--scale=") {
+                out.scale = v.parse().expect("bad --scale");
+            } else if let Some(v) = arg.strip_prefix("--steps=") {
+                out.steps = v.parse().expect("bad --steps");
+            } else if let Some(v) = arg.strip_prefix("--picard=") {
+                out.picard = v.parse().expect("bad --picard");
+            } else if let Some(v) = arg.strip_prefix("--ranks=") {
+                out.ranks = v
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("bad --ranks"))
+                    .collect();
+            } else if arg == "--help" || arg == "-h" {
+                eprintln!(
+                    "options: --scale=<f64> --steps=<n> --ranks=<a,b,c> --picard=<n>"
+                );
+                std::process::exit(0);
+            } else {
+                panic!("unknown argument: {arg}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_pass_through() {
+        let a = HarnessArgs {
+            scale: 1e-3,
+            steps: 2,
+            ranks: vec![1, 2],
+            picard: 4,
+        };
+        assert_eq!(a.ranks, vec![1, 2]);
+        assert_eq!(a.picard, 4);
+    }
+}

@@ -1,0 +1,107 @@
+//! Ablation (§5.1): decomposition of the optimized-vs-baseline gain.
+//!
+//! The paper's empirical attribution: ~50% of the improvement from the
+//! tuned Algorithm-1/2 assembly, ~25% from the second SGS2 inner sweep +
+//! AMG parameter tuning, ~25% from ParMETIS rebalancing. Each row turns
+//! exactly one optimization off.
+
+use amg::AmgConfig;
+use exawind_bench::{args::HarnessArgs, print_table, run_case};
+use machine::MachineModel;
+use nalu_core::{PartitionMethod, SolverConfig};
+use windmesh::NrelCase;
+
+fn main() {
+    let args = HarnessArgs::parse(5e-4, 1, &[8]);
+    let p = args.ranks[0];
+    let gpu = MachineModel::summit_v100();
+
+    let optimized = exawind_bench::optimized_config(args.picard);
+
+    eprintln!("running optimized...");
+    let full = run_case(NrelCase::SingleLow, args.scale, p, args.steps, optimized);
+    let t_full = full.modeled_nli(&gpu);
+
+    eprintln!("running w/o tuned assembly...");
+    let t_no_assembly = full.with_baseline_penalty().modeled_nli(&gpu);
+
+    eprintln!("running w/o second inner sweep + AMG tuning...");
+    let detuned_amg = AmgConfig {
+        trunc_factor: 0.0,
+        ..AmgConfig::pressure_default()
+    };
+    let no_sweep = run_case(
+        NrelCase::SingleLow,
+        args.scale,
+        p,
+        args.steps,
+        SolverConfig {
+            sgs_inner: 1,
+            amg: detuned_amg,
+            ..optimized
+        },
+    );
+    let t_no_sweep = no_sweep.modeled_nli(&gpu);
+
+    eprintln!("running w/o ParMETIS (RCB)...");
+    let rcb = run_case(
+        NrelCase::SingleLow,
+        args.scale,
+        p,
+        args.steps,
+        SolverConfig {
+            partition: PartitionMethod::Rcb,
+            ..optimized
+        },
+    );
+    let t_rcb = rcb.modeled_nli(&gpu);
+
+    eprintln!("running full baseline...");
+    let baseline = run_case(
+        NrelCase::SingleLow,
+        args.scale,
+        p,
+        args.steps,
+        SolverConfig {
+            partition: PartitionMethod::Rcb,
+            sgs_inner: 1,
+            amg: detuned_amg,
+            ..optimized
+        },
+    )
+    .with_baseline_penalty();
+    let t_baseline = baseline.modeled_nli(&gpu);
+
+    let gain = t_baseline - t_full;
+    let rows = vec![
+        vec!["optimized".into(), format!("{t_full:.4}"), "-".into()],
+        vec![
+            "w/o tuned assembly".into(),
+            format!("{t_no_assembly:.4}"),
+            format!("{:.0}%", 100.0 * (t_no_assembly - t_full) / gain),
+        ],
+        vec![
+            "w/o 2nd sweep + AMG tuning".into(),
+            format!("{t_no_sweep:.4}"),
+            format!("{:.0}%", 100.0 * (t_no_sweep - t_full) / gain),
+        ],
+        vec![
+            "w/o ParMETIS (RCB)".into(),
+            format!("{t_rcb:.4}"),
+            format!("{:.0}%", 100.0 * (t_rcb - t_full) / gain),
+        ],
+        vec![
+            "full baseline".into(),
+            format!("{t_baseline:.4}"),
+            "100%".into(),
+        ],
+    ];
+    print_table(
+        &format!(
+            "Ablation: gain attribution on {p} ranks (scale={}, paper: assembly ~50%, smoother+AMG ~25%, ParMETIS ~25%)",
+            args.scale
+        ),
+        &["configuration", "modeled_nli_s", "share_of_total_gain"],
+        &rows,
+    );
+}

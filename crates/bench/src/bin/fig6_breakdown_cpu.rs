@@ -1,0 +1,49 @@
+//! Figure 6: CPU pressure-Poisson time breakdown per Summit node count.
+//!
+//! The five sub-bars of the paper's stacked chart — graph computation +
+//! physics, local assembly, global assembly, preconditioner setup, and
+//! solve — modeled on Power9 CPU ranks (42/node).
+
+use exawind_bench::{args::HarnessArgs, print_table, run_case};
+use machine::MachineModel;
+use nalu_core::Phase;
+use windmesh::NrelCase;
+
+fn main() {
+    let args = HarnessArgs::parse(4e-4, 1, &[2, 4, 8, 16]);
+    let cpu = MachineModel::summit_power9();
+    let cfg = exawind_bench::optimized_config(args.picard);
+    let mut rows = Vec::new();
+    for &p in &args.ranks {
+        eprintln!("ranks={p}");
+        let r = run_case(NrelCase::SingleLow, args.scale, p, args.steps, cfg)
+            .extrapolated(1.0 / args.scale);
+        let parts: Vec<f64> = Phase::ALL
+            .iter()
+            .map(|&ph| r.modeled_phase(&cpu, "continuity", ph))
+            .collect();
+        let total: f64 = parts.iter().sum();
+        let mut row = vec![format!("{:.2}", cpu.nodes(p)), p.to_string()];
+        row.extend(parts.iter().map(|t| format!("{t:.4}")));
+        row.push(format!("{total:.4}"));
+        rows.push(row);
+    }
+    print_table(
+        &format!(
+            "Figure 6: CPU pressure-Poisson breakdown (scale={}, steps={})",
+            args.scale, args.steps
+        ),
+        &[
+            "summit_nodes",
+            "ranks",
+            "graph_physics_s",
+            "local_assembly_s",
+            "global_assembly_s",
+            "precond_setup_s",
+            "solve_s",
+            "total_s",
+        ],
+        &rows,
+    );
+    println!("# paper: setup+solve dominate on CPU but scale well");
+}

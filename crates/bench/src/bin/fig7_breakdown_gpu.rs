@@ -1,0 +1,59 @@
+//! Figure 7: GPU pressure-Poisson time breakdown per Summit node count.
+//!
+//! Same sub-bars as Figure 6, modeled on V100 ranks (6/node). The paper's
+//! observation to reproduce: local assembly is ~4× faster than CPU, but
+//! AMG setup + solve scaling degrades as DoFs/GPU shrink.
+
+use exawind_bench::{args::HarnessArgs, print_table, run_case};
+use machine::MachineModel;
+use nalu_core::Phase;
+use windmesh::NrelCase;
+
+fn main() {
+    let args = HarnessArgs::parse(4e-4, 1, &[2, 4, 8, 16, 32]);
+    let gpu = MachineModel::summit_v100();
+    let cpu = MachineModel::summit_power9();
+    let cfg = exawind_bench::optimized_config(args.picard);
+    let mut rows = Vec::new();
+    let mut speedup_local = Vec::new();
+    for &p in &args.ranks {
+        eprintln!("ranks={p}");
+        let r = run_case(NrelCase::SingleLow, args.scale, p, args.steps, cfg)
+            .extrapolated(1.0 / args.scale);
+        let parts: Vec<f64> = Phase::ALL
+            .iter()
+            .map(|&ph| r.modeled_phase(&gpu, "continuity", ph))
+            .collect();
+        let total: f64 = parts.iter().sum();
+        let cpu_local = r.modeled_phase(&cpu, "continuity", Phase::LocalAssembly);
+        let gpu_local = r.modeled_phase(&gpu, "continuity", Phase::LocalAssembly);
+        if gpu_local > 0.0 {
+            speedup_local.push(cpu_local / gpu_local);
+        }
+        let mut row = vec![format!("{:.2}", gpu.nodes(p)), p.to_string()];
+        row.extend(parts.iter().map(|t| format!("{t:.4}")));
+        row.push(format!("{total:.4}"));
+        rows.push(row);
+    }
+    print_table(
+        &format!(
+            "Figure 7: GPU pressure-Poisson breakdown (scale={}, steps={})",
+            args.scale, args.steps
+        ),
+        &[
+            "summit_nodes",
+            "ranks",
+            "graph_physics_s",
+            "local_assembly_s",
+            "global_assembly_s",
+            "precond_setup_s",
+            "solve_s",
+            "total_s",
+        ],
+        &rows,
+    );
+    if !speedup_local.is_empty() {
+        let mean = speedup_local.iter().sum::<f64>() / speedup_local.len() as f64;
+        println!("# local-assembly GPU speedup over CPU: {mean:.1}x (paper: ~4x)");
+    }
+}

@@ -1,0 +1,49 @@
+use amg::{AmgConfig, AmgPrecond, InterpType};
+use distmat::{ParCsr, ParVector, RowDist};
+use krylov::{Gmres, OrthoStrategy};
+use parcomm::Comm;
+use sparse_kit::{Coo, Csr};
+
+fn anisotropic_2d(nx: usize, eps: f64) -> Csr {
+    let id = |i: usize, j: usize| (i * nx + j) as u64;
+    let mut coo = Coo::new();
+    for i in 0..nx {
+        for j in 0..nx {
+            coo.push(id(i, j), id(i, j), 2.0 + 2.0 * eps);
+            if i > 0 { coo.push(id(i, j), id(i - 1, j), -1.0); }
+            if i + 1 < nx { coo.push(id(i, j), id(i + 1, j), -1.0); }
+            if j > 0 { coo.push(id(i, j), id(i, j - 1), -eps); }
+            if j + 1 < nx { coo.push(id(i, j), id(i, j + 1), -eps); }
+        }
+    }
+    Csr::from_coo(nx * nx, nx * nx, &coo)
+}
+
+fn main() {
+    let serial = anisotropic_2d(16, 0.05);
+    for (name, cfg) in [
+        ("agg2 mmext t0.00", AmgConfig { agg_levels: 2, interp: InterpType::MmExt, trunc_factor: 0.0, smooth_inner: 2, ..Default::default() }),
+        ("agg2 mmext t0.10", AmgConfig { agg_levels: 2, interp: InterpType::MmExt, trunc_factor: 0.1, smooth_inner: 2, ..Default::default() }),
+        ("agg2 mmext t0.25", AmgConfig { agg_levels: 2, interp: InterpType::MmExt, trunc_factor: 0.25, smooth_inner: 2, ..Default::default() }),
+        ("agg2 mmexti t0.10", AmgConfig { agg_levels: 2, interp: InterpType::MmExtI, trunc_factor: 0.1, smooth_inner: 2, ..Default::default() }),
+        ("agg2 mmexti t0.25", AmgConfig { agg_levels: 2, interp: InterpType::MmExtI, trunc_factor: 0.25, smooth_inner: 2, ..Default::default() }),
+        ("agg0 bamg  t0.00", AmgConfig { agg_levels: 0, interp: InterpType::BamgDirect, trunc_factor: 0.0, smooth_inner: 2, ..Default::default() }),
+        ("agg1 mmexti t0.10", AmgConfig { agg_levels: 1, interp: InterpType::MmExtI, trunc_factor: 0.1, smooth_inner: 2, ..Default::default() }),
+    ] {
+        let s2 = serial.clone();
+        let out = Comm::run(2, move |rank| {
+            let n = s2.nrows() as u64;
+            let dist = RowDist::block(n, rank.size());
+            let a = ParCsr::from_serial(rank, dist.clone(), dist.clone(), &s2);
+            let amg = AmgPrecond::setup(rank, a.clone(), &cfg);
+            let h = amg.hierarchy();
+            let b = ParVector::from_fn(rank, dist.clone(), |g| (g as f64 * 0.1).sin());
+            let mut x = ParVector::zeros(rank, dist);
+            let st = Gmres { restart: 60, max_iters: 200, tol: 1e-8, ortho: OrthoStrategy::OneReduce }
+                .solve(rank, &a, &b, &mut x, &amg);
+            (h.n_levels(), h.grid_complexity, h.operator_complexity, st.iters, st.converged)
+        });
+        let (l, gc, oc, it, conv) = out[0];
+        println!("{name:22} levels={l} gc={gc:.2} oc={oc:.2} iters={it} conv={conv}");
+    }
+}

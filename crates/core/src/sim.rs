@@ -1,0 +1,508 @@
+//! The time integrator: Picard iterations over the overset mesh system.
+//!
+//! Each time step performs (per §5): rotor motion + overset connectivity
+//! update, graph computation for every equation system, then
+//! `picard_iters` nonlinear iterations, each of which re-interpolates the
+//! overset fringes (additive Schwarz) and, per mesh, assembles and solves
+//! momentum (3 RHS, SGS2-preconditioned one-reduce GMRES), the
+//! pressure-Poisson projection (AMG-preconditioned GMRES) followed by the
+//! velocity correction, and scalar transport.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use amg::{AmgConfig, AmgPrecond};
+use distmat::{ParCsr, ParVector};
+use krylov::{Gmres, OrthoStrategy, Sgs2};
+use parcomm::Rank;
+use windmesh::overset::assemble_overset;
+use windmesh::{Mesh, OversetAssembly, TurbineMeshes};
+
+use crate::assemble::{
+    build_matrix, correct_velocity, fill_continuity, fill_momentum, fill_scalar, PhysicsParams,
+};
+use crate::dofmap::PartitionMethod;
+use crate::eqsys::{EqKind, MeshSystem};
+use crate::graph::dirichlet_momentum;
+use crate::state::{overset_exchange, State};
+use crate::timing::{Phase, Timings};
+
+/// Solver configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SolverConfig {
+    /// Flow model parameters.
+    pub physics: PhysicsParams,
+    /// Picard (nonlinear) iterations per time step — the paper uses 4.
+    pub picard_iters: usize,
+    /// Domain decomposition method.
+    pub partition: PartitionMethod,
+    /// Seed for partitioning/AMG randomness.
+    pub seed: u64,
+    /// GMRES restart length.
+    pub gmres_restart: usize,
+    /// GMRES iteration cap per solve.
+    pub gmres_max_iters: usize,
+    /// Orthogonalization strategy (one-reduce by default, §4.2).
+    pub ortho: OrthoStrategy,
+    /// Relative tolerance for the momentum/scalar solves.
+    pub momentum_tol: f64,
+    /// Relative tolerance for the pressure solve.
+    pub pressure_tol: f64,
+    /// AMG options for the pressure preconditioner.
+    pub amg: AmgConfig,
+    /// SGS2 inner Jacobi-Richardson sweeps (2 in the paper).
+    pub sgs_inner: usize,
+    /// SGS2 outer iterations (2 in the paper).
+    pub sgs_outer: usize,
+    /// Overset hole-cutting margin.
+    pub overset_margin: f64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            physics: PhysicsParams::default(),
+            picard_iters: 4,
+            partition: PartitionMethod::Multilevel,
+            seed: 0xE1A,
+            gmres_restart: 50,
+            gmres_max_iters: 200,
+            ortho: OrthoStrategy::OneReduce,
+            momentum_tol: 1e-6,
+            pressure_tol: 1e-5,
+            amg: AmgConfig::pressure_default(),
+            sgs_inner: 2,
+            sgs_outer: 2,
+            overset_margin: 0.18,
+        }
+    }
+}
+
+/// Summary of one time step.
+#[derive(Clone, Debug)]
+pub struct StepReport {
+    /// Wall-clock seconds of the nonlinear iterations (the NLI metric of
+    /// Figures 3/8/9/11).
+    pub nli_seconds: f64,
+    /// GMRES iterations accumulated per equation system this step.
+    pub gmres_iters: BTreeMap<String, usize>,
+    /// Per-equation, per-phase wall-clock of this step.
+    pub timings: Timings,
+}
+
+/// A running simulation on one rank.
+pub struct Simulation {
+    cfg: SolverConfig,
+    meshes: Vec<Mesh>,
+    states: Vec<State>,
+    overset: OversetAssembly,
+    systems: Vec<MeshSystem>,
+    /// Cumulative per-equation, per-phase timings over all steps.
+    pub timings: Timings,
+    step_count: usize,
+}
+
+impl Simulation {
+    /// Build a simulation over `meshes` (mesh 0 = background). Overset
+    /// connectivity is assembled here when there are component meshes.
+    /// Collective (partitioning is deterministic and replicated).
+    pub fn new(rank: &Rank, mut meshes: Vec<Mesh>, cfg: SolverConfig) -> Simulation {
+        let overset = if meshes.len() > 1 {
+            assemble_overset(&mut meshes, cfg.overset_margin)
+        } else {
+            OversetAssembly::default()
+        };
+        let me = rank.rank();
+        let systems: Vec<MeshSystem> = meshes
+            .iter()
+            .map(|m| MeshSystem::new(m, rank.size(), cfg.partition, cfg.seed, me))
+            .collect();
+        let states: Vec<State> = meshes
+            .iter()
+            .map(|m| {
+                State::cold_start(m.n_nodes(), cfg.physics.u_inflow, cfg.physics.nut_inflow)
+            })
+            .collect();
+        Simulation {
+            cfg,
+            meshes,
+            states,
+            overset,
+            systems,
+            timings: Timings::new(),
+            step_count: 0,
+        }
+    }
+
+    /// Build from a generated turbine case.
+    pub fn from_turbine(rank: &Rank, tm: TurbineMeshes, cfg: SolverConfig) -> Simulation {
+        // `TurbineMeshes` already carries an assembly, but statuses are
+        // recomputed here so the Simulation owns a consistent trio.
+        Simulation::new(rank, tm.meshes, cfg)
+    }
+
+    /// Number of meshes.
+    pub fn n_meshes(&self) -> usize {
+        self.meshes.len()
+    }
+
+    /// State of a mesh.
+    pub fn state(&self, m: usize) -> &State {
+        &self.states[m]
+    }
+
+    /// Mesh accessor.
+    pub fn mesh(&self, m: usize) -> &Mesh {
+        &self.meshes[m]
+    }
+
+    /// Per-mesh systems (partition statistics etc.).
+    pub fn system(&self, m: usize) -> &MeshSystem {
+        &self.systems[m]
+    }
+
+    fn phased<R>(
+        rank: &Rank,
+        t: &mut Timings,
+        eq: &str,
+        ph: Phase,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        let label = ph.trace_label(eq);
+        t.time(eq, ph, || rank.with_phase(&label, f))
+    }
+
+    /// Advance one time step. Collective. Returns the step report.
+    pub fn step(&mut self, rank: &Rank) -> StepReport {
+        let start = Instant::now();
+        let mut t = Timings::new();
+        let mut iters: BTreeMap<String, usize> = BTreeMap::new();
+        let me = rank.rank();
+
+        // --- Mesh motion + overset connectivity update ------------------
+        if self.meshes.len() > 1 {
+            let d_angle = self.cfg.physics.rotor_omega * self.cfg.physics.dt;
+            Self::phased(rank, &mut t, "overset", Phase::GraphPhysics, || {
+                for m in self.meshes.iter_mut().skip(1) {
+                    windmesh::motion::rotate_annulus(m, d_angle);
+                }
+                self.overset = assemble_overset(&mut self.meshes, self.cfg.overset_margin);
+            });
+        }
+
+        // --- Stage 1: graph computation for every system -----------------
+        for (sys, mesh) in self.systems.iter_mut().zip(&self.meshes) {
+            Self::phased(rank, &mut t, "momentum", Phase::GraphPhysics, || {
+                sys.rebuild_graphs(mesh, me);
+            });
+        }
+
+        // --- Picard iterations -------------------------------------------
+        for _ in 0..self.cfg.picard_iters {
+            Self::phased(rank, &mut t, "overset", Phase::GraphPhysics, || {
+                overset_exchange(&mut self.states, &self.meshes, &self.overset);
+            });
+            for m in 0..self.meshes.len() {
+                let its = self.solve_momentum(rank, m, &mut t);
+                *iters.entry("momentum".into()).or_insert(0) += its;
+                let its = self.solve_continuity(rank, m, &mut t);
+                *iters.entry("continuity".into()).or_insert(0) += its;
+                let its = self.solve_scalar(rank, m, &mut t);
+                *iters.entry("scalar".into()).or_insert(0) += its;
+            }
+        }
+
+        for st in &mut self.states {
+            st.advance_time();
+        }
+        self.step_count += 1;
+        self.timings.merge(&t);
+        StepReport {
+            nli_seconds: start.elapsed().as_secs_f64(),
+            gmres_iters: iters,
+            timings: t,
+        }
+    }
+
+    /// Scatter a distributed solution back into a replicated nodal field.
+    fn gather_nodal(rank: &Rank, sys: &MeshSystem, x: &ParVector) -> Vec<f64> {
+        let full = x.to_serial(rank);
+        sys.node_of_gid
+            .iter()
+            .enumerate()
+            .map(|(g, _)| full[g])
+            .collect()
+        // (full is already in gid order; mapping to nodes happens at the
+        // call site through node_of_gid)
+    }
+
+    fn make_gmres(cfg: &SolverConfig, tol: f64) -> Gmres {
+        Gmres {
+            restart: cfg.gmres_restart,
+            max_iters: cfg.gmres_max_iters,
+            tol,
+            ortho: cfg.ortho,
+        }
+    }
+
+    fn solve_momentum(&mut self, rank: &Rank, m: usize, t: &mut Timings) -> usize {
+        let cfg = self.cfg;
+        let eq = EqKind::Momentum.name();
+        let sys = &mut self.systems[m];
+        let mesh = &self.meshes[m];
+        let state = &mut self.states[m];
+        let params = &cfg.physics;
+
+        // Stage 2: local assembly.
+        let graphs = sys.graphs.as_mut().expect("graphs built");
+        let rhs = Self::phased(rank, t, eq, Phase::LocalAssembly, || {
+            fill_momentum(
+                rank,
+                mesh,
+                &sys.dm,
+                &graphs.momentum,
+                &sys.tags,
+                state,
+                params,
+                &sys.owned_edges,
+                &sys.owned_nodes,
+                &mut graphs.mom_vals,
+            )
+        });
+        // Stage 3: global assembly (Algorithms 1 and 2).
+        let (a, bs) = Self::phased(rank, t, eq, Phase::GlobalAssembly, || {
+            let a = build_matrix(rank, &sys.dm, &graphs.momentum, &graphs.mom_vals);
+            let bs: Vec<ParVector> = rhs.into_iter().map(|r| r.assemble(rank)).collect();
+            (a, bs)
+        });
+        // Preconditioner setup: compact SGS2.
+        let sgs = Self::phased(rank, t, eq, Phase::PrecondSetup, || {
+            Sgs2::with_sweeps(&a, cfg.sgs_inner, cfg.sgs_outer)
+        });
+        // Solve the three components with the shared matrix/preconditioner.
+        let gmres = Self::make_gmres(&cfg, cfg.momentum_tol);
+        let mut total_iters = 0;
+        Self::phased(rank, t, eq, Phase::Solve, || {
+            for (c, b) in bs.iter().enumerate() {
+                let mut x = ParVector::from_local(
+                    rank,
+                    sys.dm.dist.clone(),
+                    sys.owned_nodes.iter().map(|&n| state.vel[n][c]).collect(),
+                );
+                let stats = gmres.solve(rank, &a, b, &mut x, &sgs);
+                total_iters += stats.iters;
+                let full = Self::gather_nodal(rank, sys, &x);
+                for (node, g) in sys.dm.gid.iter().enumerate() {
+                    state.vel[node][c] = full[*g as usize];
+                }
+            }
+        });
+        total_iters
+    }
+
+    fn solve_continuity(&mut self, rank: &Rank, m: usize, t: &mut Timings) -> usize {
+        let cfg = self.cfg;
+        let eq = EqKind::Continuity.name();
+        let sys = &mut self.systems[m];
+        let mesh = &self.meshes[m];
+        let state = &mut self.states[m];
+        let params = &cfg.physics;
+
+        let graphs = sys.graphs.as_mut().expect("graphs built");
+        let rhs = Self::phased(rank, t, eq, Phase::LocalAssembly, || {
+            fill_continuity(
+                rank,
+                mesh,
+                &sys.dm,
+                &graphs.continuity,
+                &sys.tags,
+                state,
+                params,
+                &sys.owned_edges,
+                &sys.owned_nodes,
+                &mut graphs.con_vals,
+            )
+        });
+        let (a, b): (ParCsr, ParVector) = Self::phased(rank, t, eq, Phase::GlobalAssembly, || {
+            let a = build_matrix(rank, &sys.dm, &graphs.continuity, &graphs.con_vals);
+            (a, rhs.assemble(rank))
+        });
+        let amg = Self::phased(rank, t, eq, Phase::PrecondSetup, || {
+            AmgPrecond::setup(rank, a.clone(), &cfg.amg)
+        });
+        let gmres = Self::make_gmres(&cfg, cfg.pressure_tol);
+        let mut iters = 0;
+        Self::phased(rank, t, eq, Phase::Solve, || {
+            let mut x = ParVector::zeros(rank, sys.dm.dist.clone());
+            let stats = gmres.solve(rank, &a, &b, &mut x, &amg);
+            iters = stats.iters;
+            let full = Self::gather_nodal(rank, sys, &x);
+            for (node, g) in sys.dm.gid.iter().enumerate() {
+                state.dp[node] = full[*g as usize];
+            }
+        });
+        // Projection correction (physics, replicated).
+        Self::phased(rank, t, eq, Phase::GraphPhysics, || {
+            let mom_dir = dirichlet_momentum(&sys.tags);
+            correct_velocity(mesh, &sys.tags, state, params, &mom_dir);
+        });
+        iters
+    }
+
+    fn solve_scalar(&mut self, rank: &Rank, m: usize, t: &mut Timings) -> usize {
+        let cfg = self.cfg;
+        let eq = EqKind::Scalar.name();
+        let sys = &mut self.systems[m];
+        let mesh = &self.meshes[m];
+        let state = &mut self.states[m];
+        let params = &cfg.physics;
+
+        let graphs = sys.graphs.as_mut().expect("graphs built");
+        let rhs = Self::phased(rank, t, eq, Phase::LocalAssembly, || {
+            fill_scalar(
+                rank,
+                mesh,
+                &sys.dm,
+                &graphs.scalar,
+                &sys.tags,
+                state,
+                params,
+                &sys.owned_edges,
+                &sys.owned_nodes,
+                &mut graphs.sca_vals,
+            )
+        });
+        let (a, b) = Self::phased(rank, t, eq, Phase::GlobalAssembly, || {
+            let a = build_matrix(rank, &sys.dm, &graphs.scalar, &graphs.sca_vals);
+            (a, rhs.assemble(rank))
+        });
+        let sgs = Self::phased(rank, t, eq, Phase::PrecondSetup, || {
+            Sgs2::with_sweeps(&a, cfg.sgs_inner, cfg.sgs_outer)
+        });
+        let gmres = Self::make_gmres(&cfg, cfg.momentum_tol);
+        let mut iters = 0;
+        Self::phased(rank, t, eq, Phase::Solve, || {
+            let mut x = ParVector::from_local(
+                rank,
+                sys.dm.dist.clone(),
+                sys.owned_nodes.iter().map(|&n| state.nut[n]).collect(),
+            );
+            let stats = gmres.solve(rank, &a, &b, &mut x, &sgs);
+            iters = stats.iters;
+            let full = Self::gather_nodal(rank, sys, &x);
+            for (node, g) in sys.dm.gid.iter().enumerate() {
+                // Clip: transported viscosity must stay non-negative.
+                state.nut[node] = full[*g as usize].max(0.0);
+            }
+        });
+        iters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcomm::Comm;
+    use windmesh::generate::{box_mesh, uniform_spacing, BoxBc};
+
+    fn small_box() -> Mesh {
+        box_mesh(
+            uniform_spacing(0.0, 4.0, 6),
+            uniform_spacing(0.0, 2.0, 4),
+            uniform_spacing(0.0, 2.0, 4),
+            BoxBc::wind_tunnel(),
+        )
+    }
+
+    #[test]
+    fn uniform_inflow_box_stays_uniform() {
+        // The strongest physics test: uniform flow through an empty box
+        // is an exact steady solution; a time step must not disturb it.
+        for p in [1, 2] {
+            let out = Comm::run(p, |rank| {
+                let cfg = SolverConfig::default();
+                let mut sim = Simulation::new(rank, vec![small_box()], cfg);
+                let report = sim.step(rank);
+                let state = sim.state(0);
+                let max_dev = state
+                    .vel
+                    .iter()
+                    .map(|v| {
+                        (v[0] - cfg.physics.u_inflow).abs() + v[1].abs() + v[2].abs()
+                    })
+                    .fold(0.0f64, f64::max);
+                let max_p = state.p.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+                (max_dev, max_p, report)
+            });
+            for (max_dev, max_p, report) in out {
+                assert!(max_dev < 1e-4, "p={p}: velocity drifted by {max_dev}");
+                assert!(max_p < 1e-3, "p={p}: spurious pressure {max_p}");
+                assert!(report.nli_seconds > 0.0);
+                assert!(report.gmres_iters["continuity"] < 40 * 4);
+            }
+        }
+    }
+
+    #[test]
+    fn step_reports_all_equations_and_phases() {
+        Comm::run(2, |rank| {
+            let mut sim = Simulation::new(rank, vec![small_box()], SolverConfig::default());
+            let report = sim.step(rank);
+            for eq in ["momentum", "continuity", "scalar"] {
+                assert!(report.gmres_iters.contains_key(eq), "{eq} missing");
+                assert!(
+                    report.timings.get(eq, Phase::LocalAssembly) > 0.0,
+                    "{eq} local assembly untimed"
+                );
+                assert!(report.timings.get(eq, Phase::GlobalAssembly) > 0.0);
+                assert!(report.timings.get(eq, Phase::PrecondSetup) > 0.0);
+                assert!(report.timings.get(eq, Phase::Solve) > 0.0);
+            }
+        });
+    }
+
+    #[test]
+    fn traces_carry_per_equation_phases() {
+        let (_, traces) = Comm::run_traced(2, |rank| {
+            let mut sim = Simulation::new(rank, vec![small_box()], SolverConfig::default());
+            sim.step(rank);
+        });
+        for tr in &traces {
+            let solve = tr.phase("continuity/solve");
+            assert!(solve.kernel_launches > 0, "no pressure solve kernels");
+            assert!(solve.collectives > 0, "no pressure solve reductions");
+            let setup = tr.phase("continuity/precond setup");
+            assert!(setup.kernel_launches > 0, "no AMG setup kernels");
+            let global = tr.phase("momentum/global assembly");
+            assert!(global.collectives > 0, "no assembly allgather");
+        }
+    }
+
+    #[test]
+    fn solution_consistent_across_rank_counts() {
+        let mut results: Vec<Vec<f64>> = Vec::new();
+        for p in [1, 2, 4] {
+            let out = Comm::run(p, |rank| {
+                let cfg = SolverConfig {
+                    momentum_tol: 1e-10,
+                    pressure_tol: 1e-10,
+                    picard_iters: 2,
+                    ..SolverConfig::default()
+                };
+                let mut sim = Simulation::new(rank, vec![small_box()], cfg);
+                sim.step(rank);
+                // x-velocity field as the comparison signature.
+                sim.state(0).vel.iter().map(|v| v[0]).collect::<Vec<f64>>()
+            });
+            results.push(out[0].clone());
+        }
+        for r in &results[1..] {
+            for (a, b) in r.iter().zip(&results[0]) {
+                assert!(
+                    (a - b).abs() < 1e-5,
+                    "solution depends on rank count: {a} vs {b}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Flow state per mesh and overset fringe updates.
+//!
+//! States are replicated on every rank (the linear *solves* are
+//! distributed; see DESIGN.md for this simplification), so fringe
+//! interpolation and velocity correction are plain local loops.
+
+use windmesh::{Mesh, NodeStatus, OversetAssembly};
+
+/// Flow variables of one mesh, node-indexed.
+#[derive(Clone, Debug)]
+pub struct State {
+    /// Velocity at the current time level / Picard iterate.
+    pub vel: Vec<[f64; 3]>,
+    /// Velocity at the previous time level.
+    pub vel_old: Vec<[f64; 3]>,
+    /// Pressure.
+    pub p: Vec<f64>,
+    /// Latest pressure correction (used for overset p-coupling).
+    pub dp: Vec<f64>,
+    /// Transported turbulent viscosity.
+    pub nut: Vec<f64>,
+    /// Previous time level of `nut`.
+    pub nut_old: Vec<f64>,
+}
+
+impl State {
+    /// Cold start: uniform axial inflow velocity and freestream `nut`.
+    pub fn cold_start(n: usize, u_inflow: f64, nut_inflow: f64) -> Self {
+        State {
+            vel: vec![[u_inflow, 0.0, 0.0]; n],
+            vel_old: vec![[u_inflow, 0.0, 0.0]; n],
+            p: vec![0.0; n],
+            dp: vec![0.0; n],
+            nut: vec![nut_inflow; n],
+            nut_old: vec![nut_inflow; n],
+        }
+    }
+
+    /// Commit the current iterate as the previous time level.
+    pub fn advance_time(&mut self) {
+        self.vel_old.copy_from_slice(&self.vel);
+        self.nut_old.copy_from_slice(&self.nut);
+    }
+}
+
+/// Velocity of a rotor wall node rotating at `omega` rad/s about the +x
+/// axis through `center`: Ω × r.
+pub fn wall_velocity(coord: [f64; 3], center: [f64; 3], omega: f64) -> [f64; 3] {
+    let dy = coord[1] - center[1];
+    let dz = coord[2] - center[2];
+    [0.0, -omega * dz, omega * dy]
+}
+
+/// Interpolate a donor-mesh nodal field at a receptor.
+fn interp(field: &[f64], nodes: &[usize; 8], w: &[f64; 8]) -> f64 {
+    nodes.iter().zip(w).map(|(&n, &wt)| field[n] * wt).sum()
+}
+
+fn interp3(field: &[[f64; 3]], nodes: &[usize; 8], w: &[f64; 8]) -> [f64; 3] {
+    let mut out = [0.0; 3];
+    for (&n, &wt) in nodes.iter().zip(w) {
+        for d in 0..3 {
+            out[d] += field[n][d] * wt;
+        }
+    }
+    out
+}
+
+/// Additive-Schwarz outer coupling: overwrite fringe-node values of every
+/// mesh with donor-mesh interpolants (velocity, pressure correction,
+/// scalar). Called once per Picard iteration.
+pub fn overset_exchange(states: &mut [State], meshes: &[Mesh], overset: &OversetAssembly) {
+    // Two passes: interpolate everything from a consistent snapshot, then
+    // write — receptor updates must not contaminate other receptors whose
+    // donor cells touch fringe nodes.
+    let updates: Vec<(usize, usize, [f64; 3], f64, f64, f64)> = overset
+        .receptors
+        .iter()
+        .map(|r| {
+            debug_assert_eq!(meshes[r.mesh].status[r.node], NodeStatus::Fringe);
+            let vel = interp3(&states[r.donor_mesh].vel, &r.donor_nodes, &r.weights);
+            let dp = interp(&states[r.donor_mesh].dp, &r.donor_nodes, &r.weights);
+            let p = interp(&states[r.donor_mesh].p, &r.donor_nodes, &r.weights);
+            let nut = interp(&states[r.donor_mesh].nut, &r.donor_nodes, &r.weights);
+            (r.mesh, r.node, vel, dp, p, nut)
+        })
+        .collect();
+    for (mesh, node, vel, dp, p, nut) in updates {
+        let st = &mut states[mesh];
+        st.vel[node] = vel;
+        st.dp[node] = dp;
+        st.p[node] = p;
+        st.nut[node] = nut;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use windmesh::generate::{annulus_mesh, box_mesh, uniform_spacing, BoxBc};
+    use windmesh::overset::assemble_overset;
+
+    #[test]
+    fn cold_start_is_uniform() {
+        let s = State::cold_start(4, 8.0, 1e-4);
+        assert!(s.vel.iter().all(|v| *v == [8.0, 0.0, 0.0]));
+        assert!(s.p.iter().all(|&p| p == 0.0));
+        assert!(s.nut.iter().all(|&v| v == 1e-4));
+    }
+
+    #[test]
+    fn advance_time_commits() {
+        let mut s = State::cold_start(2, 1.0, 0.0);
+        s.vel[0] = [2.0, 0.0, 0.0];
+        s.nut[1] = 0.5;
+        s.advance_time();
+        assert_eq!(s.vel_old[0], [2.0, 0.0, 0.0]);
+        assert_eq!(s.nut_old[1], 0.5);
+    }
+
+    #[test]
+    fn wall_velocity_is_tangential() {
+        let v = wall_velocity([0.0, 2.0, 0.0], [0.0, 0.0, 0.0], 3.0);
+        assert_eq!(v, [0.0, 0.0, 6.0]);
+        // Ω×r ⟂ r.
+        let v2 = wall_velocity([0.0, 1.0, 1.0], [0.0, 0.0, 0.0], 2.0);
+        assert!((v2[1] * 1.0 + v2[2] * 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn overset_exchange_transfers_uniform_fields_exactly() {
+        let background = box_mesh(
+            uniform_spacing(-2.0, 2.0, 13),
+            uniform_spacing(-2.0, 2.0, 13),
+            uniform_spacing(-2.0, 2.0, 13),
+            BoxBc::wind_tunnel(),
+        );
+        let rotor = annulus_mesh(
+            uniform_spacing(-0.5, 0.5, 5),
+            uniform_spacing(0.2, 1.0, 6),
+            16,
+            [0.0, 0.0, 0.0],
+        );
+        let mut meshes = vec![background, rotor];
+        let overset = assemble_overset(&mut meshes, 0.2);
+        let mut states = vec![
+            State::cold_start(meshes[0].n_nodes(), 8.0, 1e-3),
+            State::cold_start(meshes[1].n_nodes(), 0.0, 0.0),
+        ];
+        // Rotor fringe pulls the background's uniform state exactly
+        // (trilinear weights are a partition of unity).
+        overset_exchange(&mut states, &meshes, &overset);
+        for r in overset.receptors_of(1) {
+            assert!((states[1].vel[r.node][0] - 8.0).abs() < 1e-12);
+            assert!((states[1].nut[r.node] - 1e-3).abs() < 1e-12);
+        }
+        // Background fringe pulled rotor values (zeros).
+        for r in overset.receptors_of(0) {
+            assert_eq!(states[0].vel[r.node], [0.0, 0.0, 0.0]);
+        }
+    }
+}

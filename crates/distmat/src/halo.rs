@@ -1,0 +1,137 @@
+//! Generic halo exchange over an arbitrary external column map.
+//!
+//! [`crate::ParCsr::halo_exchange`] is specialized to a matrix's own
+//! column map; AMG setup (PMIS states/weights, coarse numberings) needs
+//! the same pattern for other per-point values, over possibly different
+//! column sets. `Halo` packages a column map + comm package for repeated
+//! exchanges of `f64` or `u64` values.
+
+use parcomm::{Rank, Tag};
+
+use crate::dist::RowDist;
+use crate::parcsr::{build_comm_pkg, CommPkg};
+
+/// A reusable halo-exchange pattern for one external column map.
+#[derive(Clone, Debug)]
+pub struct Halo {
+    col_map: Vec<u64>,
+    pkg: CommPkg,
+    /// Dedicated tag (per-object "communicator").
+    tag: Tag,
+}
+
+impl Halo {
+    /// Build for a sorted, deduplicated list of external global ids, none
+    /// of which may be owned by this rank. Collective.
+    pub fn new(rank: &Rank, dist: &RowDist, col_map: Vec<u64>) -> Self {
+        debug_assert!(col_map.windows(2).all(|w| w[0] < w[1]), "col_map unsorted");
+        let pkg = build_comm_pkg(rank, dist, &col_map);
+        Halo {
+            col_map,
+            pkg,
+            tag: rank.alloc_tag(),
+        }
+    }
+
+    /// The external global ids, in exchange order.
+    pub fn col_map(&self) -> &[u64] {
+        &self.col_map
+    }
+
+    /// Number of external values.
+    pub fn len(&self) -> usize {
+        self.col_map.len()
+    }
+
+    /// True if there is nothing to exchange on this rank (other ranks may
+    /// still request our values, so the exchange itself is collective).
+    pub fn is_empty(&self) -> bool {
+        self.col_map.is_empty()
+    }
+
+    /// Exchange `f64` values: returns the external values aligned with
+    /// `col_map`. Collective among neighbours.
+    pub fn exchange_f64(&self, rank: &Rank, local: &[f64]) -> Vec<f64> {
+        let mut ext = vec![0.0; self.col_map.len()];
+        for (dst, ids) in &self.pkg.sends {
+            let buf: Vec<f64> = ids.iter().map(|&i| local[i]).collect();
+            rank.send(*dst, self.tag, buf);
+        }
+        for (src, range) in &self.pkg.recvs {
+            let buf: Vec<f64> = rank.recv(*src, self.tag);
+            ext[range.clone()].copy_from_slice(&buf);
+        }
+        ext
+    }
+
+    /// Exchange `u64` values (states, coarse numberings). Collective.
+    pub fn exchange_u64(&self, rank: &Rank, local: &[u64]) -> Vec<u64> {
+        let mut ext = vec![0u64; self.col_map.len()];
+        for (dst, ids) in &self.pkg.sends {
+            let buf: Vec<u64> = ids.iter().map(|&i| local[i]).collect();
+            rank.send(*dst, self.tag, buf);
+        }
+        for (src, range) in &self.pkg.recvs {
+            let buf: Vec<u64> = rank.recv(*src, self.tag);
+            ext[range.clone()].copy_from_slice(&buf);
+        }
+        ext
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcomm::Comm;
+
+    #[test]
+    fn exchange_pulls_owned_values() {
+        // 3 ranks × 2 rows each; every rank asks for the first row of the
+        // next rank.
+        Comm::run(3, |rank| {
+            let dist = RowDist::block(6, 3);
+            let next = (rank.rank() + 1) % 3;
+            let want = vec![dist.start(next)];
+            let halo = Halo::new(rank, &dist, want);
+            let local: Vec<f64> = (0..2)
+                .map(|l| (dist.start(rank.rank()) + l) as f64 * 10.0)
+                .collect();
+            let ext = halo.exchange_f64(rank, &local);
+            assert_eq!(ext, vec![dist.start(next) as f64 * 10.0]);
+
+            let local_u: Vec<u64> = local.iter().map(|&v| v as u64).collect();
+            let ext_u = halo.exchange_u64(rank, &local_u);
+            assert_eq!(ext_u, vec![dist.start(next) * 10]);
+        });
+    }
+
+    #[test]
+    fn empty_halo_is_fine() {
+        Comm::run(2, |rank| {
+            let dist = RowDist::block(4, 2);
+            let halo = Halo::new(rank, &dist, vec![]);
+            assert!(halo.is_empty());
+            let ext = halo.exchange_f64(rank, &[1.0, 2.0]);
+            assert!(ext.is_empty());
+        });
+    }
+
+    #[test]
+    fn asymmetric_requests() {
+        // Only rank 0 requests; rank 1 requests nothing.
+        Comm::run(2, |rank| {
+            let dist = RowDist::block(4, 2);
+            let want = if rank.rank() == 0 { vec![2u64, 3] } else { vec![] };
+            let halo = Halo::new(rank, &dist, want);
+            let local: Vec<f64> = (0..2)
+                .map(|l| (dist.start(rank.rank()) + l) as f64)
+                .collect();
+            let ext = halo.exchange_f64(rank, &local);
+            if rank.rank() == 0 {
+                assert_eq!(ext, vec![2.0, 3.0]);
+            } else {
+                assert!(ext.is_empty());
+            }
+        });
+    }
+}

@@ -1,0 +1,385 @@
+//! Distributed matrix operations: transpose, SpGEMM, and the Galerkin
+//! triple product (hypre's distributed sparse M-M machinery of [28]).
+
+use std::collections::HashMap;
+
+use parcomm::{KernelKind, Rank};
+use sparse_kit::cost;
+use sparse_kit::spgemm::spgemm_flops;
+use sparse_kit::Coo;
+
+use crate::dist::RowDist;
+use crate::ij::IjMatrix;
+use crate::parcsr::ParCsr;
+
+/// Aᵀ distributed: every local entry is routed to the owner of its global
+/// column via the Algorithm-1 assembly. Collective.
+pub fn par_transpose(rank: &Rank, a: &ParCsr) -> ParCsr {
+    let mut ij = IjMatrix::new(rank, a.col_dist().clone(), a.row_dist().clone());
+    let row_start = a.row_dist().start(a.rank_id());
+    for li in 0..a.local_rows() {
+        let gi = row_start + li as u64;
+        let (cols, vals) = a.diag.row(li);
+        for (&c, &v) in cols.iter().zip(vals) {
+            ij.add_value(a.global_diag_col(c), gi, v);
+        }
+        let (cols, vals) = a.offd.row(li);
+        for (&c, &v) in cols.iter().zip(vals) {
+            ij.add_value(a.global_offd_col(c), gi, v);
+        }
+    }
+    let (b, f) = cost::transpose(&a.diag);
+    rank.kernel(KernelKind::Sort, b, f);
+    ij.assemble(rank)
+}
+
+/// Rows of `b` fetched from other ranks, keyed by global row id. Each row
+/// is `(global col ids, values)`.
+pub type ExtRows = HashMap<u64, (Vec<u64>, Vec<f64>)>;
+
+/// Fetch the rows of `b` whose global ids appear in `needed` (all owned by
+/// other ranks). Two sparse exchanges: requests out, rows back. Collective.
+pub fn fetch_external_rows(rank: &Rank, b: &ParCsr, needed: &[u64]) -> ExtRows {
+    let me = rank.rank();
+    let dist = b.row_dist().clone();
+    // Group requests by owner (needed is sorted: col_map_offd order).
+    let mut requests: Vec<(usize, Vec<u64>)> = Vec::new();
+    let mut i = 0;
+    while i < needed.len() {
+        let owner = dist.owner(needed[i]);
+        assert_ne!(owner, me, "external row owned locally");
+        let begin = i;
+        while i < needed.len() && dist.owner(needed[i]) == owner {
+            i += 1;
+        }
+        requests.push((owner, needed[begin..i].to_vec()));
+    }
+    let incoming = rank.sparse_exchange(requests);
+
+    // Serve each request: flatten the rows as (counts, cols, vals).
+    let responses: Vec<(usize, (Vec<u64>, Vec<u64>, Vec<f64>))> = incoming
+        .into_iter()
+        .map(|(src, gids)| {
+            let mut counts = Vec::with_capacity(gids.len());
+            let mut cols = Vec::new();
+            let mut vals = Vec::new();
+            for gid in gids {
+                let li = dist.to_local(me, gid);
+                let (dc, dv) = b.diag.row(li);
+                let (oc, ov) = b.offd.row(li);
+                counts.push((dc.len() + oc.len()) as u64);
+                for (&c, &v) in dc.iter().zip(dv) {
+                    cols.push(b.global_diag_col(c));
+                    vals.push(v);
+                }
+                for (&c, &v) in oc.iter().zip(ov) {
+                    cols.push(b.global_offd_col(c));
+                    vals.push(v);
+                }
+            }
+            (src, (counts, cols, vals))
+        })
+        .collect();
+    let rows_back = rank.sparse_exchange(responses);
+
+    // Reassemble into a map keyed by global row id. Requests were grouped
+    // by owner in `needed` order, and each owner answered in that order.
+    let mut by_src: HashMap<usize, (Vec<u64>, Vec<u64>, Vec<f64>)> = HashMap::new();
+    for (src, payload) in rows_back {
+        by_src.insert(src, payload);
+    }
+    let mut out = ExtRows::new();
+    let mut cursor: HashMap<usize, (usize, usize)> = HashMap::new(); // src -> (row idx, col offset)
+    for &gid in needed {
+        let owner = dist.owner(gid);
+        let (counts, cols, vals) = by_src
+            .get(&owner)
+            .unwrap_or_else(|| panic!("missing response from rank {owner}"));
+        let entry = cursor.entry(owner).or_insert((0, 0));
+        let n = counts[entry.0] as usize;
+        let range = entry.1..entry.1 + n;
+        out.insert(gid, (cols[range.clone()].to_vec(), vals[range].to_vec()));
+        entry.0 += 1;
+        entry.1 += n;
+    }
+    out
+}
+
+/// C = A·B distributed, with `a.col_dist() == b.row_dist()`. Gathers the
+/// external rows of B referenced by A's offd block, multiplies locally
+/// with hash accumulation over global column ids, and reassembles.
+/// Collective.
+///
+/// # Panics
+///
+/// Panics on distribution mismatch.
+pub fn par_spgemm(rank: &Rank, a: &ParCsr, b: &ParCsr) -> ParCsr {
+    assert_eq!(
+        a.col_dist(),
+        b.row_dist(),
+        "A columns must be distributed like B rows"
+    );
+    let ext = fetch_external_rows(rank, b, &a.col_map_offd);
+    let me = rank.rank();
+    let b_col_start = b.col_dist().start(me);
+
+    let mut coo = Coo::new();
+    let row_start = a.row_dist().start(me);
+    let mut acc: HashMap<u64, f64> = HashMap::new();
+    for li in 0..a.local_rows() {
+        acc.clear();
+        let (dc, dv) = a.diag.row(li);
+        for (&k, &av) in dc.iter().zip(dv) {
+            // Local row k of B.
+            let (bc, bv) = b.diag.row(k);
+            for (&j, &bvv) in bc.iter().zip(bv) {
+                *acc.entry(b_col_start + j as u64).or_insert(0.0) += av * bvv;
+            }
+            let (bc, bv) = b.offd.row(k);
+            for (&j, &bvv) in bc.iter().zip(bv) {
+                *acc.entry(b.global_offd_col(j)).or_insert(0.0) += av * bvv;
+            }
+        }
+        let (oc, ov) = a.offd.row(li);
+        for (&k, &av) in oc.iter().zip(ov) {
+            let gk = a.global_offd_col(k);
+            let (cols, vals) = &ext[&gk];
+            for (&gj, &bvv) in cols.iter().zip(vals) {
+                *acc.entry(gj).or_insert(0.0) += av * bvv;
+            }
+        }
+        let gi = row_start + li as u64;
+        let mut entries: Vec<(u64, f64)> = acc.iter().map(|(&j, &v)| (j, v)).collect();
+        entries.sort_unstable_by_key(|&(j, _)| j);
+        for (j, v) in entries {
+            coo.push(gi, j, v);
+        }
+    }
+    let (bytes, flops) = (
+        (coo.len() as u64) * 16,
+        2 * (spgemm_flops(&a.diag, &b.diag)
+            + coo.len() as u64),
+    );
+    rank.kernel(KernelKind::SpGemm, bytes, flops);
+    ParCsr::from_global_coo(rank, a.row_dist().clone(), b.col_dist().clone(), &coo)
+}
+
+/// Galerkin coarse operator A_c = Pᵀ·A·P, distributed. Collective.
+pub fn par_rap(rank: &Rank, a: &ParCsr, p: &ParCsr) -> ParCsr {
+    let ap = par_spgemm(rank, a, p);
+    let pt = par_transpose(rank, p);
+    par_spgemm(rank, &pt, &ap)
+}
+
+/// Per-rank nonzero counts of a distributed matrix (for the Fig. 5/10
+/// balance plots). Collective; every rank receives the full vector.
+pub fn nnz_per_rank(rank: &Rank, a: &ParCsr) -> Vec<u64> {
+    rank.allgather(a.local_nnz() as u64)
+}
+
+/// Build a distribution that assigns contiguous blocks matching an
+/// arbitrary partition vector: vertices are renumbered so each part's
+/// vertices are contiguous. Returns (dist, old→new permutation).
+pub fn dist_from_partition(part: &[usize], nparts: usize) -> (RowDist, Vec<u64>) {
+    let mut counts = vec![0u64; nparts];
+    for &p in part {
+        counts[p] += 1;
+    }
+    let mut starts = vec![0u64; nparts + 1];
+    for p in 0..nparts {
+        starts[p + 1] = starts[p] + counts[p];
+    }
+    let dist = RowDist::from_starts(starts.clone());
+    let mut next = starts;
+    let mut perm = vec![0u64; part.len()];
+    for (v, &p) in part.iter().enumerate() {
+        perm[v] = next[p];
+        next[p] += 1;
+    }
+    (dist, perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::ParVector;
+    use parcomm::Comm;
+    use sparse_kit::rap::galerkin;
+    use sparse_kit::Csr;
+
+    fn laplacian(n: usize) -> Csr {
+        let mut coo = Coo::new();
+        for i in 0..n as u64 {
+            coo.push(i, i, 2.0);
+            if i > 0 {
+                coo.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n as u64 {
+                coo.push(i, i + 1, -1.0);
+            }
+        }
+        Csr::from_coo(n, n, &coo)
+    }
+
+    /// Piecewise-constant interpolation n -> n/2.
+    fn half_interp(n: usize) -> Csr {
+        let nc = n / 2;
+        let mut coo = Coo::new();
+        for i in 0..n as u64 {
+            coo.push(i, (i / 2).min(nc as u64 - 1), 1.0);
+        }
+        Csr::from_coo(n, nc, &coo)
+    }
+
+    #[test]
+    fn transpose_matches_serial() {
+        let n = 10;
+        let p_serial = half_interp(n);
+        for nranks in [1, 2, 3] {
+            let p_ref = p_serial.clone();
+            let out = Comm::run(nranks, move |rank| {
+                let rd = RowDist::block(n as u64, rank.size());
+                let cd = RowDist::block((n / 2) as u64, rank.size());
+                let p = ParCsr::from_serial(rank, rd, cd, &p_ref);
+                par_transpose(rank, &p).to_serial(rank)
+            });
+            for t in out {
+                assert_eq!(t.to_dense(), p_serial.transpose().to_dense());
+            }
+        }
+    }
+
+    #[test]
+    fn spgemm_matches_serial() {
+        let n = 12;
+        let a_serial = laplacian(n);
+        let p_serial = half_interp(n);
+        for nranks in [1, 2, 4] {
+            let (a_ref, p_ref) = (a_serial.clone(), p_serial.clone());
+            let out = Comm::run(nranks, move |rank| {
+                let rd = RowDist::block(n as u64, rank.size());
+                let cd = RowDist::block((n / 2) as u64, rank.size());
+                let a = ParCsr::from_serial(rank, rd.clone(), rd.clone(), &a_ref);
+                let p = ParCsr::from_serial(rank, rd, cd, &p_ref);
+                par_spgemm(rank, &a, &p).to_serial(rank)
+            });
+            let expected = sparse_kit::spgemm::spgemm_hash(&a_serial, &p_serial);
+            for c in out {
+                let (cd, ed) = (c.to_dense(), expected.to_dense());
+                for (rc, re) in cd.iter().zip(&ed) {
+                    for (x, y) in rc.iter().zip(re) {
+                        assert!((x - y).abs() < 1e-12, "nranks={nranks}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rap_matches_serial_galerkin() {
+        let n = 16;
+        let a_serial = laplacian(n);
+        let p_serial = half_interp(n);
+        for nranks in [1, 2, 4] {
+            let (a_ref, p_ref) = (a_serial.clone(), p_serial.clone());
+            let out = Comm::run(nranks, move |rank| {
+                let rd = RowDist::block(n as u64, rank.size());
+                let cd = RowDist::block((n / 2) as u64, rank.size());
+                let a = ParCsr::from_serial(rank, rd.clone(), rd.clone(), &a_ref);
+                let p = ParCsr::from_serial(rank, rd, cd, &p_ref);
+                par_rap(rank, &a, &p).to_serial(rank)
+            });
+            let expected = galerkin(&a_serial, &p_serial);
+            for c in out {
+                let (cd, ed) = (c.to_dense(), expected.to_dense());
+                for (rc, re) in cd.iter().zip(&ed) {
+                    for (x, y) in rc.iter().zip(re) {
+                        assert!((x - y).abs() < 1e-12, "nranks={nranks}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rap_spmv_consistency() {
+        // (PᵀAP)·x == Pᵀ(A(P·x)) distributed.
+        Comm::run(3, |rank| {
+            let n = 18u64;
+            let a_serial = laplacian(n as usize);
+            let p_serial = half_interp(n as usize);
+            let rd = RowDist::block(n, 3);
+            let cd = RowDist::block(n / 2, 3);
+            let a = ParCsr::from_serial(rank, rd.clone(), rd.clone(), &a_serial);
+            let p = ParCsr::from_serial(rank, rd.clone(), cd.clone(), &p_serial);
+            let ac = par_rap(rank, &a, &p);
+            let pt = par_transpose(rank, &p);
+
+            let xc = ParVector::from_fn(rank, cd, |g| (g as f64 * 0.7).cos());
+            let lhs = ac.spmv(rank, &xc).to_serial(rank);
+            let px = p.spmv(rank, &xc);
+            let apx = a.spmv(rank, &px);
+            let rhs = pt.spmv(rank, &apx).to_serial(rank);
+            for (x, y) in lhs.iter().zip(&rhs) {
+                assert!((x - y).abs() < 1e-10);
+            }
+        });
+    }
+
+    #[test]
+    fn fetch_external_rows_returns_exact_rows() {
+        Comm::run(2, |rank| {
+            let n = 6;
+            let a_serial = laplacian(n);
+            let rd = RowDist::block(n as u64, 2);
+            let a = ParCsr::from_serial(rank, rd.clone(), rd.clone(), &a_serial);
+            // Rank 0 asks for row 3 (owned by rank 1) and vice versa.
+            let want = if rank.rank() == 0 { vec![3u64] } else { vec![0u64] };
+            let ext = fetch_external_rows(rank, &a, &want);
+            let (cols, vals) = &ext[&want[0]];
+            // Rows arrive diag-cols-then-offd-cols; compare sorted pairs.
+            let mut pairs: Vec<(u64, f64)> =
+                cols.iter().copied().zip(vals.iter().copied()).collect();
+            pairs.sort_by_key(|&(c, _)| c);
+            if rank.rank() == 0 {
+                assert_eq!(pairs, vec![(2, -1.0), (3, 2.0), (4, -1.0)]);
+            } else {
+                assert_eq!(pairs, vec![(0, 2.0), (1, -1.0)]);
+            }
+        });
+    }
+
+    #[test]
+    fn nnz_per_rank_gathers() {
+        let out = Comm::run(3, |rank| {
+            let n = 9;
+            let a_serial = laplacian(n);
+            let rd = RowDist::block(n as u64, 3);
+            let a = ParCsr::from_serial(rank, rd.clone(), rd.clone(), &a_serial);
+            nnz_per_rank(rank, &a)
+        });
+        for v in &out {
+            assert_eq!(v.iter().sum::<u64>(), 25); // 9*3 - 2
+        }
+        assert_eq!(out[0], out[2]);
+    }
+
+    #[test]
+    fn dist_from_partition_renumbers_contiguously() {
+        let part = vec![1, 0, 1, 0, 2];
+        let (dist, perm) = dist_from_partition(&part, 3);
+        assert_eq!(dist.local_n(0), 2);
+        assert_eq!(dist.local_n(1), 2);
+        assert_eq!(dist.local_n(2), 1);
+        // Old vertices 1, 3 (part 0) become global 0, 1.
+        assert_eq!(perm[1], 0);
+        assert_eq!(perm[3], 1);
+        assert_eq!(perm[0], 2);
+        assert_eq!(perm[2], 3);
+        assert_eq!(perm[4], 4);
+        // Permutation is a bijection.
+        let mut sorted = perm.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+}

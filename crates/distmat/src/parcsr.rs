@@ -1,0 +1,476 @@
+//! ParCSR matrices: diag/offd-split distributed CSR with halo exchange.
+
+use parcomm::{KernelKind, Rank, Tag};
+use sparse_kit::cost;
+use sparse_kit::{Coo, Csr};
+
+use crate::dist::RowDist;
+use crate::vector::ParVector;
+
+
+
+/// Communication package: who sends what to whom for a halo exchange of
+/// vector values aligned with a matrix's column distribution.
+#[derive(Clone, Debug, Default)]
+pub struct CommPkg {
+    /// `(dst rank, local column ids to pack and send)`, sorted by rank.
+    pub sends: Vec<(usize, Vec<usize>)>,
+    /// `(src rank, range of positions in col_map_offd)`, sorted by rank.
+    pub recvs: Vec<(usize, std::ops::Range<usize>)>,
+}
+
+impl CommPkg {
+    /// Total number of external values received.
+    pub fn n_recv(&self) -> usize {
+        self.recvs.iter().map(|(_, r)| r.len()).sum()
+    }
+
+    /// Total number of values sent.
+    pub fn n_send(&self) -> usize {
+        self.sends.iter().map(|(_, s)| s.len()).sum()
+    }
+}
+
+/// A distributed CSR matrix in hypre's ParCSR layout.
+///
+/// Rows are distributed by `row_dist`; columns by `col_dist` (equal to
+/// `row_dist` for square operators, different for interpolation). The
+/// local block splits into `diag` (columns owned by this rank, indexed
+/// locally) and `offd` (external columns, indexed into `col_map_offd`,
+/// which maps them to sorted global ids).
+#[derive(Clone, Debug)]
+pub struct ParCsr {
+    row_dist: RowDist,
+    col_dist: RowDist,
+    rank_id: usize,
+    /// Local rows × local columns.
+    pub diag: Csr,
+    /// Local rows × external columns (compressed).
+    pub offd: Csr,
+    /// Sorted global ids of the external columns.
+    pub col_map_offd: Vec<u64>,
+    comm_pkg: CommPkg,
+    /// Tag dedicated to this matrix's halo traffic (a per-object
+    /// "communicator": messages of different matrices can never match).
+    halo_tag: Tag,
+}
+
+impl ParCsr {
+    /// Build from a local COO whose rows are *global* ids owned by this
+    /// rank and whose columns are global ids anywhere. Collective: builds
+    /// the halo communication package.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row is not owned by this rank or any column is out
+    /// of range.
+    pub fn from_global_coo(
+        rank: &Rank,
+        row_dist: RowDist,
+        col_dist: RowDist,
+        coo: &Coo,
+    ) -> Self {
+        let r = rank.rank();
+        let my_cols = col_dist.start(r)..col_dist.end(r);
+        let local_rows = row_dist.local_n(r);
+
+        // Split into diag and offd triple sets.
+        let mut diag_coo = Coo::new();
+        let mut offd_cols_global: Vec<u64> = Vec::new();
+        let mut offd_triples: Vec<(u64, u64, f64)> = Vec::new();
+        for k in 0..coo.len() {
+            let (gi, gj, v) = (coo.rows[k], coo.cols[k], coo.vals[k]);
+            let li = row_dist.to_local(r, gi) as u64;
+            assert!(gj < col_dist.global_n(), "column {gj} out of range");
+            if my_cols.contains(&gj) {
+                diag_coo.push(li, gj - col_dist.start(r), v);
+            } else {
+                offd_cols_global.push(gj);
+                offd_triples.push((li, gj, v));
+            }
+        }
+
+        // Compress external columns to a sorted global map.
+        offd_cols_global.sort_unstable();
+        offd_cols_global.dedup();
+        let col_map_offd = offd_cols_global;
+        let mut offd_coo = Coo::new();
+        for (li, gj, v) in offd_triples {
+            let cj = col_map_offd.binary_search(&gj).unwrap() as u64;
+            offd_coo.push(li, cj, v);
+        }
+
+        let diag = Csr::from_coo(local_rows, col_dist.local_n(r), &diag_coo);
+        let offd = Csr::from_coo(local_rows, col_map_offd.len(), &offd_coo);
+        let comm_pkg = build_comm_pkg(rank, &col_dist, &col_map_offd);
+        ParCsr {
+            row_dist,
+            col_dist,
+            rank_id: r,
+            diag,
+            offd,
+            col_map_offd,
+            comm_pkg,
+            halo_tag: rank.alloc_tag(),
+        }
+    }
+
+    /// Take this rank's row block of a replicated serial matrix
+    /// (tests/generators). Collective.
+    pub fn from_serial(rank: &Rank, row_dist: RowDist, col_dist: RowDist, a: &Csr) -> Self {
+        assert_eq!(a.nrows() as u64, row_dist.global_n(), "row count mismatch");
+        assert_eq!(a.ncols() as u64, col_dist.global_n(), "col count mismatch");
+        let r = rank.rank();
+        let mut coo = Coo::new();
+        for gi in row_dist.start(r)..row_dist.end(r) {
+            let (cols, vals) = a.row(gi as usize);
+            for (&c, &v) in cols.iter().zip(vals) {
+                coo.push(gi, c as u64, v);
+            }
+        }
+        Self::from_global_coo(rank, row_dist, col_dist, &coo)
+    }
+
+    /// Row distribution.
+    pub fn row_dist(&self) -> &RowDist {
+        &self.row_dist
+    }
+
+    /// Column distribution.
+    pub fn col_dist(&self) -> &RowDist {
+        &self.col_dist
+    }
+
+    /// Owning rank id.
+    pub fn rank_id(&self) -> usize {
+        self.rank_id
+    }
+
+    /// Halo communication package.
+    pub fn comm_pkg(&self) -> &CommPkg {
+        &self.comm_pkg
+    }
+
+    /// Rows owned by this rank.
+    pub fn local_rows(&self) -> usize {
+        self.row_dist.local_n(self.rank_id)
+    }
+
+    /// Stored entries on this rank.
+    pub fn local_nnz(&self) -> usize {
+        self.diag.nnz() + self.offd.nnz()
+    }
+
+    /// Total stored entries across ranks. Collective.
+    pub fn global_nnz(&self, rank: &Rank) -> u64 {
+        rank.allreduce_sum(self.local_nnz() as u64)
+    }
+
+    /// Global column id of a local diag column.
+    pub fn global_diag_col(&self, j: usize) -> u64 {
+        self.col_dist.start(self.rank_id) + j as u64
+    }
+
+    /// Global column id of a compressed offd column.
+    pub fn global_offd_col(&self, j: usize) -> u64 {
+        self.col_map_offd[j]
+    }
+
+    /// The global diagonal entries of the locally owned rows (square
+    /// operators: the diagonal lives in the diag block).
+    pub fn diagonal(&self) -> Vec<f64> {
+        assert_eq!(
+            self.row_dist, self.col_dist,
+            "diagonal requires a square distribution"
+        );
+        self.diag.diag()
+    }
+
+    /// Scale every stored value by `s` (local operation).
+    pub fn scale(&mut self, s: f64) {
+        self.diag.scale(s);
+        self.offd.scale(s);
+    }
+
+    /// Exchange halo values: returns the external vector aligned with
+    /// `col_map_offd`. Collective among neighbouring ranks.
+    pub fn halo_exchange(&self, rank: &Rank, x_local: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            x_local.len(),
+            self.col_dist.local_n(self.rank_id),
+            "x length does not match column distribution"
+        );
+        let mut ext = vec![0.0; self.col_map_offd.len()];
+        // Pack kernel.
+        let packed_total = self.comm_pkg.n_send();
+        if packed_total > 0 {
+            let (b, f) = cost::blas1(packed_total, 2);
+            rank.kernel(KernelKind::Stream, b, f);
+        }
+        for (dst, ids) in &self.comm_pkg.sends {
+            let buf: Vec<f64> = ids.iter().map(|&i| x_local[i]).collect();
+            rank.send(*dst, self.halo_tag, buf);
+        }
+        for (src, range) in &self.comm_pkg.recvs {
+            let buf: Vec<f64> = rank.recv(*src, self.halo_tag);
+            assert_eq!(buf.len(), range.len(), "halo size mismatch from {src}");
+            ext[range.clone()].copy_from_slice(&buf);
+        }
+        ext
+    }
+
+    /// y = A·x distributed: `y_local = diag·x_local + offd·x_ext`.
+    /// Collective.
+    pub fn spmv(&self, rank: &Rank, x: &ParVector) -> ParVector {
+        let mut y = ParVector::zeros(rank, self.row_dist.clone());
+        self.spmv_into(rank, x, &mut y);
+        y
+    }
+
+    /// y = A·x into an existing vector. Collective.
+    pub fn spmv_into(&self, rank: &Rank, x: &ParVector, y: &mut ParVector) {
+        assert_eq!(
+            x.dist(),
+            &self.col_dist,
+            "x distribution does not match columns"
+        );
+        let ext = self.halo_exchange(rank, &x.local);
+        let (b, f) = cost::spmv(&self.diag);
+        rank.kernel(KernelKind::SpMV, b, f);
+        self.diag.spmv_into(&x.local, &mut y.local);
+        if self.offd.nnz() > 0 {
+            let (b, f) = cost::spmv(&self.offd);
+            rank.kernel(KernelKind::SpMV, b, f);
+            self.offd.spmv_add_into(&ext, &mut y.local);
+        }
+    }
+
+    /// Residual r = b − A·x. Collective.
+    pub fn residual(&self, rank: &Rank, b: &ParVector, x: &ParVector) -> ParVector {
+        let mut r = self.spmv(rank, x);
+        r.scale(rank, -1.0);
+        r.axpy(rank, 1.0, b);
+        r
+    }
+
+    /// Reconstruct the full matrix on every rank (tests only). Collective.
+    pub fn to_serial(&self, rank: &Rank) -> Csr {
+        let mut triples: Vec<(u64, u64, f64)> = Vec::with_capacity(self.local_nnz());
+        let start = self.row_dist.start(self.rank_id);
+        for li in 0..self.local_rows() {
+            let gi = start + li as u64;
+            let (cols, vals) = self.diag.row(li);
+            for (&c, &v) in cols.iter().zip(vals) {
+                triples.push((gi, self.global_diag_col(c), v));
+            }
+            let (cols, vals) = self.offd.row(li);
+            for (&c, &v) in cols.iter().zip(vals) {
+                triples.push((gi, self.global_offd_col(c), v));
+            }
+        }
+        let rows: Vec<u64> = triples.iter().map(|t| t.0).collect();
+        let cols: Vec<u64> = triples.iter().map(|t| t.1).collect();
+        let vals: Vec<f64> = triples.iter().map(|t| t.2).collect();
+        let all_rows: Vec<Vec<u64>> = rank.allgather(rows);
+        let all_cols: Vec<Vec<u64>> = rank.allgather(cols);
+        let all_vals: Vec<Vec<f64>> = rank.allgather(vals);
+        let mut coo = Coo::new();
+        for ((rs, cs), vs) in all_rows.iter().zip(&all_cols).zip(&all_vals) {
+            for ((&r0, &c0), &v0) in rs.iter().zip(cs).zip(vs) {
+                coo.push(r0, c0, v0);
+            }
+        }
+        Csr::from_coo(
+            self.row_dist.global_n() as usize,
+            self.col_dist.global_n() as usize,
+            &coo,
+        )
+    }
+}
+
+/// Build the halo communication package for an external column map:
+/// receives are the owner-grouped ranges of `col_map_offd`; sends are
+/// learned by exchanging requests with the owners.
+pub fn build_comm_pkg(rank: &Rank, col_dist: &RowDist, col_map_offd: &[u64]) -> CommPkg {
+    let r = rank.rank();
+    // Group the (sorted) external columns by owner → recv ranges.
+    let mut recvs: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+    let mut i = 0;
+    while i < col_map_offd.len() {
+        let owner = col_dist.owner(col_map_offd[i]);
+        assert_ne!(owner, r, "own column listed as external");
+        let begin = i;
+        while i < col_map_offd.len() && col_dist.owner(col_map_offd[i]) == owner {
+            i += 1;
+        }
+        recvs.push((owner, begin..i));
+    }
+    // Tell each owner which of its columns we need.
+    let requests: Vec<(usize, Vec<u64>)> = recvs
+        .iter()
+        .map(|(owner, range)| (*owner, col_map_offd[range.clone()].to_vec()))
+        .collect();
+    let received = rank.sparse_exchange(requests);
+    let sends: Vec<(usize, Vec<usize>)> = received
+        .into_iter()
+        .map(|(src, gids)| {
+            let lids: Vec<usize> = gids.iter().map(|&g| col_dist.to_local(r, g)).collect();
+            (src, lids)
+        })
+        .collect();
+    CommPkg { sends, recvs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcomm::Comm;
+
+    /// 1-D Laplacian as a serial CSR.
+    fn laplacian(n: usize) -> Csr {
+        let mut coo = Coo::new();
+        for i in 0..n as u64 {
+            coo.push(i, i, 2.0);
+            if i > 0 {
+                coo.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n as u64 {
+                coo.push(i, i + 1, -1.0);
+            }
+        }
+        Csr::from_coo(n, n, &coo)
+    }
+
+    #[test]
+    fn from_serial_round_trips() {
+        let n = 13;
+        let a = laplacian(n);
+        for p in [1, 2, 3, 4] {
+            let a_ref = a.clone();
+            let out = Comm::run(p, move |rank| {
+                let dist = RowDist::block(n as u64, rank.size());
+                let pa =
+                    ParCsr::from_serial(rank, dist.clone(), dist, &a_ref);
+                pa.to_serial(rank)
+            });
+            for gathered in out {
+                assert_eq!(gathered.to_dense(), a.to_dense(), "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn diag_offd_split_is_correct() {
+        let n = 6;
+        let a = laplacian(n);
+        Comm::run(3, move |rank| {
+            let dist = RowDist::block(n as u64, 3);
+            let pa = ParCsr::from_serial(rank, dist.clone(), dist, &a);
+            // Each middle rank has exactly 2 external columns (one on each
+            // side); edge ranks have 1.
+            let expected_ext = if rank.rank() == 1 { 2 } else { 1 };
+            assert_eq!(pa.col_map_offd.len(), expected_ext);
+            assert_eq!(pa.diag.nrows(), 2);
+            // Diagonal of the Laplacian is all 2s.
+            assert_eq!(pa.diagonal(), vec![2.0, 2.0]);
+            // col_map_offd is sorted global ids not owned locally.
+            let r = rank.rank() as u64;
+            for &g in &pa.col_map_offd {
+                assert!(!(2 * r..2 * r + 2).contains(&g));
+            }
+        });
+    }
+
+    #[test]
+    fn spmv_matches_serial_any_rank_count() {
+        let n = 17;
+        let a = laplacian(n);
+        let x_serial: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let y_expected = a.spmv(&x_serial);
+        for p in [1, 2, 3, 5] {
+            let a_ref = a.clone();
+            let x_ref = x_serial.clone();
+            let out = Comm::run(p, move |rank| {
+                let dist = RowDist::block(n as u64, rank.size());
+                let pa = ParCsr::from_serial(rank, dist.clone(), dist.clone(), &a_ref);
+                let x = ParVector::from_fn(rank, dist, |g| x_ref[g as usize]);
+                pa.spmv(rank, &x).to_serial(rank)
+            });
+            for y in out {
+                for (a, b) in y.iter().zip(&y_expected) {
+                    assert!((a - b).abs() < 1e-12, "p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn residual_of_exact_solution_is_zero() {
+        Comm::run(2, |rank| {
+            let n = 8;
+            let a = laplacian(n);
+            let dist = RowDist::block(n as u64, 2);
+            let pa = ParCsr::from_serial(rank, dist.clone(), dist.clone(), &a);
+            let x = ParVector::from_fn(rank, dist.clone(), |_| 1.0);
+            let b = pa.spmv(rank, &x);
+            let r = pa.residual(rank, &b, &x);
+            assert!(r.norm2(rank) < 1e-14);
+        });
+    }
+
+    #[test]
+    fn comm_pkg_sends_match_recvs() {
+        let n = 12;
+        let a = laplacian(n);
+        let totals = Comm::run(4, move |rank| {
+            let dist = RowDist::block(n as u64, 4);
+            let pa = ParCsr::from_serial(rank, dist.clone(), dist, &a);
+            let pkg = pa.comm_pkg();
+            // recvs align exactly with col_map_offd.
+            assert_eq!(pkg.n_recv(), pa.col_map_offd.len());
+            (pkg.n_send() as u64, pkg.n_recv() as u64)
+        });
+        let sent: u64 = totals.iter().map(|t| t.0).sum();
+        let recvd: u64 = totals.iter().map(|t| t.1).sum();
+        assert_eq!(sent, recvd);
+        assert!(sent > 0);
+    }
+
+    #[test]
+    fn rectangular_matrix_spmv() {
+        // 4×2 "interpolation" matrix: rows distributed over 2 ranks,
+        // columns over 2 ranks (1 each).
+        Comm::run(2, |rank| {
+            let row_dist = RowDist::block(4, 2);
+            let col_dist = RowDist::block(2, 2);
+            let p_serial = Csr::from_dense(&[
+                vec![1.0, 0.0],
+                vec![0.5, 0.5],
+                vec![0.0, 1.0],
+                vec![0.25, 0.75],
+            ]);
+            let p = ParCsr::from_serial(rank, row_dist, col_dist.clone(), &p_serial);
+            let xc = ParVector::from_fn(rank, col_dist, |g| (g + 1) as f64);
+            let y = p.spmv(rank, &xc).to_serial(rank);
+            assert_eq!(y, vec![1.0, 1.5, 2.0, 1.75]);
+        });
+    }
+
+    #[test]
+    fn spmv_traffic_is_recorded() {
+        let (_, traces) = Comm::run_traced(2, |rank| {
+            let n = 10;
+            let a = laplacian(n);
+            let dist = RowDist::block(n as u64, 2);
+            let pa = ParCsr::from_serial(rank, dist.clone(), dist.clone(), &a);
+            let x = ParVector::from_fn(rank, dist, |_| 1.0);
+            rank.with_phase("spmv", || pa.spmv(rank, &x));
+        });
+        for t in &traces {
+            let spmv = t.phase("spmv");
+            assert!(spmv.msgs >= 1, "halo message expected");
+            assert!(spmv.kernel_launches >= 2);
+            assert_eq!(spmv.msg_bytes, 8); // one boundary f64 each way
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests: distributed operations must agree with their
+//! serial references for arbitrary matrices, distributions, and rank
+//! counts.
+
+use distmat::{IjMatrix, IjVector, ParCsr, ParVector, RowDist};
+use parcomm::Comm;
+use proptest::prelude::*;
+use sparse_kit::{Coo, Csr};
+
+/// Strategy: a random sparse square matrix of size n with ~30% fill and a
+/// guaranteed nonzero diagonal.
+fn sparse_square(n: usize) -> impl Strategy<Value = Csr> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            prop_oneof![
+                7 => Just(0.0),
+                3 => (-4.0f64..4.0).prop_map(|v| (v * 4.0).round() / 4.0),
+            ],
+            n,
+        ),
+        n,
+    )
+    .prop_map(move |mut dense| {
+        for (i, row) in dense.iter_mut().enumerate() {
+            row[i] = 5.0; // nonzero diagonal
+        }
+        Csr::from_dense(&dense)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn distributed_spmv_matches_serial(
+        (a, x, p) in (3usize..14).prop_flat_map(|n| (
+            sparse_square(n),
+            proptest::collection::vec(-2.0f64..2.0, n),
+            1usize..4,
+        ))
+    ) {
+        let n = a.nrows();
+        let expected = a.spmv(&x);
+        let x2 = x.clone();
+        let out = Comm::run(p, move |rank| {
+            let dist = RowDist::block(n as u64, rank.size());
+            let pa = ParCsr::from_serial(rank, dist.clone(), dist.clone(), &a);
+            let px = ParVector::from_fn(rank, dist, |g| x2[g as usize]);
+            pa.spmv(rank, &px).to_serial(rank)
+        });
+        for (got, want) in out[0].iter().zip(&expected) {
+            prop_assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn ij_assembly_matches_serial_reference(
+        (entries, p, n) in (4u64..16, 1usize..4).prop_flat_map(|(n, p)| (
+            proptest::collection::vec((0..n, 0..n, -3.0f64..3.0, 0..p), 0..80),
+            Just(p),
+            Just(n),
+        ))
+    ) {
+        // Each entry is contributed by one specific rank — scattering the
+        // same global matrix across contributors arbitrarily.
+        let entries2 = entries.clone();
+        let out = Comm::run(p, move |rank| {
+            let dist = RowDist::block(n, rank.size());
+            let mut ij = IjMatrix::new(rank, dist.clone(), dist);
+            for &(i, j, v, owner) in &entries2 {
+                if owner == rank.rank() {
+                    ij.add_value(i, j, v);
+                }
+            }
+            ij.assemble(rank).to_serial(rank)
+        });
+        let mut coo = Coo::new();
+        for &(i, j, v, _) in &entries {
+            coo.push(i, j, v);
+        }
+        let expected = Csr::from_coo(n as usize, n as usize, &coo);
+        for i in 0..n as usize {
+            for j in 0..n as usize {
+                prop_assert!((out[0].get(i, j) - expected.get(i, j)).abs() < 1e-10,
+                    "entry ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn ij_vector_assembly_matches_reference(
+        (adds, p, n) in (4u64..16, 1usize..4).prop_flat_map(|(n, p)| (
+            proptest::collection::vec((0..n, -3.0f64..3.0, 0..p), 0..60),
+            Just(p),
+            Just(n),
+        ))
+    ) {
+        let adds2 = adds.clone();
+        let out = Comm::run(p, move |rank| {
+            let dist = RowDist::block(n, rank.size());
+            let mut ij = IjVector::new(rank, dist);
+            for &(i, v, owner) in &adds2 {
+                if owner == rank.rank() {
+                    ij.add_value(i, v);
+                }
+            }
+            ij.assemble(rank).to_serial(rank)
+        });
+        let mut expected = vec![0.0; n as usize];
+        for &(i, v, _) in &adds {
+            expected[i as usize] += v;
+        }
+        for (got, want) in out[0].iter().zip(&expected) {
+            prop_assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn distributed_transpose_and_rap_match_serial(
+        (a, p) in (4usize..10).prop_flat_map(|n| (sparse_square(n), 1usize..4))
+    ) {
+        let n = a.nrows();
+        // Interpolation: aggregate pairs of rows.
+        let nc = (n + 1) / 2;
+        let mut pcoo = Coo::new();
+        for i in 0..n as u64 {
+            pcoo.push(i, (i / 2).min(nc as u64 - 1), 1.0);
+        }
+        let p_serial = Csr::from_coo(n, nc, &pcoo);
+        let expected_t = p_serial.transpose();
+        let expected_rap = sparse_kit::rap::galerkin(&a, &p_serial);
+
+        let (p_ref, a_ref) = (p_serial.clone(), a.clone());
+        let out = Comm::run(p, move |rank| {
+            let rd = RowDist::block(n as u64, rank.size());
+            let cd = RowDist::block(nc as u64, rank.size());
+            let pa = ParCsr::from_serial(rank, rd.clone(), rd.clone(), &a_ref);
+            let pp = ParCsr::from_serial(rank, rd, cd, &p_ref);
+            let t = distmat::ops::par_transpose(rank, &pp).to_serial(rank);
+            let rap = distmat::ops::par_rap(rank, &pa, &pp).to_serial(rank);
+            (t, rap)
+        });
+        let (t, rap) = &out[0];
+        for i in 0..expected_t.nrows() {
+            for j in 0..expected_t.ncols() {
+                prop_assert!((t.get(i, j) - expected_t.get(i, j)).abs() < 1e-10);
+            }
+        }
+        for i in 0..nc {
+            for j in 0..nc {
+                prop_assert!((rap.get(i, j) - expected_rap.get(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn halo_exchange_delivers_exactly_owned_values(
+        (a, p) in (4usize..12).prop_flat_map(|n| (sparse_square(n), 2usize..4))
+    ) {
+        let n = a.nrows();
+        Comm::run(p, move |rank| {
+            let dist = RowDist::block(n as u64, rank.size());
+            let pa = ParCsr::from_serial(rank, dist.clone(), dist.clone(), &a);
+            let x: Vec<f64> = (dist.start(rank.rank())..dist.end(rank.rank()))
+                .map(|g| g as f64 * 10.0)
+                .collect();
+            let ext = pa.halo_exchange(rank, &x);
+            // Every external value equals 10× its global id.
+            for (k, &g) in pa.col_map_offd.iter().enumerate() {
+                assert_eq!(ext[k], g as f64 * 10.0);
+            }
+        });
+    }
+}

@@ -1,0 +1,187 @@
+//! Recursive coordinate bisection.
+//!
+//! The paper's original decomposition: split the bounding box of the
+//! vertex cloud along its longest axis at the weighted median, recurse.
+//! On stretched blade-resolved meshes this is exactly the algorithm that
+//! produces the skewed, occasionally disconnected subdomains of Fig. 4.
+
+/// Partition points into `nparts` by recursive coordinate bisection of
+/// the weighted point cloud. Returns a part id per point.
+///
+/// Non-power-of-two part counts are handled by proportional splits.
+///
+/// # Panics
+///
+/// Panics if `nparts == 0` or `weights.len() != coords.len()`.
+pub fn rcb(coords: &[[f64; 3]], weights: &[f64], nparts: usize) -> Vec<usize> {
+    assert!(nparts > 0, "nparts must be positive");
+    assert_eq!(coords.len(), weights.len(), "coords/weights length mismatch");
+    let mut part = vec![0usize; coords.len()];
+    let ids: Vec<usize> = (0..coords.len()).collect();
+    bisect(coords, weights, &ids, 0, nparts, &mut part);
+    part
+}
+
+fn bisect(
+    coords: &[[f64; 3]],
+    weights: &[f64],
+    ids: &[usize],
+    first_part: usize,
+    nparts: usize,
+    out: &mut [usize],
+) {
+    if nparts == 1 || ids.is_empty() {
+        for &i in ids {
+            out[i] = first_part;
+        }
+        return;
+    }
+    // Longest axis of the bounding box.
+    let mut lo = [f64::INFINITY; 3];
+    let mut hi = [f64::NEG_INFINITY; 3];
+    for &i in ids {
+        for d in 0..3 {
+            lo[d] = lo[d].min(coords[i][d]);
+            hi[d] = hi[d].max(coords[i][d]);
+        }
+    }
+    let axis = (0..3)
+        .max_by(|&a, &b| (hi[a] - lo[a]).partial_cmp(&(hi[b] - lo[b])).unwrap())
+        .unwrap();
+
+    // Proportional split: left side receives ceil(nparts/2) parts' worth
+    // of weight.
+    let left_parts = nparts.div_ceil(2);
+    let frac = left_parts as f64 / nparts as f64;
+    let total: f64 = ids.iter().map(|&i| weights[i]).sum();
+
+    let mut sorted: Vec<usize> = ids.to_vec();
+    sorted.sort_by(|&a, &b| {
+        coords[a][axis]
+            .partial_cmp(&coords[b][axis])
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    let mut acc = 0.0;
+    let mut split = sorted.len();
+    for (k, &i) in sorted.iter().enumerate() {
+        acc += weights[i];
+        if acc >= frac * total {
+            split = k + 1;
+            break;
+        }
+    }
+    // Never create an empty side when both sides need vertices.
+    split = split.clamp(1, sorted.len().saturating_sub(1).max(1));
+
+    let (left, right) = sorted.split_at(split);
+    bisect(coords, weights, left, first_part, left_parts, out);
+    bisect(
+        coords,
+        weights,
+        right,
+        first_part + left_parts,
+        nparts - left_parts,
+        out,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<[f64; 3]> {
+        // n×n unit grid in the z=0 plane.
+        let mut pts = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                pts.push([i as f64, j as f64, 0.0]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn two_way_split_is_balanced() {
+        let pts = grid(8);
+        let w = vec![1.0; pts.len()];
+        let part = rcb(&pts, &w, 2);
+        let n0 = part.iter().filter(|&&p| p == 0).count();
+        assert_eq!(n0, 32);
+        // Split must be spatial: along some axis the parts are separated
+        // by a plane (which axis is chosen depends on tie-breaking).
+        let separated = (0..3).any(|d| {
+            let max0 = pts
+                .iter()
+                .zip(&part)
+                .filter(|&(_, &p)| p == 0)
+                .map(|(c, _)| c[d])
+                .fold(f64::NEG_INFINITY, f64::max);
+            let min1 = pts
+                .iter()
+                .zip(&part)
+                .filter(|&(_, &p)| p == 1)
+                .map(|(c, _)| c[d])
+                .fold(f64::INFINITY, f64::min);
+            max0 <= min1
+        });
+        assert!(separated);
+    }
+
+    #[test]
+    fn all_parts_nonempty_for_many_counts() {
+        let pts = grid(10);
+        let w = vec![1.0; pts.len()];
+        for nparts in [1, 2, 3, 5, 6, 7, 8, 12, 16] {
+            let part = rcb(&pts, &w, nparts);
+            for p in 0..nparts {
+                assert!(
+                    part.iter().any(|&x| x == p),
+                    "part {p} empty for nparts={nparts}"
+                );
+            }
+            assert!(part.iter().all(|&p| p < nparts));
+        }
+    }
+
+    #[test]
+    fn weighted_median_shifts_split() {
+        // Heavy point at x=0 pulls the 2-way split so part 0 is tiny.
+        let pts: Vec<[f64; 3]> = (0..10).map(|i| [i as f64, 0.0, 0.0]).collect();
+        let mut w = vec![1.0; 10];
+        w[0] = 100.0;
+        let part = rcb(&pts, &w, 2);
+        let n0 = part.iter().filter(|&&p| p == 0).count();
+        assert_eq!(n0, 1, "heavy vertex should satisfy half the weight alone");
+    }
+
+    #[test]
+    fn splits_longest_axis_first() {
+        // Points stretched along y: the first cut must be in y.
+        let pts: Vec<[f64; 3]> = (0..16).map(|i| [0.5, i as f64 * 10.0, 0.0]).collect();
+        let part = rcb(&pts, &vec![1.0; 16], 2);
+        // Lower-y half in one part.
+        for i in 0..8 {
+            assert_eq!(part[i], part[0]);
+        }
+        assert_ne!(part[0], part[15]);
+    }
+
+    #[test]
+    fn unbalanced_counts_proportional() {
+        let pts = grid(9); // 81 points
+        let part = rcb(&pts, &vec![1.0; 81], 3);
+        let counts: Vec<usize> = (0..3).map(|p| part.iter().filter(|&&x| x == p).count()).collect();
+        // Each part should get 81/3 = 27 ± a few.
+        for &c in &counts {
+            assert!((20..=34).contains(&c), "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn single_point_many_parts_degenerates_gracefully() {
+        let part = rcb(&[[0.0, 0.0, 0.0]], &[1.0], 4);
+        assert_eq!(part.len(), 1);
+        assert!(part[0] < 4);
+    }
+}

@@ -1,0 +1,134 @@
+//! Partition-quality statistics.
+//!
+//! The paper quantifies decomposition quality by the median nonzeros per
+//! MPI rank with min/max error bars (Figures 5 and 10); this module
+//! computes those statistics for any per-vertex load (nnz, weight, ...).
+
+use crate::graph::Graph;
+
+/// Per-part load statistics for a partition.
+#[derive(Clone, Debug)]
+pub struct PartitionStats {
+    /// Total load per part, indexed by part id.
+    pub part_loads: Vec<f64>,
+    /// Smallest per-part load.
+    pub min: f64,
+    /// Median per-part load.
+    pub median: f64,
+    /// Largest per-part load.
+    pub max: f64,
+    /// Standard deviation of per-part loads.
+    pub std_dev: f64,
+    /// max / mean — 1.0 is perfect balance.
+    pub imbalance: f64,
+}
+
+impl PartitionStats {
+    /// Compute statistics of `load` summed per part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `part` and `load` lengths differ, or `nparts == 0`.
+    pub fn new(part: &[usize], load: &[f64], nparts: usize) -> Self {
+        assert_eq!(part.len(), load.len(), "part/load length mismatch");
+        assert!(nparts > 0, "nparts must be positive");
+        let mut part_loads = vec![0.0; nparts];
+        for (&p, &l) in part.iter().zip(load) {
+            assert!(p < nparts, "part id {p} out of range {nparts}");
+            part_loads[p] += l;
+        }
+        let mut sorted = part_loads.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = sorted[0];
+        let max = sorted[nparts - 1];
+        let median = if nparts % 2 == 1 {
+            sorted[nparts / 2]
+        } else {
+            0.5 * (sorted[nparts / 2 - 1] + sorted[nparts / 2])
+        };
+        let mean = part_loads.iter().sum::<f64>() / nparts as f64;
+        let var =
+            part_loads.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / nparts as f64;
+        PartitionStats {
+            part_loads,
+            min,
+            median,
+            max,
+            std_dev: var.sqrt(),
+            imbalance: if mean > 0.0 { max / mean } else { 1.0 },
+        }
+    }
+
+    /// Spread of the error bars the paper plots: `max - min`.
+    pub fn spread(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+/// Count of disconnected "sliver" components beyond one per part —
+/// the pathology visible in the paper's Fig. 4.
+pub fn sliver_count(graph: &Graph, part: &[usize], nparts: usize) -> usize {
+    (0..nparts)
+        .map(|p| graph.components_in_part(part, p).saturating_sub(1))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_even_partition() {
+        let part = vec![0, 0, 1, 1];
+        let load = vec![1.0, 2.0, 1.5, 1.5];
+        let s = PartitionStats::new(&part, &load, 2);
+        assert_eq!(s.part_loads, vec![3.0, 3.0]);
+        assert_eq!(s.min, 3.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.spread(), 0.0);
+        assert_eq!(s.imbalance, 1.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn stats_on_skewed_partition() {
+        let part = vec![0, 1, 1, 1];
+        let load = vec![1.0, 1.0, 1.0, 1.0];
+        let s = PartitionStats::new(&part, &load, 2);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.imbalance, 1.5);
+        assert_eq!(s.spread(), 2.0);
+    }
+
+    #[test]
+    fn median_odd_parts() {
+        let part = vec![0, 1, 2];
+        let load = vec![1.0, 5.0, 3.0];
+        let s = PartitionStats::new(&part, &load, 3);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn empty_part_contributes_zero() {
+        let s = PartitionStats::new(&[0, 0], &[1.0, 1.0], 3);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.part_loads[1], 0.0);
+    }
+
+    #[test]
+    fn slivers_counted() {
+        // Path 0-1-2-3 with part 0 = {0, 3}: one extra component.
+        let g = Graph::from_edges_unit(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+        assert_eq!(sliver_count(&g, &[0, 1, 1, 0], 2), 1);
+        assert_eq!(sliver_count(&g, &[0, 0, 1, 1], 2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_part_id_panics() {
+        PartitionStats::new(&[5], &[1.0], 2);
+    }
+}

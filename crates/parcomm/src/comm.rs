@@ -1,0 +1,427 @@
+//! The communicator and per-rank handle.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::message::Message;
+use crate::perf::{KernelKind, PerfRecorder, PhaseTrace};
+
+/// Message tag. User tags must be below [`Tag::MAX`]` >> 8`; the top of the
+/// tag space is reserved for internal collective traffic.
+pub type Tag = u32;
+
+const INTERNAL_TAG_BASE: Tag = 1 << 24;
+
+/// How long a blocking receive waits before declaring a deadlock.
+/// Override with the `PARCOMM_TIMEOUT_SECS` environment variable.
+fn recv_timeout() -> Duration {
+    static SECS: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    let secs = SECS.get_or_init(|| {
+        std::env::var("PARCOMM_TIMEOUT_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(120)
+    });
+    Duration::from_secs(*secs)
+}
+
+struct Envelope {
+    src: usize,
+    tag: Tag,
+    payload: Box<dyn Any + Send>,
+}
+
+/// A group of simulated MPI ranks.
+///
+/// [`Comm::run`] spawns one thread per rank, hands each a [`Rank`] handle,
+/// and collects the per-rank results in rank order.
+pub struct Comm;
+
+impl Comm {
+    /// Run `f` on `size` ranks and return each rank's result, indexed by rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0` or if any rank panics.
+    pub fn run<R, F>(size: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Rank) -> R + Sync,
+    {
+        assert!(size > 0, "communicator must have at least one rank");
+        let mut txs = Vec::with_capacity(size);
+        let mut rxs = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded::<Envelope>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let txs = Arc::new(txs);
+        let barrier = Arc::new(Barrier::new(size));
+
+        let mut results: Vec<Option<R>> = (0..size).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(size);
+            for (id, rx) in rxs.into_iter().enumerate() {
+                let txs = Arc::clone(&txs);
+                let barrier = Arc::clone(&barrier);
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let rank = Rank {
+                        rank: id,
+                        size,
+                        txs,
+                        rx,
+                        pending: RefCell::new(Vec::new()),
+                        barrier,
+                        coll_seq: Cell::new(0),
+                        user_tag_seq: Cell::new(0),
+                        perf: RefCell::new(PerfRecorder::new()),
+                    };
+                    f(&rank)
+                }));
+            }
+            for (id, handle) in handles.into_iter().enumerate() {
+                match handle.join() {
+                    Ok(r) => results[id] = Some(r),
+                    Err(e) => std::panic::resume_unwind(e),
+                }
+            }
+        });
+        results.into_iter().map(|r| r.unwrap()).collect()
+    }
+
+    /// Run `f` on `size` ranks, returning per-rank results *and* per-rank
+    /// operation traces (for the machine performance model).
+    pub fn run_traced<R, F>(size: usize, f: F) -> (Vec<R>, Vec<PhaseTrace>)
+    where
+        R: Send,
+        F: Fn(&Rank) -> R + Sync,
+    {
+        let pairs = Comm::run(size, |rank| {
+            let r = f(rank);
+            let trace = rank.perf.borrow().snapshot();
+            (r, trace)
+        });
+        let mut results = Vec::with_capacity(size);
+        let mut traces = Vec::with_capacity(size);
+        for (r, t) in pairs {
+            results.push(r);
+            traces.push(t);
+        }
+        (results, traces)
+    }
+}
+
+/// Handle to one simulated MPI rank. Not `Sync`: each rank thread owns its
+/// handle exclusively, exactly like an MPI process owns its communicator.
+pub struct Rank {
+    rank: usize,
+    size: usize,
+    txs: Arc<Vec<Sender<Envelope>>>,
+    rx: Receiver<Envelope>,
+    pending: RefCell<Vec<Envelope>>,
+    barrier: Arc<Barrier>,
+    coll_seq: Cell<Tag>,
+    user_tag_seq: Cell<Tag>,
+    perf: RefCell<PerfRecorder>,
+}
+
+impl Rank {
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send a typed message to `dst`. Self-sends are allowed and are not
+    /// counted as network traffic.
+    pub fn send<T: Message>(&self, dst: usize, tag: Tag, msg: T) {
+        assert!(tag < INTERNAL_TAG_BASE, "user tag {tag} is in the reserved range");
+        self.send_raw(dst, tag, msg, true);
+    }
+
+    fn send_raw<T: Message>(&self, dst: usize, tag: Tag, msg: T, record: bool) {
+        assert!(dst < self.size, "send to rank {dst} out of range 0..{}", self.size);
+        if record && dst != self.rank {
+            self.perf.borrow_mut().message(msg.wire_bytes() as u64);
+        }
+        let env = Envelope {
+            src: self.rank,
+            tag,
+            payload: Box::new(msg),
+        };
+        // Receivers only disappear if the destination rank has panicked;
+        // propagating a panic of our own is the clearest failure mode.
+        self.txs[dst]
+            .send(env)
+            .unwrap_or_else(|_| panic!("rank {}: send to dead rank {dst}", self.rank));
+    }
+
+    /// Blocking receive of a typed message from `src` with matching `tag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matching message's payload has a different type, or if
+    /// no message arrives within the deadlock timeout.
+    pub fn recv<T: Message>(&self, src: usize, tag: Tag) -> T {
+        self.recv_raw(src, tag)
+    }
+
+    fn recv_raw<T: 'static>(&self, src: usize, tag: Tag) -> T {
+        // Check messages that arrived earlier but did not match then.
+        // `remove` (not `swap_remove`!) keeps the queue in arrival order:
+        // per-(src, tag) FIFO is what lets repeated exchanges on one tag
+        // match up — the same ordering guarantee MPI gives.
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(pos) = pending.iter().position(|e| e.src == src && e.tag == tag) {
+                let env = pending.remove(pos);
+                return Self::downcast(env, self.rank);
+            }
+        }
+        loop {
+            let env = self
+                .rx
+                .recv_timeout(recv_timeout())
+                .unwrap_or_else(|_| {
+                    panic!(
+                        "rank {}: recv(src={src}, tag={tag}) timed out — likely deadlock",
+                        self.rank
+                    )
+                });
+            if env.src == src && env.tag == tag {
+                return Self::downcast(env, self.rank);
+            }
+            self.pending.borrow_mut().push(env);
+        }
+    }
+
+    fn downcast<T: 'static>(env: Envelope, rank: usize) -> T {
+        *env.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "rank {rank}: message from {} tag {} had unexpected payload type",
+                env.src, env.tag
+            )
+        })
+    }
+
+    /// Synchronize all ranks. Recorded as one collective.
+    pub fn barrier(&self) {
+        self.perf.borrow_mut().collective(0);
+        self.barrier.wait();
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn barrier_internal(&self) {
+        self.barrier.wait();
+    }
+
+    pub(crate) fn next_internal_tag(&self) -> Tag {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq.wrapping_add(1));
+        INTERNAL_TAG_BASE + (seq & 0x00ff_ffff)
+    }
+
+    /// Allocate a fresh user tag from a per-rank counter. Objects that
+    /// own persistent communication patterns (distributed matrices,
+    /// halo-exchange plans) take one at construction; since ranks
+    /// construct such objects collectively in the same order, the
+    /// resulting tags agree across ranks — the moral equivalent of a
+    /// dedicated MPI communicator per object, which prevents messages of
+    /// different objects from ever matching each other.
+    pub fn alloc_tag(&self) -> Tag {
+        let seq = self.user_tag_seq.get();
+        self.user_tag_seq.set(seq.wrapping_add(1));
+        0x1000 + (seq % (INTERNAL_TAG_BASE - 0x1000))
+    }
+
+    pub(crate) fn send_internal<T: Message>(&self, dst: usize, tag: Tag, msg: T) {
+        self.send_raw(dst, tag, msg, false);
+    }
+
+    pub(crate) fn recv_internal<T: Message>(&self, src: usize, tag: Tag) -> T {
+        self.recv_raw(src, tag)
+    }
+
+    pub(crate) fn record_collective(&self, bytes: u64) {
+        self.perf.borrow_mut().collective(bytes);
+    }
+
+    pub(crate) fn with_recorder<R>(&self, f: impl FnOnce(&mut PerfRecorder) -> R) -> R {
+        f(&mut self.perf.borrow_mut())
+    }
+
+    // ---- performance recording -------------------------------------------
+
+    /// Record a device kernel launch against the current phase.
+    pub fn kernel(&self, kind: KernelKind, bytes: u64, flops: u64) {
+        self.perf.borrow_mut().kernel(kind, bytes, flops);
+    }
+
+    /// Run `f` with the perf phase label set to `name`, restoring the
+    /// previous label afterwards.
+    pub fn with_phase<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let prev = self.perf.borrow_mut().set_phase(name);
+        let out = f();
+        self.perf.borrow_mut().set_phase(&prev);
+        out
+    }
+
+    /// Current phase label.
+    pub fn phase_name(&self) -> String {
+        self.perf.borrow().phase_name().to_string()
+    }
+
+    /// Snapshot of this rank's accumulated trace.
+    pub fn trace_snapshot(&self) -> PhaseTrace {
+        self.perf.borrow().snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs() {
+        let out = Comm::run(1, |rank| rank.rank() + rank.size());
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn ring_pass() {
+        let n = 5;
+        let out = Comm::run(n, |rank| {
+            let next = (rank.rank() + 1) % n;
+            let prev = (rank.rank() + n - 1) % n;
+            rank.send(next, 7, rank.rank() as u64);
+            rank.recv::<u64>(prev, 7)
+        });
+        assert_eq!(out, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn same_tag_messages_keep_fifo_order_through_pending_queue() {
+        // Regression test: rank 0 sends three same-tag messages plus a
+        // decoy; rank 1 first receives the decoy (forcing all three into
+        // the pending queue), then must get the three in send order.
+        // A swap_remove-based pending queue returns them out of order.
+        let out = Comm::run(2, |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 7, vec![1u64]);
+                rank.send(1, 7, vec![2u64, 2]);
+                rank.send(1, 7, vec![3u64, 3, 3]);
+                rank.send(1, 9, 99u64); // decoy, received first
+                Vec::new()
+            } else {
+                let _decoy: u64 = rank.recv(0, 9);
+                let a: Vec<u64> = rank.recv(0, 7);
+                let b: Vec<u64> = rank.recv(0, 7);
+                let c: Vec<u64> = rank.recv(0, 7);
+                vec![a.len(), b.len(), c.len()]
+            }
+        });
+        assert_eq!(out[1], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_matched() {
+        let out = Comm::run(2, |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 1, 10u64);
+                rank.send(1, 2, 20u64);
+                0
+            } else {
+                // Receive in the opposite order from the sends.
+                let b = rank.recv::<u64>(0, 2);
+                let a = rank.recv::<u64>(0, 1);
+                (b * 100 + a) as usize
+            }
+        });
+        assert_eq!(out[1], 2010);
+    }
+
+    #[test]
+    fn self_send_is_delivered_and_not_counted() {
+        let out = Comm::run(1, |rank| {
+            rank.send(0, 3, vec![1.0f64, 2.0]);
+            let v = rank.recv::<Vec<f64>>(0, 3);
+            let trace = rank.trace_snapshot();
+            (v, trace.total().msgs)
+        });
+        assert_eq!(out[0].0, vec![1.0, 2.0]);
+        assert_eq!(out[0].1, 0);
+    }
+
+    #[test]
+    fn messages_are_traced_with_bytes() {
+        let (_, traces) = Comm::run_traced(2, |rank| {
+            if rank.rank() == 0 {
+                rank.with_phase("xfer", || rank.send(1, 9, vec![0u64; 16]));
+            } else {
+                let _ = rank.recv::<Vec<u64>>(0, 9);
+            }
+        });
+        let t0 = traces[0].phase("xfer");
+        assert_eq!(t0.msgs, 1);
+        assert_eq!(t0.msg_bytes, 128);
+        assert!(traces[1].total().msgs == 0);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        Comm::run(4, |rank| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            rank.barrier();
+            // After the barrier every rank must observe all increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn send_out_of_range_panics() {
+        Comm::run(2, |rank| {
+            if rank.rank() == 0 {
+                rank.send(5, 0, 1u64);
+            }
+        });
+    }
+
+    #[test]
+    fn kernel_recording_lands_in_phase() {
+        let out = Comm::run(1, |rank| {
+            rank.with_phase("spmv", || rank.kernel(KernelKind::SpMV, 1000, 250));
+            rank.trace_snapshot()
+        });
+        let t = out[0].phase("spmv");
+        assert_eq!(t.kernel_launches, 1);
+        assert_eq!(t.kernel_bytes, 1000);
+        assert_eq!(t.kernel_flops, 250);
+    }
+
+    #[test]
+    fn nested_phases_restore() {
+        let out = Comm::run(1, |rank| {
+            rank.with_phase("outer", || {
+                rank.kernel(KernelKind::Other, 1, 0);
+                rank.with_phase("inner", || rank.kernel(KernelKind::Other, 2, 0));
+                rank.kernel(KernelKind::Other, 4, 0);
+            });
+            rank.trace_snapshot()
+        });
+        assert_eq!(out[0].phase("outer").kernel_bytes, 5);
+        assert_eq!(out[0].phase("inner").kernel_bytes, 2);
+    }
+}

@@ -1,0 +1,32 @@
+//! In-process message-passing runtime that stands in for MPI.
+//!
+//! The SC'21 ExaWind paper runs Nalu-Wind/hypre on thousands of MPI ranks.
+//! This crate reproduces the *programming model* those algorithms are
+//! written against — ranks, point-to-point messages, and collectives —
+//! inside a single process: each rank is an OS thread, and messages are
+//! typed values moved over crossbeam channels.
+//!
+//! Because the payloads never leave the process no serialization happens,
+//! but every send records the number of bytes an MPI implementation would
+//! have moved, so the communication *volume* seen by the `machine`
+//! performance model is identical to a real distributed run at the same
+//! rank count.
+//!
+//! # Example
+//!
+//! ```
+//! use parcomm::Comm;
+//!
+//! // Sum rank ids with an allreduce across 4 ranks.
+//! let sums = Comm::run(4, |rank| rank.allreduce_sum(rank.rank() as u64));
+//! assert_eq!(sums, vec![6, 6, 6, 6]);
+//! ```
+
+mod collectives;
+mod comm;
+mod message;
+mod perf;
+
+pub use comm::{Comm, Rank, Tag};
+pub use message::Message;
+pub use perf::{KernelKind, PerfRecorder, PhaseTrace, Trace};

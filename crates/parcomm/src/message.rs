@@ -1,0 +1,76 @@
+//! Typed message payloads with MPI-equivalent byte accounting.
+
+/// A value that can travel between ranks.
+///
+/// Payloads move as `Box<dyn Any>` inside the process, but [`Message::wire_bytes`]
+/// reports the number of bytes a real MPI implementation would put on the
+/// wire for the same payload; the communication cost model is driven by it.
+pub trait Message: Send + 'static {
+    /// Bytes an MPI send of this value would move.
+    fn wire_bytes(&self) -> usize;
+}
+
+macro_rules! scalar_message {
+    ($($t:ty),* $(,)?) => {$(
+        impl Message for $t {
+            fn wire_bytes(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        }
+    )*};
+}
+
+scalar_message!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, ());
+
+impl<T: Copy + Send + 'static> Message for Vec<T> {
+    fn wire_bytes(&self) -> usize {
+        std::mem::size_of::<T>() * self.len()
+    }
+}
+
+impl<A: Message, B: Message> Message for (A, B) {
+    fn wire_bytes(&self) -> usize {
+        self.0.wire_bytes() + self.1.wire_bytes()
+    }
+}
+
+impl<A: Message, B: Message, C: Message> Message for (A, B, C) {
+    fn wire_bytes(&self) -> usize {
+        self.0.wire_bytes() + self.1.wire_bytes() + self.2.wire_bytes()
+    }
+}
+
+impl<A: Message, B: Message, C: Message, D: Message> Message for (A, B, C, D) {
+    fn wire_bytes(&self) -> usize {
+        self.0.wire_bytes() + self.1.wire_bytes() + self.2.wire_bytes() + self.3.wire_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(3.0f64.wire_bytes(), 8);
+        assert_eq!(7u32.wire_bytes(), 4);
+        assert_eq!(true.wire_bytes(), 1);
+        assert_eq!(().wire_bytes(), 0);
+    }
+
+    #[test]
+    fn vec_sizes() {
+        assert_eq!(vec![1.0f64; 10].wire_bytes(), 80);
+        assert_eq!(Vec::<u32>::new().wire_bytes(), 0);
+    }
+
+    #[test]
+    fn tuple_sizes() {
+        let msg = (vec![0u64; 4], vec![0.0f64; 2]);
+        assert_eq!(msg.wire_bytes(), 32 + 16);
+        let msg3 = (vec![0u64; 1], vec![0u64; 1], vec![0.0f64; 1]);
+        assert_eq!(msg3.wire_bytes(), 24);
+        let msg4 = (1u64, 2u64, vec![0u8; 3], 4.0f64);
+        assert_eq!(msg4.wire_bytes(), 8 + 8 + 3 + 8);
+    }
+}

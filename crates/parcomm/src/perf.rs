@@ -1,0 +1,291 @@
+//! Per-rank operation tracing.
+//!
+//! Every kernel launch, point-to-point message, and collective executed by
+//! a rank is accumulated into a [`Trace`], keyed by a caller-chosen phase
+//! label ("graph", "local assembly", "global assembly", "amg setup",
+//! "solve", ...). The `machine` crate converts traces into modeled
+//! execution times for Summit/Eagle-class hardware; the harness binaries
+//! use the per-phase breakdown to regenerate the paper's Figures 6 and 7.
+
+use std::collections::HashMap;
+
+/// Classification of a device kernel, used for reporting and so that the
+/// machine model can apply kind-specific launch overheads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KernelKind {
+    /// Streaming/bandwidth-bound kernel (axpy, scatter, copy, fill).
+    Stream,
+    /// Sort or reduce-by-key style primitive (multiple passes over data).
+    Sort,
+    /// Sparse matrix-vector product.
+    SpMV,
+    /// Sparse matrix-matrix product.
+    SpGemm,
+    /// Anything else.
+    Other,
+}
+
+/// Aggregated operation counts for one phase on one rank.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    /// Number of device kernel launches.
+    pub kernel_launches: u64,
+    /// Bytes read + written by kernels.
+    pub kernel_bytes: u64,
+    /// Floating-point operations executed by kernels.
+    pub kernel_flops: u64,
+    /// Number of off-rank point-to-point messages sent.
+    pub msgs: u64,
+    /// Bytes moved by those messages.
+    pub msg_bytes: u64,
+    /// Number of collective operations.
+    pub collectives: u64,
+    /// Bytes contributed to collectives by this rank.
+    pub collective_bytes: u64,
+    /// Per-kind launch counts (subset view of `kernel_launches`).
+    pub launches_by_kind: HashMap<KernelKind, u64>,
+}
+
+impl Trace {
+    /// Accumulate `other` into `self`.
+    pub fn add(&mut self, other: &Trace) {
+        self.kernel_launches += other.kernel_launches;
+        self.kernel_bytes += other.kernel_bytes;
+        self.kernel_flops += other.kernel_flops;
+        self.msgs += other.msgs;
+        self.msg_bytes += other.msg_bytes;
+        self.collectives += other.collectives;
+        self.collective_bytes += other.collective_bytes;
+        for (kind, n) in &other.launches_by_kind {
+            *self.launches_by_kind.entry(*kind).or_insert(0) += n;
+        }
+    }
+
+    /// Sum a set of traces (e.g. one per rank) into a single total.
+    pub fn total<'a>(traces: impl IntoIterator<Item = &'a Trace>) -> Trace {
+        let mut out = Trace::default();
+        for t in traces {
+            out.add(t);
+        }
+        out
+    }
+
+    /// Element-wise maximum — the critical-path view across ranks
+    /// (bulk-synchronous phases run at the speed of the slowest rank).
+    pub fn max<'a>(traces: impl IntoIterator<Item = &'a Trace>) -> Trace {
+        let mut out = Trace::default();
+        for t in traces {
+            out.kernel_launches = out.kernel_launches.max(t.kernel_launches);
+            out.kernel_bytes = out.kernel_bytes.max(t.kernel_bytes);
+            out.kernel_flops = out.kernel_flops.max(t.kernel_flops);
+            out.msgs = out.msgs.max(t.msgs);
+            out.msg_bytes = out.msg_bytes.max(t.msg_bytes);
+            out.collectives = out.collectives.max(t.collectives);
+            out.collective_bytes = out.collective_bytes.max(t.collective_bytes);
+            for (kind, n) in &t.launches_by_kind {
+                let e = out.launches_by_kind.entry(*kind).or_insert(0);
+                *e = (*e).max(*n);
+            }
+        }
+        out
+    }
+
+    /// True when no operation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.kernel_launches == 0 && self.msgs == 0 && self.collectives == 0
+    }
+}
+
+/// Traces keyed by phase label.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseTrace {
+    phases: HashMap<String, Trace>,
+}
+
+impl PhaseTrace {
+    /// Trace for a phase, empty if the phase never ran.
+    pub fn phase(&self, name: &str) -> Trace {
+        self.phases.get(name).cloned().unwrap_or_default()
+    }
+
+    /// All phase names, sorted for stable output.
+    pub fn phase_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.phases.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Sum over all phases.
+    pub fn total(&self) -> Trace {
+        Trace::total(self.phases.values())
+    }
+
+    /// Merge another phase trace into this one, phase by phase.
+    pub fn add(&mut self, other: &PhaseTrace) {
+        for (name, trace) in &other.phases {
+            self.phases.entry(name.clone()).or_default().add(trace);
+        }
+    }
+
+    /// Replace (or create) one phase's trace wholesale — used by
+    /// post-processing tools (e.g. the baseline-penalty model of the
+    /// bench harness).
+    pub fn insert(&mut self, name: &str, trace: Trace) {
+        self.phases.insert(name.to_string(), trace);
+    }
+
+    fn entry(&mut self, name: &str) -> &mut Trace {
+        if !self.phases.contains_key(name) {
+            self.phases.insert(name.to_string(), Trace::default());
+        }
+        self.phases.get_mut(name).unwrap()
+    }
+}
+
+/// Accumulates a [`PhaseTrace`] as a rank executes.
+///
+/// The recorder always has a current phase label; operations recorded by
+/// the communication layer and by kernels land in that phase. Phases are
+/// switched with [`PerfRecorder::set_phase`] (typically via
+/// `Rank::with_phase`).
+#[derive(Debug)]
+pub struct PerfRecorder {
+    current: String,
+    trace: PhaseTrace,
+}
+
+impl Default for PerfRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PerfRecorder {
+    /// Fresh recorder whose current phase is `"other"`.
+    pub fn new() -> Self {
+        PerfRecorder {
+            current: "other".to_string(),
+            trace: PhaseTrace::default(),
+        }
+    }
+
+    /// Switch the active phase label, returning the previous one.
+    pub fn set_phase(&mut self, name: &str) -> String {
+        std::mem::replace(&mut self.current, name.to_string())
+    }
+
+    /// Active phase label.
+    pub fn phase_name(&self) -> &str {
+        &self.current
+    }
+
+    /// Record a device kernel launch.
+    pub fn kernel(&mut self, kind: KernelKind, bytes: u64, flops: u64) {
+        let current = self.current.clone();
+        let t = self.trace.entry(&current);
+        t.kernel_launches += 1;
+        t.kernel_bytes += bytes;
+        t.kernel_flops += flops;
+        *t.launches_by_kind.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Record an off-rank point-to-point message.
+    pub fn message(&mut self, bytes: u64) {
+        let current = self.current.clone();
+        let t = self.trace.entry(&current);
+        t.msgs += 1;
+        t.msg_bytes += bytes;
+    }
+
+    /// Record participation in one collective operation.
+    pub fn collective(&mut self, bytes: u64) {
+        let current = self.current.clone();
+        let t = self.trace.entry(&current);
+        t.collectives += 1;
+        t.collective_bytes += bytes;
+    }
+
+    /// Finish recording and take the accumulated phase trace.
+    pub fn finish(self) -> PhaseTrace {
+        self.trace
+    }
+
+    /// Snapshot of the phase trace so far.
+    pub fn snapshot(&self) -> PhaseTrace {
+        self.trace.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_accumulates_into_phases() {
+        let mut rec = PerfRecorder::new();
+        rec.kernel(KernelKind::Stream, 100, 10);
+        rec.set_phase("solve");
+        rec.kernel(KernelKind::SpMV, 200, 50);
+        rec.kernel(KernelKind::SpMV, 200, 50);
+        rec.message(64);
+        rec.collective(8);
+        let trace = rec.finish();
+
+        let other = trace.phase("other");
+        assert_eq!(other.kernel_launches, 1);
+        assert_eq!(other.kernel_bytes, 100);
+
+        let solve = trace.phase("solve");
+        assert_eq!(solve.kernel_launches, 2);
+        assert_eq!(solve.kernel_flops, 100);
+        assert_eq!(solve.msgs, 1);
+        assert_eq!(solve.msg_bytes, 64);
+        assert_eq!(solve.collectives, 1);
+        assert_eq!(solve.launches_by_kind[&KernelKind::SpMV], 2);
+    }
+
+    #[test]
+    fn missing_phase_is_empty() {
+        let rec = PerfRecorder::new();
+        let trace = rec.finish();
+        assert!(trace.phase("nope").is_empty());
+    }
+
+    #[test]
+    fn trace_total_and_max() {
+        let mut a = Trace::default();
+        a.kernel_launches = 2;
+        a.msg_bytes = 10;
+        let mut b = Trace::default();
+        b.kernel_launches = 5;
+        b.msg_bytes = 3;
+
+        let total = Trace::total([&a, &b]);
+        assert_eq!(total.kernel_launches, 7);
+        assert_eq!(total.msg_bytes, 13);
+
+        let max = Trace::max([&a, &b]);
+        assert_eq!(max.kernel_launches, 5);
+        assert_eq!(max.msg_bytes, 10);
+    }
+
+    #[test]
+    fn phase_trace_merges() {
+        let mut rec1 = PerfRecorder::new();
+        rec1.set_phase("a");
+        rec1.kernel(KernelKind::Other, 1, 1);
+        let mut t1 = rec1.finish();
+
+        let mut rec2 = PerfRecorder::new();
+        rec2.set_phase("a");
+        rec2.kernel(KernelKind::Other, 2, 2);
+        rec2.set_phase("b");
+        rec2.message(5);
+        let t2 = rec2.finish();
+
+        t1.add(&t2);
+        assert_eq!(t1.phase("a").kernel_bytes, 3);
+        assert_eq!(t1.phase("b").msgs, 1);
+        assert_eq!(t1.phase_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Byte/flop cost estimators for the kernels in this crate.
+//!
+//! Callers holding a `parcomm::Rank` record these estimates into per-rank
+//! traces; the `machine` crate then converts traces into modeled device
+//! time (roofline: `max(bytes / bandwidth, flops / peak)` plus a launch
+//! overhead per kernel).
+
+use crate::csr::Csr;
+
+const IDX: u64 = std::mem::size_of::<usize>() as u64;
+const VAL: u64 = std::mem::size_of::<f64>() as u64;
+
+/// (bytes, flops) for y = A·x.
+pub fn spmv(a: &Csr) -> (u64, u64) {
+    let nnz = a.nnz() as u64;
+    let n = a.nrows() as u64;
+    // Read indptr + indices + vals + gathered x, write y.
+    let bytes = (n + 1) * IDX + nnz * (IDX + 2 * VAL) + n * VAL;
+    let flops = 2 * nnz;
+    (bytes, flops)
+}
+
+/// (bytes, flops) for a BLAS-1 op over `n` elements touching `vectors`
+/// arrays (e.g. axpy touches 3: read x, read+write y).
+pub fn blas1(n: usize, vectors: u64) -> (u64, u64) {
+    ((n as u64) * VAL * vectors, 2 * n as u64)
+}
+
+/// (bytes, flops) for a stable sort of `n` (key, value) items —
+/// modeled as `ceil(log2 n)` data passes, matching radix/merge behaviour.
+pub fn sort(n: usize, item_bytes: u64) -> (u64, u64) {
+    if n == 0 {
+        return (0, 0);
+    }
+    let passes = (usize::BITS - (n - 1).leading_zeros()).max(1) as u64;
+    ((n as u64) * item_bytes * passes, 0)
+}
+
+/// (bytes, flops) for reduce_by_key over `n` items.
+pub fn reduce(n: usize, item_bytes: u64) -> (u64, u64) {
+    ((n as u64) * item_bytes * 2, n as u64)
+}
+
+/// (bytes, flops) for hash SpGEMM C = A·B given the numeric result.
+pub fn spgemm(a: &Csr, b: &Csr, c: &Csr) -> (u64, u64) {
+    let expansion: u64 = a
+        .indices()
+        .iter()
+        .map(|&k| (b.indptr()[k + 1] - b.indptr()[k]) as u64)
+        .sum();
+    // Each product reads a B entry and updates a hash slot; A rows and the
+    // output C are streamed once.
+    let bytes = (a.nnz() as u64) * (IDX + VAL)
+        + expansion * (IDX + 2 * VAL)
+        + (c.nnz() as u64) * (IDX + VAL);
+    let flops = 2 * expansion;
+    (bytes, flops)
+}
+
+/// (bytes, flops) for transposing `a`.
+pub fn transpose(a: &Csr) -> (u64, u64) {
+    let nnz = a.nnz() as u64;
+    ((nnz * (IDX + VAL)) * 2 + (a.ncols() as u64 + 1) * IDX, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spmv_cost_scales_with_nnz() {
+        let small = Csr::identity(10);
+        let big = Csr::identity(1000);
+        let (bs, fs) = spmv(&small);
+        let (bb, fb) = spmv(&big);
+        assert!(bb > bs);
+        assert_eq!(fs, 20);
+        assert_eq!(fb, 2000);
+    }
+
+    #[test]
+    fn sort_cost_has_log_passes() {
+        let (b1, _) = sort(1024, 16);
+        let (b2, _) = sort(2048, 16);
+        // 10 passes vs 11 passes
+        assert_eq!(b1, 1024 * 16 * 10);
+        assert_eq!(b2, 2048 * 16 * 11);
+        assert_eq!(sort(0, 16), (0, 0));
+        assert_eq!(sort(1, 16), (16, 0));
+    }
+
+    #[test]
+    fn spgemm_cost_counts_expansion() {
+        let a = Csr::identity(4);
+        let c = crate::spgemm::spgemm_hash(&a, &a);
+        let (bytes, flops) = spgemm(&a, &a, &c);
+        assert_eq!(flops, 8);
+        assert!(bytes > 0);
+    }
+
+    #[test]
+    fn blas1_and_reduce_nonzero() {
+        assert_eq!(blas1(100, 3).0, 2400);
+        assert!(reduce(100, 16).0 > 0);
+        assert!(transpose(&Csr::identity(5)).0 > 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests for the sparse kernel crate.
+
+use proptest::prelude::*;
+use sparse_kit::coo::Coo;
+use sparse_kit::csr::Csr;
+use sparse_kit::prims;
+use sparse_kit::rap::galerkin;
+use sparse_kit::spgemm::{spgemm_esc, spgemm_hash};
+
+/// Random dense matrix strategy with ~35% fill.
+fn dense(rows: usize, cols: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            prop_oneof![
+                3 => Just(0.0),
+                2 => (-4.0f64..4.0).prop_map(|v| (v * 8.0).round() / 8.0),
+            ],
+            cols,
+        ),
+        rows,
+    )
+}
+
+fn dense_mul(a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let (m, k) = (a.len(), b.len());
+    let n = if k == 0 { 0 } else { b[0].len() };
+    let mut out = vec![vec![0.0; n]; m];
+    for i in 0..m {
+        for l in 0..k {
+            if a[i][l] != 0.0 {
+                for j in 0..n {
+                    out[i][j] += a[i][l] * b[l][j];
+                }
+            }
+        }
+    }
+    out
+}
+
+fn close(a: &[Vec<f64>], b: &[Vec<f64>]) -> bool {
+    a.iter()
+        .zip(b)
+        .all(|(ra, rb)| ra.iter().zip(rb).all(|(x, y)| (x - y).abs() < 1e-9))
+}
+
+proptest! {
+    #[test]
+    fn sort_by_key_matches_std_sort(pairs in proptest::collection::vec((0u64..50, -10i64..10), 0..200)) {
+        let mut keys: Vec<u64> = pairs.iter().map(|&(k, _)| k).collect();
+        let mut vals: Vec<i64> = pairs.iter().map(|&(_, v)| v).collect();
+        prims::stable_sort_by_key(&mut keys, &mut vals);
+
+        let mut reference = pairs.clone();
+        reference.sort_by_key(|&(k, _)| k); // stable
+        let ref_keys: Vec<u64> = reference.iter().map(|&(k, _)| k).collect();
+        let ref_vals: Vec<i64> = reference.iter().map(|&(_, v)| v).collect();
+        prop_assert_eq!(keys, ref_keys);
+        prop_assert_eq!(vals, ref_vals);
+    }
+
+    #[test]
+    fn reduce_by_key_preserves_total(keys in proptest::collection::vec(0u64..20, 0..100)) {
+        let mut keys = keys;
+        keys.sort();
+        let vals: Vec<f64> = keys.iter().map(|&k| k as f64 + 0.5).collect();
+        let total: f64 = vals.iter().sum();
+        let (out_keys, out_vals) = prims::reduce_by_key(&keys, &vals);
+        // Totals preserved, keys strictly increasing (all duplicates merged).
+        let out_total: f64 = out_vals.iter().sum();
+        prop_assert!((total - out_total).abs() < 1e-9);
+        prop_assert!(out_keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn coo_combine_preserves_entry_sums(
+        triplets in proptest::collection::vec((0u64..8, 0u64..8, -4.0f64..4.0), 0..60)
+    ) {
+        let mut coo = Coo::new();
+        let mut reference = std::collections::HashMap::new();
+        for &(r, c, v) in &triplets {
+            coo.push(r, c, v);
+            *reference.entry((r, c)).or_insert(0.0) += v;
+        }
+        coo.sort_and_combine();
+        prop_assert!(coo.is_sorted_and_combined());
+        prop_assert_eq!(coo.len(), reference.len());
+        for i in 0..coo.len() {
+            let expected = reference[&(coo.rows[i], coo.cols[i])];
+            prop_assert!((coo.vals[i] - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn csr_dense_round_trip(d in dense(1, 1).prop_flat_map(|_| (1usize..8, 1usize..8))
+        .prop_flat_map(|(r, c)| dense(r, c))) {
+        let a = Csr::from_dense(&d);
+        prop_assert_eq!(a.to_dense(), d);
+    }
+
+    #[test]
+    fn spmv_matches_dense((d, x) in (1usize..10, 1usize..10).prop_flat_map(|(r, c)| {
+        (dense(r, c), proptest::collection::vec(-3.0f64..3.0, c))
+    })) {
+        let a = Csr::from_dense(&d);
+        let y = a.spmv(&x);
+        for (r, row) in d.iter().enumerate() {
+            let expected: f64 = row.iter().zip(&x).map(|(a, b)| a * b).sum();
+            prop_assert!((y[r] - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(d in (1usize..10, 1usize..10).prop_flat_map(|(r, c)| dense(r, c))) {
+        let a = Csr::from_dense(&d);
+        prop_assert_eq!(a.transpose().transpose().to_dense(), d);
+    }
+
+    #[test]
+    fn transpose_swaps_spmv((d, x, y) in (1usize..8, 1usize..8).prop_flat_map(|(r, c)| {
+        (dense(r, c),
+         proptest::collection::vec(-2.0f64..2.0, c),
+         proptest::collection::vec(-2.0f64..2.0, r))
+    })) {
+        // yᵀ(Ax) == (Aᵀy)ᵀx
+        let a = Csr::from_dense(&d);
+        let ax = a.spmv(&x);
+        let aty = a.transpose().spmv(&y);
+        let lhs: f64 = y.iter().zip(&ax).map(|(p, q)| p * q).sum();
+        let rhs: f64 = aty.iter().zip(&x).map(|(p, q)| p * q).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-8);
+    }
+
+    #[test]
+    fn add_matches_dense((da, db) in (1usize..8, 1usize..8).prop_flat_map(|(r, c)| {
+        (dense(r, c), dense(r, c))
+    })) {
+        let a = Csr::from_dense(&da);
+        let b = Csr::from_dense(&db);
+        let c = a.add(&b);
+        for r in 0..da.len() {
+            for j in 0..da[0].len() {
+                prop_assert!((c.get(r, j) - (da[r][j] + db[r][j])).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn spgemm_hash_matches_dense((da, db) in (1usize..8, 1usize..8, 1usize..8)
+        .prop_flat_map(|(m, k, n)| (dense(m, k), dense(k, n)))) {
+        let a = Csr::from_dense(&da);
+        let b = Csr::from_dense(&db);
+        let c = spgemm_hash(&a, &b);
+        prop_assert!(close(&c.to_dense(), &dense_mul(&da, &db)));
+    }
+
+    #[test]
+    fn spgemm_esc_matches_hash((da, db) in (1usize..8, 1usize..8, 1usize..8)
+        .prop_flat_map(|(m, k, n)| (dense(m, k), dense(k, n)))) {
+        let a = Csr::from_dense(&da);
+        let b = Csr::from_dense(&db);
+        let h = spgemm_hash(&a, &b);
+        let e = spgemm_esc(&a, &b);
+        prop_assert!(close(&h.to_dense(), &e.to_dense()));
+    }
+
+    #[test]
+    fn galerkin_matches_dense_triple((da, dp) in (2usize..8, 1usize..6)
+        .prop_flat_map(|(n, nc)| (dense(n, n), dense(n, nc)))) {
+        let a = Csr::from_dense(&da);
+        let p = Csr::from_dense(&dp);
+        let g = galerkin(&a, &p);
+        let pt: Vec<Vec<f64>> = {
+            let rows = dp.len();
+            let cols = dp[0].len();
+            (0..cols).map(|c| (0..rows).map(|r| dp[r][c]).collect()).collect()
+        };
+        let expected = dense_mul(&pt, &dense_mul(&da, &dp));
+        prop_assert!(close(&g.to_dense(), &expected));
+    }
+
+    #[test]
+    fn lower_upper_diag_decomposition(d in (2usize..8,).prop_flat_map(|(n,)| dense(n, n))) {
+        let a = Csr::from_dense(&d);
+        let rebuilt = a
+            .strict_lower()
+            .add(&a.strict_upper())
+            .add(&Csr::from_diag(&a.diag()));
+        // Same values everywhere.
+        for r in 0..d.len() {
+            for c in 0..d.len() {
+                prop_assert!((rebuilt.get(r, c) - d[r][c]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,556 @@
+//! Structured-latent mesh builders (box and annular cylinder) with exact
+//! dual-volume/edge-area metrics, plus grid-line spacing utilities
+//! (uniform and geometric boundary-layer grading).
+
+use crate::mesh::{BcKind, BoundaryPatch, Edge, Latent, Mesh, NodeStatus};
+
+/// Uniformly spaced grid lines from `a` to `b` with `n` nodes.
+pub fn uniform_spacing(a: f64, b: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "need at least two grid lines");
+    (0..n)
+        .map(|i| a + (b - a) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+/// Geometrically graded grid lines: first interval `h0` at `a`, each
+/// subsequent interval `ratio`× larger, rescaled to end exactly at `b`.
+/// This is the boundary-layer grading that produces the high-aspect-ratio
+/// cells of blade-resolved meshes.
+pub fn geometric_spacing(a: f64, b: f64, n: usize, ratio: f64) -> Vec<f64> {
+    assert!(n >= 2, "need at least two grid lines");
+    assert!(ratio > 0.0, "ratio must be positive");
+    let mut acc = vec![0.0; n];
+    let mut h = 1.0;
+    for i in 1..n {
+        acc[i] = acc[i - 1] + h;
+        h *= ratio;
+    }
+    let total = acc[n - 1];
+    acc.iter().map(|&t| a + (b - a) * t / total).collect()
+}
+
+/// Half-interval dual widths of a grid-line array.
+fn half_widths(g: &[f64]) -> Vec<f64> {
+    let n = g.len();
+    (0..n)
+        .map(|i| {
+            let left = if i > 0 { (g[i] - g[i - 1]) / 2.0 } else { 0.0 };
+            let right = if i + 1 < n { (g[i + 1] - g[i]) / 2.0 } else { 0.0 };
+            left + right
+        })
+        .collect()
+}
+
+/// Boundary kinds of the six faces of a box mesh, in
+/// (xmin, xmax, ymin, ymax, zmin, zmax) order.
+#[derive(Clone, Copy, Debug)]
+pub struct BoxBc {
+    /// xmin face.
+    pub xmin: BcKind,
+    /// xmax face.
+    pub xmax: BcKind,
+    /// ymin face.
+    pub ymin: BcKind,
+    /// ymax face.
+    pub ymax: BcKind,
+    /// zmin face.
+    pub zmin: BcKind,
+    /// zmax face.
+    pub zmax: BcKind,
+}
+
+impl BoxBc {
+    /// The paper's wind-tunnel setup: inflow/outflow in x, symmetry
+    /// elsewhere.
+    pub fn wind_tunnel() -> Self {
+        BoxBc {
+            xmin: BcKind::Inflow,
+            xmax: BcKind::Outflow,
+            ymin: BcKind::Symmetry,
+            ymax: BcKind::Symmetry,
+            zmin: BcKind::Symmetry,
+            zmax: BcKind::Symmetry,
+        }
+    }
+}
+
+/// Build a tensor-product hex box mesh from grid-line arrays.
+pub fn box_mesh(xs: Vec<f64>, ys: Vec<f64>, zs: Vec<f64>, bc: BoxBc) -> Mesh {
+    let (nx, ny, nz) = (xs.len(), ys.len(), zs.len());
+    assert!(nx >= 2 && ny >= 2 && nz >= 2, "box needs ≥2 lines per axis");
+    let id = |i: usize, j: usize, k: usize| (i * ny + j) * nz + k;
+
+    let mut coords = Vec::with_capacity(nx * ny * nz);
+    for &x in &xs {
+        for &y in &ys {
+            for &z in &zs {
+                coords.push([x, y, z]);
+            }
+        }
+    }
+    let mut hexes = Vec::with_capacity((nx - 1) * (ny - 1) * (nz - 1));
+    for i in 0..nx - 1 {
+        for j in 0..ny - 1 {
+            for k in 0..nz - 1 {
+                hexes.push([
+                    id(i, j, k),
+                    id(i + 1, j, k),
+                    id(i + 1, j + 1, k),
+                    id(i, j + 1, k),
+                    id(i, j, k + 1),
+                    id(i + 1, j, k + 1),
+                    id(i + 1, j + 1, k + 1),
+                    id(i, j + 1, k + 1),
+                ]);
+            }
+        }
+    }
+
+    let (hx, hy, hz) = (half_widths(&xs), half_widths(&ys), half_widths(&zs));
+    let mut node_volume = vec![0.0; coords.len()];
+    for i in 0..nx {
+        for j in 0..ny {
+            for k in 0..nz {
+                node_volume[id(i, j, k)] = hx[i] * hy[j] * hz[k];
+            }
+        }
+    }
+
+    let mut edges = Vec::new();
+    for i in 0..nx {
+        for j in 0..ny {
+            for k in 0..nz {
+                if i + 1 < nx {
+                    let area = hy[j] * hz[k];
+                    let d = xs[i + 1] - xs[i];
+                    edges.push(Edge {
+                        a: id(i, j, k),
+                        b: id(i + 1, j, k),
+                        area_vec: [area, 0.0, 0.0],
+                        area_over_dist: area / d,
+                    });
+                }
+                if j + 1 < ny {
+                    let area = hx[i] * hz[k];
+                    let d = ys[j + 1] - ys[j];
+                    edges.push(Edge {
+                        a: id(i, j, k),
+                        b: id(i, j + 1, k),
+                        area_vec: [0.0, area, 0.0],
+                        area_over_dist: area / d,
+                    });
+                }
+                if k + 1 < nz {
+                    let area = hx[i] * hy[j];
+                    let d = zs[k + 1] - zs[k];
+                    edges.push(Edge {
+                        a: id(i, j, k),
+                        b: id(i, j, k + 1),
+                        area_vec: [0.0, 0.0, area],
+                        area_over_dist: area / d,
+                    });
+                }
+            }
+        }
+    }
+
+    // Boundary patches: each of the six faces.
+    let mut boundaries = Vec::new();
+    let mut face = |kind: BcKind, nodes: Vec<usize>, normals: Vec<[f64; 3]>| {
+        boundaries.push(BoundaryPatch {
+            kind,
+            nodes,
+            normals,
+        });
+    };
+    {
+        let (mut n0, mut n1) = (Vec::new(), Vec::new());
+        let (mut a0, mut a1) = (Vec::new(), Vec::new());
+        for j in 0..ny {
+            for k in 0..nz {
+                let area = hy[j] * hz[k];
+                n0.push(id(0, j, k));
+                a0.push([-area, 0.0, 0.0]);
+                n1.push(id(nx - 1, j, k));
+                a1.push([area, 0.0, 0.0]);
+            }
+        }
+        face(bc.xmin, n0, a0);
+        face(bc.xmax, n1, a1);
+    }
+    {
+        let (mut n0, mut n1) = (Vec::new(), Vec::new());
+        let (mut a0, mut a1) = (Vec::new(), Vec::new());
+        for i in 0..nx {
+            for k in 0..nz {
+                let area = hx[i] * hz[k];
+                n0.push(id(i, 0, k));
+                a0.push([0.0, -area, 0.0]);
+                n1.push(id(i, ny - 1, k));
+                a1.push([0.0, area, 0.0]);
+            }
+        }
+        face(bc.ymin, n0, a0);
+        face(bc.ymax, n1, a1);
+    }
+    {
+        let (mut n0, mut n1) = (Vec::new(), Vec::new());
+        let (mut a0, mut a1) = (Vec::new(), Vec::new());
+        for i in 0..nx {
+            for j in 0..ny {
+                let area = hx[i] * hy[j];
+                n0.push(id(i, j, 0));
+                a0.push([0.0, 0.0, -area]);
+                n1.push(id(i, j, nz - 1));
+                a1.push([0.0, 0.0, area]);
+            }
+        }
+        face(bc.zmin, n0, a0);
+        face(bc.zmax, n1, a1);
+    }
+
+    let n = coords.len();
+    Mesh {
+        coords,
+        hexes,
+        edges,
+        node_volume,
+        boundaries,
+        status: vec![NodeStatus::Active; n],
+        latent: Some(Latent::Box { xs, ys, zs }),
+    }
+}
+
+/// Build an annular cylinder mesh: axis along +x through `center`,
+/// radial lines `rs` (inner line = blade/hub wall), axial lines `xs`,
+/// `n_theta` circumferential nodes (periodic). The inner ring is tagged
+/// `Wall`; the outer ring and both axial ends are `OversetReceptor`.
+pub fn annulus_mesh(xs: Vec<f64>, rs: Vec<f64>, n_theta: usize, center: [f64; 3]) -> Mesh {
+    let (nx, nr, nt) = (xs.len(), rs.len(), n_theta);
+    assert!(nx >= 2 && nr >= 2 && nt >= 3, "degenerate annulus");
+    assert!(rs[0] > 0.0, "inner radius must be positive");
+    let tau = std::f64::consts::TAU;
+    let dth = tau / nt as f64;
+    let id = |ix: usize, ir: usize, it: usize| (ix * nr + ir) * nt + it;
+
+    let mut coords = Vec::with_capacity(nx * nr * nt);
+    for &x in &xs {
+        for &r in &rs {
+            for it in 0..nt {
+                let th = it as f64 * dth;
+                coords.push([x, center[1] + r * th.cos(), center[2] + r * th.sin()]);
+            }
+        }
+    }
+    let mut hexes = Vec::with_capacity((nx - 1) * (nr - 1) * nt);
+    for ix in 0..nx - 1 {
+        for ir in 0..nr - 1 {
+            for it in 0..nt {
+                let it1 = (it + 1) % nt;
+                hexes.push([
+                    id(ix, ir, it),
+                    id(ix + 1, ir, it),
+                    id(ix + 1, ir + 1, it),
+                    id(ix, ir + 1, it),
+                    id(ix, ir, it1),
+                    id(ix + 1, ir, it1),
+                    id(ix + 1, ir + 1, it1),
+                    id(ix, ir + 1, it1),
+                ]);
+            }
+        }
+    }
+
+    let (hx, hr) = (half_widths(&xs), half_widths(&rs));
+    let mut node_volume = vec![0.0; coords.len()];
+    for ix in 0..nx {
+        for ir in 0..nr {
+            let v = hx[ix] * hr[ir] * rs[ir] * dth;
+            for it in 0..nt {
+                node_volume[id(ix, ir, it)] = v;
+            }
+        }
+    }
+
+    let unit = |a: [f64; 3], b: [f64; 3]| -> ([f64; 3], f64) {
+        let d = [b[0] - a[0], b[1] - a[1], b[2] - a[2]];
+        let len = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+        ([d[0] / len, d[1] / len, d[2] / len], len)
+    };
+    let mut edges = Vec::new();
+    for ix in 0..nx {
+        for ir in 0..nr {
+            for it in 0..nt {
+                let a = id(ix, ir, it);
+                // Axial edge.
+                if ix + 1 < nx {
+                    let b = id(ix + 1, ir, it);
+                    let area = hr[ir] * rs[ir] * dth;
+                    let (u, len) = unit(coords[a], coords[b]);
+                    edges.push(Edge {
+                        a,
+                        b,
+                        area_vec: [u[0] * area, u[1] * area, u[2] * area],
+                        area_over_dist: area / len,
+                    });
+                }
+                // Radial edge.
+                if ir + 1 < nr {
+                    let b = id(ix, ir + 1, it);
+                    let r_face = 0.5 * (rs[ir] + rs[ir + 1]);
+                    let area = hx[ix] * r_face * dth;
+                    let (u, len) = unit(coords[a], coords[b]);
+                    edges.push(Edge {
+                        a,
+                        b,
+                        area_vec: [u[0] * area, u[1] * area, u[2] * area],
+                        area_over_dist: area / len,
+                    });
+                }
+                // Circumferential edge (wraps).
+                {
+                    let b = id(ix, ir, (it + 1) % nt);
+                    if a < b || (it + 1) % nt == 0 {
+                        // emit each wrap edge exactly once
+                        let area = hx[ix] * hr[ir];
+                        let (u, len) = unit(coords[a], coords[b]);
+                        edges.push(Edge {
+                            a,
+                            b,
+                            area_vec: [u[0] * area, u[1] * area, u[2] * area],
+                            area_over_dist: area / len,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Boundaries: inner wall, outer + axial receptor rings.
+    let mut wall_nodes = Vec::new();
+    let mut wall_normals = Vec::new();
+    let mut rec_nodes = Vec::new();
+    let mut rec_normals = Vec::new();
+    for ix in 0..nx {
+        for it in 0..nt {
+            let th = it as f64 * dth;
+            // Inner ring: wall, normal pointing inward (−r̂).
+            let area_in = hx[ix] * rs[0] * dth;
+            wall_nodes.push(id(ix, 0, it));
+            wall_normals.push([0.0, -th.cos() * area_in, -th.sin() * area_in]);
+            // Outer ring: receptor.
+            let area_out = hx[ix] * rs[nr - 1] * dth;
+            rec_nodes.push(id(ix, nr - 1, it));
+            rec_normals.push([0.0, th.cos() * area_out, th.sin() * area_out]);
+        }
+    }
+    for ir in 0..nr {
+        for it in 0..nt {
+            let area = hr[ir] * rs[ir] * dth;
+            rec_nodes.push(id(0, ir, it));
+            rec_normals.push([-area, 0.0, 0.0]);
+            rec_nodes.push(id(nx - 1, ir, it));
+            rec_normals.push([area, 0.0, 0.0]);
+        }
+    }
+
+    let n = coords.len();
+    Mesh {
+        coords,
+        hexes,
+        edges,
+        node_volume,
+        boundaries: vec![
+            BoundaryPatch {
+                kind: BcKind::Wall,
+                nodes: wall_nodes,
+                normals: wall_normals,
+            },
+            BoundaryPatch {
+                kind: BcKind::OversetReceptor,
+                nodes: rec_nodes,
+                normals: rec_normals,
+            },
+        ],
+        status: vec![NodeStatus::Active; n],
+        latent: Some(Latent::Annulus {
+            xs,
+            rs,
+            n_theta: nt,
+            center,
+            angle: 0.0,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_and_geometric_spacings() {
+        let u = uniform_spacing(0.0, 1.0, 5);
+        assert_eq!(u, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+
+        let g = geometric_spacing(0.0, 1.0, 4, 2.0);
+        // Intervals 1:2:4, scaled to sum 1.
+        assert!((g[1] - 1.0 / 7.0).abs() < 1e-12);
+        assert!((g[2] - 3.0 / 7.0).abs() < 1e-12);
+        assert!((g[3] - 1.0).abs() < 1e-12);
+        // Grading ratio preserved.
+        let h0 = g[1] - g[0];
+        let h1 = g[2] - g[1];
+        assert!((h1 / h0 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_mesh_counts_and_volume() {
+        let m = box_mesh(
+            uniform_spacing(0.0, 2.0, 3),
+            uniform_spacing(0.0, 1.0, 2),
+            uniform_spacing(0.0, 1.0, 2),
+            BoxBc::wind_tunnel(),
+        );
+        assert_eq!(m.n_nodes(), 12);
+        assert_eq!(m.n_elems(), 2);
+        // Edges: x: 2*4, y: 3*2*... count via formula: nx-1)*ny*nz + ...
+        assert_eq!(m.edges.len(), 2 * 4 + 3 * 1 * 2 + 3 * 2 * 1);
+        assert!((m.total_volume() - 2.0).abs() < 1e-12);
+        assert!(m.max_aspect_ratio() < 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn box_boundaries_cover_faces() {
+        let m = box_mesh(
+            uniform_spacing(0.0, 1.0, 3),
+            uniform_spacing(0.0, 1.0, 3),
+            uniform_spacing(0.0, 1.0, 3),
+            BoxBc::wind_tunnel(),
+        );
+        let inflow = m.boundary(BcKind::Inflow).unwrap();
+        assert_eq!(inflow.nodes.len(), 9);
+        // Inflow normals point -x and total the face area (1.0).
+        let total: f64 = inflow.normals.iter().map(|n| -n[0]).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(inflow.normals.iter().all(|n| n[0] < 0.0));
+    }
+
+    #[test]
+    fn graded_box_has_high_aspect_ratio() {
+        let m = box_mesh(
+            geometric_spacing(0.0, 1.0, 12, 1.5),
+            uniform_spacing(0.0, 1.0, 4),
+            uniform_spacing(0.0, 1.0, 4),
+            BoxBc::wind_tunnel(),
+        );
+        assert!(
+            m.max_aspect_ratio() > 10.0,
+            "grading should produce stretched cells: {}",
+            m.max_aspect_ratio()
+        );
+    }
+
+    #[test]
+    fn box_locate_round_trip() {
+        let m = box_mesh(
+            uniform_spacing(0.0, 1.0, 4),
+            uniform_spacing(0.0, 1.0, 4),
+            uniform_spacing(0.0, 1.0, 4),
+            BoxBc::wind_tunnel(),
+        );
+        let p = [0.4, 0.7, 0.2];
+        let (nodes, w) = m.locate(p).unwrap();
+        // Interpolating coordinates recovers the point.
+        let mut q = [0.0; 3];
+        for (n, wt) in nodes.iter().zip(&w) {
+            for d in 0..3 {
+                q[d] += m.coords[*n][d] * wt;
+            }
+        }
+        for d in 0..3 {
+            assert!((q[d] - p[d]).abs() < 1e-12);
+        }
+        assert!(m.locate([1.5, 0.0, 0.0]).is_none());
+        assert!(m.contains([0.0, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn annulus_counts_and_volume() {
+        let m = annulus_mesh(
+            uniform_spacing(-1.0, 1.0, 5),
+            uniform_spacing(0.5, 1.5, 6),
+            16,
+            [0.0, 0.0, 0.0],
+        );
+        assert_eq!(m.n_nodes(), 5 * 6 * 16);
+        assert_eq!(m.n_elems(), 4 * 5 * 16);
+        // Volume of the annular cylinder: π(R²−r²)L = π(2.25−0.25)*2.
+        let exact = std::f64::consts::PI * 2.0 * 2.0;
+        let rel = (m.total_volume() - exact).abs() / exact;
+        assert!(rel < 0.02, "volume off by {rel}");
+    }
+
+    #[test]
+    fn annulus_locate_round_trip() {
+        let m = annulus_mesh(
+            uniform_spacing(-1.0, 1.0, 5),
+            uniform_spacing(0.5, 1.5, 6),
+            32,
+            [0.0, 0.0, 0.0],
+        );
+        for p in [[0.3, 0.9, 0.4], [-0.5, -0.7, 0.3], [0.0, 0.0, 1.2]] {
+            let (nodes, w) = m.locate(p).unwrap();
+            let mut q = [0.0; 3];
+            for (n, wt) in nodes.iter().zip(&w) {
+                for d in 0..3 {
+                    q[d] += m.coords[*n][d] * wt;
+                }
+            }
+            // Trilinear-in-latent is only approximately linear in
+            // physical space on the curved annulus: tolerance scales with
+            // the circumferential resolution.
+            for d in 0..3 {
+                assert!((q[d] - p[d]).abs() < 0.02, "{p:?} -> {q:?}");
+            }
+        }
+        // Inside the hub hole (r < 0.5): not contained.
+        assert!(!m.contains([0.0, 0.1, 0.1]));
+        // Outside the outer radius: not contained.
+        assert!(!m.contains([0.0, 2.0, 0.0]));
+    }
+
+    #[test]
+    fn annulus_wall_is_inner_ring() {
+        let m = annulus_mesh(
+            uniform_spacing(0.0, 1.0, 3),
+            uniform_spacing(0.25, 1.0, 4),
+            8,
+            [0.0, 0.0, 0.0],
+        );
+        let wall = m.boundary(BcKind::Wall).unwrap();
+        assert_eq!(wall.nodes.len(), 3 * 8);
+        for &n in &wall.nodes {
+            let c = m.coords[n];
+            let r = (c[1] * c[1] + c[2] * c[2]).sqrt();
+            assert!((r - 0.25).abs() < 1e-12);
+        }
+        // Receptor patch exists and has outer + end nodes.
+        let rec = m.boundary(BcKind::OversetReceptor).unwrap();
+        assert_eq!(rec.nodes.len(), 3 * 8 + 2 * 4 * 8);
+    }
+
+    #[test]
+    fn bl_graded_annulus_is_anisotropic_near_wall() {
+        let m = annulus_mesh(
+            uniform_spacing(0.0, 4.0, 5),
+            geometric_spacing(0.1, 2.0, 14, 1.6),
+            24,
+            [0.0, 0.0, 0.0],
+        );
+        assert!(
+            m.max_aspect_ratio() > 20.0,
+            "boundary-layer grading should be strongly anisotropic: {}",
+            m.max_aspect_ratio()
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Unstructured turbine meshes, overset assembly, and rotor motion.
+//!
+//! The stand-in for the STK/TIOGA layer of the paper (§2): node-centered
+//! unstructured hex meshes with edge-based finite-volume metrics, the
+//! blade-resolved-style mesh generators behind Table 1 (graded rotor
+//! meshes with high-aspect-ratio boundary-layer cells embedded in a
+//! wake-capturing background box), TIOGA-style overset assembly (hole
+//! cutting, fringe identification, donor search with trilinear weights),
+//! and rigid rotor rotation with per-step connectivity updates.
+//!
+//! Meshes are *stored* unstructured (node coordinates, hex connectivity,
+//! edge list) — the generators additionally retain their latent
+//! structured parameterization, which stands in for TIOGA's geometric
+//! search structures: donor location inverts the latent map instead of
+//! walking an ADT. See DESIGN.md for why this preserves the behaviours
+//! the paper measures.
+
+pub mod generate;
+pub mod mesh;
+pub mod motion;
+pub mod overset;
+pub mod turbine;
+
+pub use mesh::{BcKind, BoundaryPatch, Edge, Mesh, NodeStatus};
+pub use overset::{OversetAssembly, Receptor};
+pub use turbine::{NrelCase, TurbineMeshes};

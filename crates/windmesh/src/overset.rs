@@ -1,0 +1,312 @@
+//! TIOGA-style overset assembly: hole cutting, fringe identification,
+//! and donor search.
+//!
+//! Mesh 0 is the background; meshes 1.. are component (rotor) meshes.
+//! Background nodes well inside a component's domain are blanked
+//! (holes); the active background nodes bordering a hole become fringe
+//! receptors interpolating from the component mesh, and the component's
+//! outer-boundary nodes become receptors interpolating from the
+//! background — the additive-Schwarz coupling surface of [20].
+
+use crate::mesh::{BcKind, Latent, Mesh, NodeStatus};
+
+/// One receptor node and its donor stencil.
+#[derive(Clone, Debug)]
+pub struct Receptor {
+    /// Mesh owning the receptor node.
+    pub mesh: usize,
+    /// Receptor node id within that mesh.
+    pub node: usize,
+    /// Mesh the donors come from.
+    pub donor_mesh: usize,
+    /// Donor element corner nodes.
+    pub donor_nodes: [usize; 8],
+    /// Trilinear donor weights (sum to 1).
+    pub weights: [f64; 8],
+}
+
+/// The overset connectivity for one configuration of the meshes.
+#[derive(Clone, Debug, Default)]
+pub struct OversetAssembly {
+    /// All receptor/donor pairs.
+    pub receptors: Vec<Receptor>,
+}
+
+impl OversetAssembly {
+    /// Receptors owned by a given mesh.
+    pub fn receptors_of(&self, mesh: usize) -> impl Iterator<Item = &Receptor> {
+        self.receptors.iter().filter(move |r| r.mesh == mesh)
+    }
+}
+
+/// Does the latent domain contain `p` with a fractional interior margin?
+fn contains_with_margin(latent: &Latent, p: [f64; 3], frac: f64) -> bool {
+    match latent {
+        Latent::Box { xs, ys, zs } => {
+            let within = |g: &[f64], v: f64| {
+                let (lo, hi) = (g[0], *g.last().unwrap());
+                let m = frac * (hi - lo);
+                v >= lo + m && v <= hi - m
+            };
+            within(xs, p[0]) && within(ys, p[1]) && within(zs, p[2])
+        }
+        Latent::Annulus { xs, rs, center, .. } => {
+            let (lo_x, hi_x) = (xs[0], *xs.last().unwrap());
+            let mx = frac * (hi_x - lo_x);
+            if p[0] < lo_x + mx || p[0] > hi_x - mx {
+                return false;
+            }
+            let dy = p[1] - center[1];
+            let dz = p[2] - center[2];
+            let r = (dy * dy + dz * dz).sqrt();
+            let (lo_r, hi_r) = (rs[0], *rs.last().unwrap());
+            let mr = frac * (hi_r - lo_r);
+            r >= lo_r + mr && r <= hi_r - mr
+        }
+    }
+}
+
+/// Assemble overset connectivity, updating node statuses in place.
+/// `hole_margin` is the fractional interior margin used for hole cutting
+/// (larger margin → wider fringe band between the meshes).
+///
+/// # Panics
+///
+/// Panics if a fringe node has no valid donor (meshes must overlap by
+/// more than the margin).
+pub fn assemble_overset(meshes: &mut [Mesh], hole_margin: f64) -> OversetAssembly {
+    assert!(!meshes.is_empty(), "need at least a background mesh");
+    // Reset statuses.
+    for m in meshes.iter_mut() {
+        for s in &mut m.status {
+            *s = NodeStatus::Active;
+        }
+    }
+    let mut receptors = Vec::new();
+
+    // --- Hole cutting on the background --------------------------------
+    let (background, components) = meshes.split_first_mut().unwrap();
+    for (ci, comp) in components.iter().enumerate() {
+        let latent = comp.latent.as_ref().expect("component needs latent");
+        for (n, &p) in background.coords.iter().enumerate() {
+            if contains_with_margin(latent, p, hole_margin) {
+                background.status[n] = NodeStatus::Hole;
+            }
+        }
+        let _ = ci;
+    }
+
+    // --- Background fringe: for every hole/active edge, the active side
+    // becomes a fringe when it has a donor; otherwise the *hole* side is
+    // promoted to fringe instead (it lies inside the component with
+    // margin, so a donor is guaranteed). This keeps the invariant that no
+    // hole ever touches an active node, regardless of how coarse the
+    // background is relative to the overlap margin.
+    let locate_in_components =
+        |p: [f64; 3], comps: &[Mesh]| -> Option<(usize, [usize; 8], [f64; 8])> {
+            for (ci, comp) in comps.iter().enumerate() {
+                if let Some((nodes, w)) = comp.locate(p) {
+                    return Some((ci + 1, nodes, w));
+                }
+            }
+            None
+        };
+    let mut is_fringe = vec![false; background.n_nodes()];
+    for e in 0..background.edges.len() {
+        let (a, b) = (background.edges[e].a, background.edges[e].b);
+        for (hole, active) in [(a, b), (b, a)] {
+            if background.status[hole] != NodeStatus::Hole
+                || background.status[active] != NodeStatus::Active
+                || is_fringe[active]
+            {
+                continue;
+            }
+            if locate_in_components(background.coords[active], components).is_some() {
+                is_fringe[active] = true;
+            } else {
+                // Retreat the hole boundary: the hole node itself becomes
+                // the fringe.
+                is_fringe[hole] = true;
+            }
+        }
+    }
+    for (n, &f) in is_fringe.iter().enumerate() {
+        if !f {
+            continue;
+        }
+        let p = background.coords[n];
+        let (donor_mesh, donor_nodes, weights) = locate_in_components(p, components)
+            .unwrap_or_else(|| {
+                panic!("background fringe node {n} at {p:?} has no donor — overlap too thin")
+            });
+        background.status[n] = NodeStatus::Fringe;
+        receptors.push(Receptor {
+            mesh: 0,
+            node: n,
+            donor_mesh,
+            donor_nodes,
+            weights,
+        });
+    }
+
+    // --- Component receptors: outer boundary nodes ----------------------
+    for (ci, comp) in components.iter_mut().enumerate() {
+        let rec_nodes: Vec<usize> = comp
+            .boundary(BcKind::OversetReceptor)
+            .map(|p| p.nodes.clone())
+            .unwrap_or_default();
+        for n in rec_nodes {
+            let p = comp.coords[n];
+            let (donor_nodes, weights) = background
+                .locate(p)
+                .unwrap_or_else(|| panic!("component receptor at {p:?} outside background"));
+            comp.status[n] = NodeStatus::Fringe;
+            receptors.push(Receptor {
+                mesh: ci + 1,
+                node: n,
+                donor_mesh: 0,
+                donor_nodes,
+                weights,
+            });
+        }
+    }
+    OversetAssembly { receptors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{annulus_mesh, box_mesh, uniform_spacing, BoxBc};
+
+    fn two_mesh_system() -> Vec<Mesh> {
+        let background = box_mesh(
+            uniform_spacing(-2.0, 2.0, 17),
+            uniform_spacing(-2.0, 2.0, 17),
+            uniform_spacing(-2.0, 2.0, 17),
+            BoxBc::wind_tunnel(),
+        );
+        let rotor = annulus_mesh(
+            uniform_spacing(-0.5, 0.5, 5),
+            uniform_spacing(0.2, 1.0, 7),
+            24,
+            [0.0, 0.0, 0.0],
+        );
+        vec![background, rotor]
+    }
+
+    #[test]
+    fn hole_fringe_active_partition() {
+        let mut meshes = two_mesh_system();
+        let asm = assemble_overset(&mut meshes, 0.2);
+        let holes = meshes[0]
+            .status
+            .iter()
+            .filter(|s| **s == NodeStatus::Hole)
+            .count();
+        let fringe = meshes[0]
+            .status
+            .iter()
+            .filter(|s| **s == NodeStatus::Fringe)
+            .count();
+        assert!(holes > 0, "hole cutting removed nothing");
+        assert!(fringe > 0, "no fringe band");
+        // Every background fringe has a receptor entry.
+        assert_eq!(asm.receptors_of(0).count(), fringe);
+        // All rotor outer-boundary nodes are receptors.
+        let rotor_rec = asm.receptors_of(1).count();
+        let expected = meshes[1]
+            .boundary(BcKind::OversetReceptor)
+            .unwrap()
+            .nodes
+            .len();
+        assert_eq!(rotor_rec, expected);
+    }
+
+    #[test]
+    fn donor_weights_are_convex() {
+        let mut meshes = two_mesh_system();
+        let asm = assemble_overset(&mut meshes, 0.2);
+        for r in &asm.receptors {
+            let sum: f64 = r.weights.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!(r.weights.iter().all(|&w| (-1e-12..=1.0 + 1e-12).contains(&w)));
+            assert_ne!(r.mesh, r.donor_mesh);
+        }
+    }
+
+    #[test]
+    fn donors_interpolate_position() {
+        let mut meshes = two_mesh_system();
+        let asm = assemble_overset(&mut meshes, 0.2);
+        for r in &asm.receptors {
+            let p = meshes[r.mesh].coords[r.node];
+            let donor = &meshes[r.donor_mesh];
+            let mut q = [0.0; 3];
+            for (n, w) in r.donor_nodes.iter().zip(&r.weights) {
+                for d in 0..3 {
+                    q[d] += donor.coords[*n][d] * w;
+                }
+            }
+            for d in 0..3 {
+                assert!(
+                    (q[d] - p[d]).abs() < 0.05,
+                    "donor stencil misses receptor: {p:?} vs {q:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_hole_without_component_overlap() {
+        // Rotor moved far outside the background: nothing is cut, and the
+        // rotor receptor search must fail loudly.
+        let background = box_mesh(
+            uniform_spacing(-1.0, 1.0, 5),
+            uniform_spacing(-1.0, 1.0, 5),
+            uniform_spacing(-1.0, 1.0, 5),
+            BoxBc::wind_tunnel(),
+        );
+        let rotor = annulus_mesh(
+            uniform_spacing(10.0, 11.0, 3),
+            uniform_spacing(0.2, 0.8, 4),
+            12,
+            [0.0, 0.0, 0.0],
+        );
+        let mut meshes = vec![background, rotor];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            assemble_overset(&mut meshes, 0.2)
+        }));
+        assert!(result.is_err(), "receptors outside background must panic");
+    }
+
+    #[test]
+    fn reassembly_after_rotation_changes_donors() {
+        let mut meshes = two_mesh_system();
+        let asm0 = assemble_overset(&mut meshes, 0.2);
+        crate::motion::rotate_annulus(&mut meshes[1], 0.3);
+        let asm1 = assemble_overset(&mut meshes, 0.2);
+        // Same receptor sets (geometry of holes unchanged by rotation
+        // about the axis), but donor stencils/weights move.
+        assert_eq!(asm0.receptors.len(), asm1.receptors.len());
+        let changed = asm0
+            .receptors
+            .iter()
+            .zip(&asm1.receptors)
+            .any(|(a, b)| a.donor_nodes != b.donor_nodes || a.weights != b.weights);
+        assert!(changed, "rotation must update connectivity");
+    }
+
+    #[test]
+    fn fringe_band_separates_holes_from_active() {
+        let mut meshes = two_mesh_system();
+        assemble_overset(&mut meshes, 0.2);
+        // No edge may connect a Hole directly to an Active node.
+        let bg = &meshes[0];
+        for e in &bg.edges {
+            let (sa, sb) = (bg.status[e.a], bg.status[e.b]);
+            let bad = (sa == NodeStatus::Hole && sb == NodeStatus::Active)
+                || (sb == NodeStatus::Hole && sa == NodeStatus::Active);
+            assert!(!bad, "hole touches active node across edge");
+        }
+    }
+}

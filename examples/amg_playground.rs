@@ -1,0 +1,132 @@
+//! AMG playground: set up BoomerAMG-style hierarchies on the actual
+//! pressure-Poisson operator of a turbine mesh and compare coarsening /
+//! interpolation options (the §4.1 design space).
+//!
+//! ```sh
+//! cargo run --release --example amg_playground
+//! ```
+
+use exawind::amg::{AmgConfig, AmgPrecond, InterpType};
+use exawind::distmat::{ParVector, RowDist};
+use exawind::krylov::{Gmres, OrthoStrategy};
+use exawind::nalu_core::graph::{classify_nodes, dirichlet_pressure};
+use exawind::nalu_core::{DofMap, PartitionMethod};
+use exawind::parcomm::Comm;
+use exawind::sparse_kit::{Coo, Csr};
+use exawind::windmesh::turbine::generate;
+use exawind::windmesh::NrelCase;
+
+/// Assemble the serial pressure Laplacian of a mesh (unit dt/rho).
+fn pressure_matrix(mesh: &exawind::windmesh::Mesh, dm: &DofMap) -> Csr {
+    let tags = classify_nodes(mesh);
+    let dir = dirichlet_pressure(&tags);
+    let n = mesh.n_nodes();
+    let mut coo = Coo::new();
+    for e in &mesh.edges {
+        let (a, b) = (e.a, e.b);
+        let k = e.area_over_dist;
+        if !dir[a] {
+            coo.push(dm.gid[a], dm.gid[a], k);
+            coo.push(dm.gid[a], dm.gid[b], -k);
+        }
+        if !dir[b] {
+            coo.push(dm.gid[b], dm.gid[b], k);
+            coo.push(dm.gid[b], dm.gid[a], -k);
+        }
+    }
+    for i in 0..n {
+        if dir[i] {
+            coo.push(dm.gid[i], dm.gid[i], 1.0);
+        }
+    }
+    Csr::from_coo(n, n, &coo)
+}
+
+fn main() {
+    let tm = generate(NrelCase::SingleLow, 2e-4);
+    let rotor = tm.meshes[1].clone();
+    let nranks = 4;
+    println!(
+        "== Pressure-Poisson on the rotor mesh: {} rows, aspect ratio {:.0} ==\n",
+        rotor.n_nodes(),
+        rotor.max_aspect_ratio()
+    );
+    println!(
+        "{:<28} {:>7} {:>8} {:>8} {:>9} {:>7}",
+        "configuration", "levels", "grid-cx", "op-cx", "GMRES-it", "conv"
+    );
+
+    for (name, cfg) in [
+        (
+            "direct, no aggressive",
+            AmgConfig {
+                interp: InterpType::Direct,
+                agg_levels: 0,
+                ..AmgConfig::standard()
+            },
+        ),
+        (
+            "BAMG-direct, no aggressive",
+            AmgConfig::standard(),
+        ),
+        (
+            "MM-ext, no aggressive",
+            AmgConfig {
+                interp: InterpType::MmExt,
+                agg_levels: 0,
+                ..AmgConfig::standard()
+            },
+        ),
+        (
+            "MM-ext, aggressive x2 (paper)",
+            AmgConfig::pressure_default(),
+        ),
+        (
+            "MM-ext+i, aggressive x2",
+            AmgConfig {
+                interp: InterpType::MmExtI,
+                ..AmgConfig::pressure_default()
+            },
+        ),
+    ] {
+        let rotor = rotor.clone();
+        let out = Comm::run(nranks, move |rank| {
+            let dm = DofMap::build(&rotor, rank.size(), PartitionMethod::Multilevel, 7);
+            let a_serial = pressure_matrix(&rotor, &dm);
+            let dist = RowDist::block(a_serial.nrows() as u64, rank.size());
+            let a = exawind::distmat::ParCsr::from_serial(
+                rank,
+                dist.clone(),
+                dist.clone(),
+                &a_serial,
+            );
+            let amg = AmgPrecond::setup(rank, a.clone(), &cfg);
+            let h = amg.hierarchy();
+            let b = ParVector::from_fn(rank, dist.clone(), |g| ((g % 13) as f64) - 6.0);
+            let mut x = ParVector::zeros(rank, dist);
+            let stats = Gmres {
+                restart: 60,
+                max_iters: 120,
+                tol: 1e-8,
+                ortho: OrthoStrategy::OneReduce,
+            }
+            .solve(rank, &a, &b, &mut x, &amg);
+            (
+                h.n_levels(),
+                h.grid_complexity,
+                h.operator_complexity,
+                stats.iters,
+                stats.converged,
+            )
+        });
+        let (levels, gc, oc, iters, conv) = out[0];
+        println!(
+            "{name:<28} {levels:>7} {gc:>8.2} {oc:>8.2} {iters:>9} {:>7}",
+            if conv { "yes" } else { "NO" }
+        );
+    }
+    println!(
+        "\npaper: aggressive PMIS coarsening on the first two levels cuts \
+         complexity; MM-ext second-stage interpolation keeps convergence."
+    );
+}

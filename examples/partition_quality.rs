@@ -1,0 +1,60 @@
+//! Partition-quality comparison (the paper's Figures 4/5 story): RCB vs
+//! multilevel (ParMETIS-style) decomposition of a blade-resolved turbine
+//! mesh — per-rank load spread, edge cut, and the disconnected-sliver
+//! count visible in the paper's Fig. 4.
+//!
+//! ```sh
+//! cargo run --release --example partition_quality
+//! ```
+
+use exawind::meshpart::{multilevel_kway, rcb, Graph, PartitionStats};
+use exawind::meshpart::stats::sliver_count;
+use exawind::windmesh::turbine::generate;
+use exawind::windmesh::NrelCase;
+
+fn main() {
+    let tm = generate(NrelCase::SingleLow, 4e-4);
+    let rotor = &tm.meshes[1];
+    println!(
+        "== Rotor mesh: {} nodes, {} edges, max aspect ratio {:.1} ==",
+        rotor.n_nodes(),
+        rotor.edges.len(),
+        rotor.max_aspect_ratio()
+    );
+    let graph = Graph::from_edges_unit(rotor.n_nodes(), &rotor.adjacency());
+    let unit_load: Vec<f64> = vec![1.0; rotor.n_nodes()];
+
+    println!(
+        "\n{:>6} | {:>28} | {:>28}",
+        "ranks", "RCB (min/med/max, cut, sliv)", "ML (min/med/max, cut, sliv)"
+    );
+    for nparts in [4usize, 8, 16, 32] {
+        let p_rcb = rcb(&rotor.coords, &unit_load, nparts);
+        let p_ml = multilevel_kway(&graph, nparts, 0xE1A);
+        let s_rcb = PartitionStats::new(&p_rcb, &unit_load, nparts);
+        let s_ml = PartitionStats::new(&p_ml, &unit_load, nparts);
+        let cut_rcb = graph.edge_cut(&p_rcb);
+        let cut_ml = graph.edge_cut(&p_ml);
+        let sliv_rcb = sliver_count(&graph, &p_rcb, nparts);
+        let sliv_ml = sliver_count(&graph, &p_ml, nparts);
+        println!(
+            "{:>6} | {:>6.0}/{:>6.0}/{:>6.0} {:>6.0} {:>3} | {:>6.0}/{:>6.0}/{:>6.0} {:>6.0} {:>3}",
+            nparts,
+            s_rcb.min,
+            s_rcb.median,
+            s_rcb.max,
+            cut_rcb,
+            sliv_rcb,
+            s_ml.min,
+            s_ml.median,
+            s_ml.max,
+            cut_ml,
+            sliv_ml,
+        );
+    }
+    println!(
+        "\npaper: RCB produces imbalanced, occasionally disconnected sliver \
+         subdomains on stretched blade meshes; multilevel partitioning \
+         tightens the spread (Fig. 5) at moderate rank counts."
+    );
+}
