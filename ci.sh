@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Offline CI gate: everything runs against the in-repo shim crates, so no
+# network access is needed. Run from the repository root.
+set -euxo pipefail
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+cargo bench --no-run

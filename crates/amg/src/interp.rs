@@ -18,6 +18,7 @@
 
 use distmat::{Halo, ParCsr, RowDist};
 use parcomm::{KernelKind, Rank};
+use rayon::prelude::*;
 use sparse_kit::Coo;
 
 use crate::config::InterpType;
@@ -136,12 +137,15 @@ pub fn direct_interpolation(
     let ext = exchange_ext_info(rank, a, split, None);
     rank.kernel(KernelKind::Stream, a.local_nnz() as u64 * 16, a.local_nnz() as u64);
 
-    let mut coo = Coo::new();
-    for i in 0..n {
-        let gi = start + i as u64;
+    // Every interpolation row depends only on row i of A/S and the halo
+    // info, so the Eq.-(2) weights are computed in a parallel map; the
+    // rows are then emitted in ascending row order for a deterministic
+    // operator at any thread count.
+    let rows: Vec<Vec<(u64, f64)>> = (0..n)
+        .into_par_iter()
+        .map(|i| {
         if let Some(ci) = split.coarse_index[i] {
-            coo.push(gi, ci, 1.0);
-            continue;
+            return vec![(ci, 1.0)];
         }
         // Strong-column membership for this row.
         let (s_dcols, _) = s.sdiag.row(i);
@@ -184,7 +188,7 @@ pub fn direct_interpolation(
             }
         }
         if strong_c.is_empty() {
-            continue; // PMIS F-point without C-neighbours: zero row.
+            return Vec::new(); // PMIS F-point without C-neighbours: zero row.
         }
         // Pass 2: weights.
         let n_cs = strong_c.len() as f64;
@@ -195,7 +199,7 @@ pub fn direct_interpolation(
             // β_i = strong-F mass.
             let denom = a_ii + sum_weak;
             if denom == 0.0 {
-                continue;
+                return Vec::new();
             }
             for (cid, aij) in strong_c {
                 cols.push(cid);
@@ -205,7 +209,7 @@ pub fn direct_interpolation(
             // Classical direct interpolation (Stüben): w_ij =
             // −α_i·a_ij/a_ii with α = (Σ off-diag)/(Σ strong C).
             if a_ii == 0.0 || sum_strong_c == 0.0 {
-                continue;
+                return Vec::new();
             }
             let alpha = (sum_weak + sum_strong_f + sum_strong_c) / sum_strong_c;
             for (cid, aij) in strong_c {
@@ -214,7 +218,13 @@ pub fn direct_interpolation(
             }
         }
         truncate_row(&mut cols, &mut vals, trunc_factor);
-        for (c, v) in cols.into_iter().zip(vals) {
+        cols.into_iter().zip(vals).collect()
+        })
+        .collect();
+    let mut coo = Coo::new();
+    for (i, row) in rows.into_iter().enumerate() {
+        let gi = start + i as u64;
+        for (c, v) in row {
             coo.push(gi, c, v);
         }
     }
@@ -256,76 +266,94 @@ pub fn mm_ext_interpolation(
     let ext_fids = &ext.f_id;
 
     // Build M1 = (D_FF + D_γ)⁻¹ (Aˢ_FF + D_β) and M2 = D_β⁻¹ Aˢ_FC
-    // row by row (all classification and scaling is row-local).
+    // row by row (all classification and scaling is row-local, hence a
+    // parallel map; triples are emitted in row order afterwards).
+    rank.kernel(KernelKind::Stream, a.local_nnz() as u64 * 24, a.local_nnz() as u64 * 2);
+    type Triples = Vec<(u64, u64, f64)>;
+    let m_rows: Vec<(Triples, Triples)> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut m1: Triples = Vec::new();
+            let mut m2: Triples = Vec::new();
+            let Some(fi) = f_index[i] else {
+                return (m1, m2);
+            };
+            let (s_dcols, _) = s.sdiag.row(i);
+            let (s_ocols, _) = s.soffd.row(i);
+            let is_strong_diag = |c: usize| s_dcols.binary_search(&c).is_ok();
+            let is_strong_offd = |c: usize| s_ocols.binary_search(&c).is_ok();
+
+            // Pass 1: D_β, D_γ, D_FF.
+            let mut d_ff = 0.0;
+            let mut d_beta = 0.0; // Σ strong FC
+            let mut d_gamma = 0.0; // Σ weak FF + weak FC
+            let (dc, dv) = a.diag.row(i);
+            for (&c, &v) in dc.iter().zip(dv) {
+                if c == i {
+                    d_ff = v;
+                } else if is_strong_diag(c) {
+                    if split.states[c] == CfState::Coarse {
+                        d_beta += v;
+                    }
+                    // strong FF handled in pass 2
+                } else {
+                    d_gamma += v;
+                }
+            }
+            let (oc, ov) = a.offd.row(i);
+            for (&c, &v) in oc.iter().zip(ov) {
+                if is_strong_offd(c) {
+                    if ext.is_coarse[c] {
+                        d_beta += v;
+                    }
+                } else {
+                    d_gamma += v;
+                }
+            }
+            let m1_denom = d_ff + d_gamma;
+            if d_beta == 0.0 || m1_denom == 0.0 {
+                return (m1, m2); // no strong C reachable: zero row
+            }
+            // Pass 2: emit scaled rows.
+            // M1 diagonal: D_β/(D_FF + D_γ).
+            m1.push((fi, fi, d_beta / m1_denom));
+            for (&c, &v) in dc.iter().zip(dv) {
+                if c != i && is_strong_diag(c) {
+                    if split.states[c] == CfState::Coarse {
+                        m2.push((fi, split.coarse_index[c].unwrap(), v / d_beta));
+                    } else {
+                        m1.push((fi, f_index[c].unwrap(), v / m1_denom));
+                    }
+                }
+            }
+            for (&c, &v) in oc.iter().zip(ov) {
+                if is_strong_offd(c) {
+                    if ext.is_coarse[c] {
+                        m2.push((fi, ext.coarse_id[c], v / d_beta));
+                    } else {
+                        let fj = ext_fids[c];
+                        assert_ne!(
+                            fj,
+                            u64::MAX,
+                            "ext col {} (gid {}) classified F but has no F id",
+                            c,
+                            a.global_offd_col(c)
+                        );
+                        m1.push((fi, fj, v / m1_denom));
+                    }
+                }
+            }
+            (m1, m2)
+        })
+        .collect();
     let mut m1 = Coo::new();
     let mut m2 = Coo::new();
-    rank.kernel(KernelKind::Stream, a.local_nnz() as u64 * 24, a.local_nnz() as u64 * 2);
-    for i in 0..n {
-        let Some(fi) = f_index[i] else { continue };
-        let (s_dcols, _) = s.sdiag.row(i);
-        let (s_ocols, _) = s.soffd.row(i);
-        let is_strong_diag = |c: usize| s_dcols.binary_search(&c).is_ok();
-        let is_strong_offd = |c: usize| s_ocols.binary_search(&c).is_ok();
-
-        // Pass 1: D_β, D_γ, D_FF.
-        let mut d_ff = 0.0;
-        let mut d_beta = 0.0; // Σ strong FC
-        let mut d_gamma = 0.0; // Σ weak FF + weak FC
-        let (dc, dv) = a.diag.row(i);
-        for (&c, &v) in dc.iter().zip(dv) {
-            if c == i {
-                d_ff = v;
-            } else if is_strong_diag(c) {
-                if split.states[c] == CfState::Coarse {
-                    d_beta += v;
-                }
-                // strong FF handled in pass 2
-            } else {
-                d_gamma += v;
-            }
+    for (t1, t2) in &m_rows {
+        for &(r, c, v) in t1 {
+            m1.push(r, c, v);
         }
-        let (oc, ov) = a.offd.row(i);
-        for (&c, &v) in oc.iter().zip(ov) {
-            if is_strong_offd(c) {
-                if ext.is_coarse[c] {
-                    d_beta += v;
-                }
-            } else {
-                d_gamma += v;
-            }
-        }
-        let m1_denom = d_ff + d_gamma;
-        if d_beta == 0.0 || m1_denom == 0.0 {
-            continue; // no strong C reachable: zero interpolation row
-        }
-        // Pass 2: emit scaled rows.
-        // M1 diagonal: D_β/(D_FF + D_γ).
-        m1.push(fi, fi, d_beta / m1_denom);
-        for (&c, &v) in dc.iter().zip(dv) {
-            if c != i && is_strong_diag(c) {
-                if split.states[c] == CfState::Coarse {
-                    m2.push(fi, split.coarse_index[c].unwrap(), v / d_beta);
-                } else {
-                    m1.push(fi, f_index[c].unwrap(), v / m1_denom);
-                }
-            }
-        }
-        for (&c, &v) in oc.iter().zip(ov) {
-            if is_strong_offd(c) {
-                if ext.is_coarse[c] {
-                    m2.push(fi, ext.coarse_id[c], v / d_beta);
-                } else {
-                    let fj = ext_fids[c];
-                    assert_ne!(
-                        fj,
-                        u64::MAX,
-                        "ext col {} (gid {}) classified F but has no F id",
-                        c,
-                        a.global_offd_col(c)
-                    );
-                    m1.push(fi, fj, v / m1_denom);
-                }
-            }
+        for &(r, c, v) in t2 {
+            m2.push(r, c, v);
         }
     }
     let m1 = ParCsr::from_global_coo(rank, f_dist.clone(), f_dist.clone(), &m1);
@@ -342,31 +370,37 @@ pub fn mm_ext_interpolation(
             coo.push(start + i as u64, ci, 1.0);
         }
     }
-    for (lf, &i) in f_locals.iter().enumerate() {
-        let gi = start + i as u64;
-        let mut cols: Vec<u64> = Vec::new();
-        let mut vals: Vec<f64> = Vec::new();
-        let (wc, wv) = w.diag.row(lf);
-        for (&c, &v) in wc.iter().zip(wv) {
-            cols.push(w.global_diag_col(c));
-            vals.push(v);
-        }
-        let (wc, wv) = w.offd.row(lf);
-        for (&c, &v) in wc.iter().zip(wv) {
-            cols.push(w.global_offd_col(c));
-            vals.push(v);
-        }
-        if plus_i {
-            let sum: f64 = vals.iter().sum();
-            if sum.abs() > 1e-12 {
-                let scale = 1.0 / sum;
-                for v in vals.iter_mut() {
-                    *v *= scale;
+    let f_rows: Vec<Vec<(u64, f64)>> = (0..f_locals.len())
+        .into_par_iter()
+        .map(|lf| {
+            let mut cols: Vec<u64> = Vec::new();
+            let mut vals: Vec<f64> = Vec::new();
+            let (wc, wv) = w.diag.row(lf);
+            for (&c, &v) in wc.iter().zip(wv) {
+                cols.push(w.global_diag_col(c));
+                vals.push(v);
+            }
+            let (wc, wv) = w.offd.row(lf);
+            for (&c, &v) in wc.iter().zip(wv) {
+                cols.push(w.global_offd_col(c));
+                vals.push(v);
+            }
+            if plus_i {
+                let sum: f64 = vals.iter().sum();
+                if sum.abs() > 1e-12 {
+                    let scale = 1.0 / sum;
+                    for v in vals.iter_mut() {
+                        *v *= scale;
+                    }
                 }
             }
-        }
-        truncate_row(&mut cols, &mut vals, trunc_factor);
-        for (c, v) in cols.into_iter().zip(vals) {
+            truncate_row(&mut cols, &mut vals, trunc_factor);
+            cols.into_iter().zip(vals).collect()
+        })
+        .collect();
+    for (lf, &i) in f_locals.iter().enumerate() {
+        let gi = start + i as u64;
+        for &(c, v) in &f_rows[lf] {
             coo.push(gi, c, v);
         }
     }
@@ -404,7 +438,7 @@ mod tests {
         for i in 0..nx {
             for j in 0..nx {
                 let mut diag = 0.0;
-                let mut push = |r: u64, c: u64, coo: &mut SCoo| {
+                let push = |r: u64, c: u64, coo: &mut SCoo| {
                     coo.push(r, c, -1.0);
                 };
                 if i > 0 {

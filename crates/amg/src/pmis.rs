@@ -15,6 +15,7 @@ use distmat::{Halo, ParCsr, RowDist};
 use parcomm::{KernelKind, Rank};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 use crate::strength::Strength;
 
@@ -76,7 +77,9 @@ pub fn pmis(rank: &Rank, a: &ParCsr, s: &Strength, seed: u64) -> CfSplit {
     let st = distmat::ops::par_transpose(rank, &sp);
 
     // λ_i = number of points strongly influenced by i = |row i of Sᵀ|.
+    // Per-point and seeded per gid, so the parallel map is deterministic.
     let weights: Vec<f64> = (0..n)
+        .into_par_iter()
         .map(|i| {
             let lambda = (st.diag.row(i).0.len() + st.offd.row(i).0.len()) as f64;
             lambda + point_rand(seed, start + i as u64)
@@ -111,33 +114,45 @@ pub fn pmis(rank: &Rank, a: &ParCsr, s: &Strength, seed: u64) -> CfSplit {
         }
     };
 
+    // Row-local adjacency construction: a parallel map over points.
+    // One point's `(symmetrised neighbours, dependencies)` as `(gid, locator)` lists.
+    type AdjRow = (Vec<(u64, Loc)>, Vec<(u64, Loc)>);
+    let rows: Vec<AdjRow> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut nbrs: Vec<u64> = Vec::new();
+            let mut dep: Vec<u64> = Vec::new();
+            for &c in s.sdiag.row(i).0 {
+                let g = start + c as u64;
+                nbrs.push(g);
+                dep.push(g);
+            }
+            for &c in s.soffd.row(i).0 {
+                let g = a.global_offd_col(c);
+                nbrs.push(g);
+                dep.push(g);
+            }
+            for &c in st.diag.row(i).0 {
+                nbrs.push(start + c as u64);
+            }
+            for &c in st.offd.row(i).0 {
+                nbrs.push(st.global_offd_col(c));
+            }
+            nbrs.sort_unstable();
+            nbrs.dedup();
+            nbrs.retain(|&g| g != start + i as u64);
+            dep.retain(|&g| g != start + i as u64);
+            (
+                nbrs.iter().map(|&g| (g, locate(g))).collect(),
+                dep.iter().map(|&g| (g, locate(g))).collect(),
+            )
+        })
+        .collect();
     let mut sym: Vec<Vec<(u64, Loc)>> = Vec::with_capacity(n);
     let mut deps: Vec<Vec<(u64, Loc)>> = Vec::with_capacity(n);
-    for i in 0..n {
-        let mut nbrs: Vec<u64> = Vec::new();
-        let mut dep: Vec<u64> = Vec::new();
-        for &c in s.sdiag.row(i).0 {
-            let g = start + c as u64;
-            nbrs.push(g);
-            dep.push(g);
-        }
-        for &c in s.soffd.row(i).0 {
-            let g = a.global_offd_col(c);
-            nbrs.push(g);
-            dep.push(g);
-        }
-        for &c in st.diag.row(i).0 {
-            nbrs.push(start + c as u64);
-        }
-        for &c in st.offd.row(i).0 {
-            nbrs.push(st.global_offd_col(c));
-        }
-        nbrs.sort_unstable();
-        nbrs.dedup();
-        nbrs.retain(|&g| g != start + i as u64);
-        dep.retain(|&g| g != start + i as u64);
-        sym.push(nbrs.iter().map(|&g| (g, locate(g))).collect());
-        deps.push(dep.iter().map(|&g| (g, locate(g))).collect());
+    for (nbrs, dep) in rows {
+        sym.push(nbrs);
+        deps.push(dep);
     }
 
     // Exchange weights once; states every round.
@@ -172,40 +187,56 @@ pub fn pmis(rank: &Rank, a: &ParCsr, s: &Strength, seed: u64) -> CfSplit {
         rank.kernel(KernelKind::Stream, (n as u64) * 24, n as u64);
 
         // Phase 1 (Jacobi-style on the state snapshot): undecided local
-        // maxima among undecided neighbours become C.
-        let snapshot = states.clone();
-        for i in 0..n {
-            if snapshot[i] != UNDECIDED {
-                continue;
-            }
-            let gi = start + i as u64;
-            let wins = sym[i].iter().all(|&(gj, loc)| {
-                if state_of(loc, &snapshot, &ext_states) != UNDECIDED {
-                    return true;
+        // maxima among undecided neighbours become C. Every point's new
+        // state is a pure function of the snapshot, so the sweep is a
+        // parallel map.
+        let snapshot = states;
+        states = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                if snapshot[i] != UNDECIDED {
+                    return snapshot[i];
                 }
-                let wj = weight_of(loc);
-                (weights[i], gi) > (wj, gj)
-            });
-            if wins {
-                states[i] = C_PT;
-            }
-        }
+                let gi = start + i as u64;
+                let wins = sym[i].iter().all(|&(gj, loc)| {
+                    if state_of(loc, &snapshot, &ext_states) != UNDECIDED {
+                        return true;
+                    }
+                    let wj = weight_of(loc);
+                    (weights[i], gi) > (wj, gj)
+                });
+                if wins {
+                    C_PT
+                } else {
+                    UNDECIDED
+                }
+            })
+            .collect();
         // Phase 2: undecided points strongly depending on a C-point (old
-        // or freshly chosen — local fresh C visible via `states`; remote
-        // fresh C visible next round) become F.
+        // or freshly chosen — local fresh C visible via the phase-1
+        // result; remote fresh C visible next round) become F. Only
+        // UNDECIDED→F transitions happen and only C states are read, so
+        // sweeping over the phase-1 snapshot is equivalent to the
+        // sequential in-place sweep.
         let ext_states2 = halo.exchange_u64(rank, &states);
-        for i in 0..n {
-            if states[i] != UNDECIDED {
-                continue;
-            }
-            let depends_on_c = deps[i].iter().any(|&(_, loc)| match loc {
-                Loc::Local(l) => states[l] == C_PT,
-                Loc::Ext(e) => ext_states2[e] == C_PT,
-            });
-            if depends_on_c {
-                states[i] = F_PT;
-            }
-        }
+        let snapshot = states;
+        states = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                if snapshot[i] != UNDECIDED {
+                    return snapshot[i];
+                }
+                let depends_on_c = deps[i].iter().any(|&(_, loc)| match loc {
+                    Loc::Local(l) => snapshot[l] == C_PT,
+                    Loc::Ext(e) => ext_states2[e] == C_PT,
+                });
+                if depends_on_c {
+                    F_PT
+                } else {
+                    UNDECIDED
+                }
+            })
+            .collect();
     }
 
     // Coarse numbering: contiguous per rank, in local order.
@@ -323,11 +354,11 @@ pub fn pmis_aggressive(
     // Compose back onto the original points.
     let mut states = vec![CfState::Fine; n];
     let mut n_final = 0usize;
-    for i in 0..n {
-        if let Some(ci) = first.coarse_index[i] {
+    for (st, ci) in states.iter_mut().zip(&first.coarse_index) {
+        if let Some(ci) = ci {
             let lci = (ci - cdist.start(me)) as usize;
             if second.states[lci] == CfState::Coarse {
-                states[i] = CfState::Coarse;
+                *st = CfState::Coarse;
                 n_final += 1;
             }
         }

@@ -9,6 +9,7 @@
 
 use distmat::ParCsr;
 use parcomm::{KernelKind, Rank};
+use rayon::prelude::*;
 use sparse_kit::Csr;
 
 /// Strength pattern of a distributed operator, aligned with its diag and
@@ -34,40 +35,54 @@ impl Strength {
         let nnz = a.local_nnz() as u64;
         rank.kernel(KernelKind::Stream, nnz * 16, nnz);
 
+        // Each row of S depends only on the corresponding row of A, so
+        // the selection runs as a parallel map; the row results are then
+        // concatenated in row order, keeping the pattern identical for
+        // any thread count.
+        let rows: Vec<(Vec<usize>, Vec<usize>)> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let (dc, dv) = a.diag.row(i);
+                let (oc, ov) = a.offd.row(i);
+                let aii = a.diag.get(i, i);
+                let sign = if aii >= 0.0 { 1.0 } else { -1.0 };
+                // Max off-diagonal strength measure.
+                let mut max_meas = 0.0f64;
+                for (&c, &v) in dc.iter().zip(dv) {
+                    if c != i {
+                        max_meas = max_meas.max(-sign * v);
+                    }
+                }
+                for &v in ov {
+                    max_meas = max_meas.max(-sign * v);
+                }
+                let cut = theta * max_meas;
+                let mut d_row = Vec::new();
+                let mut o_row = Vec::new();
+                if max_meas > 0.0 {
+                    for (&c, &v) in dc.iter().zip(dv) {
+                        if c != i && -sign * v >= cut && -sign * v > 0.0 {
+                            d_row.push(c);
+                        }
+                    }
+                    for (&c, &v) in oc.iter().zip(ov) {
+                        if -sign * v >= cut && -sign * v > 0.0 {
+                            o_row.push(c);
+                        }
+                    }
+                }
+                (d_row, o_row)
+            })
+            .collect();
         let mut d_indptr = Vec::with_capacity(n + 1);
         let mut d_indices = Vec::new();
         let mut o_indptr = Vec::with_capacity(n + 1);
         let mut o_indices = Vec::new();
         d_indptr.push(0);
         o_indptr.push(0);
-        for i in 0..n {
-            let (dc, dv) = a.diag.row(i);
-            let (oc, ov) = a.offd.row(i);
-            let aii = a.diag.get(i, i);
-            let sign = if aii >= 0.0 { 1.0 } else { -1.0 };
-            // Max off-diagonal strength measure.
-            let mut max_meas = 0.0f64;
-            for (&c, &v) in dc.iter().zip(dv) {
-                if c != i {
-                    max_meas = max_meas.max(-sign * v);
-                }
-            }
-            for &v in ov {
-                max_meas = max_meas.max(-sign * v);
-            }
-            let cut = theta * max_meas;
-            if max_meas > 0.0 {
-                for (&c, &v) in dc.iter().zip(dv) {
-                    if c != i && -sign * v >= cut && -sign * v > 0.0 {
-                        d_indices.push(c);
-                    }
-                }
-                for (&c, &v) in oc.iter().zip(ov) {
-                    if -sign * v >= cut && -sign * v > 0.0 {
-                        o_indices.push(c);
-                    }
-                }
-            }
+        for (d_row, o_row) in &rows {
+            d_indices.extend_from_slice(d_row);
+            o_indices.extend_from_slice(o_row);
             d_indptr.push(d_indices.len());
             o_indptr.push(o_indices.len());
         }

@@ -29,8 +29,8 @@ fn random_m_matrix(n: usize, extra: Vec<(usize, usize)>, jitter: Vec<f64>) -> Cs
         diag[a] += w;
         diag[b] += w;
     }
-    for i in 0..n {
-        coo.push(i as u64, i as u64, diag[i]);
+    for (i, &d) in diag.iter().enumerate() {
+        coo.push(i as u64, i as u64, d);
     }
     Csr::from_coo(n, n, &coo)
 }
@@ -110,8 +110,8 @@ proptest! {
             diag[i] += w;
             diag[i + 1] += w;
         }
-        for i in 0..n {
-            coo.push(i as u64, i as u64, diag[i]);
+        for (i, &d) in diag.iter().enumerate() {
+            coo.push(i as u64, i as u64, d);
         }
         let a = Csr::from_coo(n, n, &coo);
         let out = Comm::run(2, move |rank| {

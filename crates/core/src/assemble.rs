@@ -9,6 +9,7 @@
 
 use distmat::{IjMatrix, IjVector, ParCsr};
 use parcomm::{KernelKind, Rank};
+use rayon::prelude::*;
 use windmesh::mesh::Latent;
 use windmesh::{BcKind, Mesh};
 
@@ -105,34 +106,54 @@ pub fn fill_momentum(
     let rho = params.density;
     let center = axis_center(mesh);
 
-    // Edge loop: advection (first-order upwind) + diffusion + pressure
-    // gradient (Green-Gauss face terms into the RHS).
+    // Edge stage: advection (first-order upwind) + diffusion. Each edge's
+    // coefficient quadruple is a pure function of that edge, so the fill
+    // is a parallel map; the plan-driven scatter then sums every slot's
+    // contributions in fixed edge order, keeping the assembled values
+    // bitwise independent of the thread count (DESIGN.md, "Threading
+    // model").
+    let coeffs: Vec<[f64; 4]> = owned_edges
+        .par_iter()
+        .map(|&e| {
+            let edge = &mesh.edges[e];
+            let (a, b) = (edge.a, edge.b);
+            let mu_e = params.viscosity + rho * 0.5 * (state.nut[a] + state.nut[b]);
+            let uface = [
+                0.5 * (state.vel[a][0] + state.vel[b][0]),
+                0.5 * (state.vel[a][1] + state.vel[b][1]),
+                0.5 * (state.vel[a][2] + state.vel[b][2]),
+            ];
+            let mdot = rho * dot3(edge.area_vec, uface);
+            let dterm = mu_e * edge.area_over_dist;
+            [
+                mdot.max(0.0) + dterm,
+                mdot.min(0.0) - dterm,
+                -mdot.min(0.0) + dterm,
+                -mdot.max(0.0) - dterm,
+            ]
+        })
+        .collect();
+    vals.scatter_edges(&graph.scatter, coeffs.as_flattened());
+
+    // Pressure gradient (Green-Gauss face terms into the RHS): face
+    // pressures in parallel, scatter in edge order.
+    let pfaces: Vec<f64> = owned_edges
+        .par_iter()
+        .map(|&e| {
+            let edge = &mesh.edges[e];
+            0.5 * (state.p[edge.a] + state.p[edge.b])
+        })
+        .collect();
     for (k, &e) in owned_edges.iter().enumerate() {
         let edge = &mesh.edges[e];
-        let (a, b) = (edge.a, edge.b);
-        let slots = graph.edge_slots[k];
-        let mu_e = params.viscosity + rho * 0.5 * (state.nut[a] + state.nut[b]);
-        let uface = [
-            0.5 * (state.vel[a][0] + state.vel[b][0]),
-            0.5 * (state.vel[a][1] + state.vel[b][1]),
-            0.5 * (state.vel[a][2] + state.vel[b][2]),
-        ];
-        let mdot = rho * dot3(edge.area_vec, uface);
-        let dterm = mu_e * edge.area_over_dist;
-        vals.add(slots[0], mdot.max(0.0) + dterm);
-        vals.add(slots[1], mdot.min(0.0) - dterm);
-        vals.add(slots[2], -mdot.min(0.0) + dterm);
-        vals.add(slots[3], -mdot.max(0.0) - dterm);
-
-        let pface = 0.5 * (state.p[a] + state.p[b]);
-        if !graph.dirichlet[a] {
-            for c in 0..3 {
-                rhs[c].add_value(dm.gid[a], -edge.area_vec[c] * pface);
+        if !graph.dirichlet[edge.a] {
+            for (c, rv) in rhs.iter_mut().enumerate() {
+                rv.add_value(dm.gid[edge.a], -edge.area_vec[c] * pfaces[k]);
             }
         }
-        if !graph.dirichlet[b] {
-            for c in 0..3 {
-                rhs[c].add_value(dm.gid[b], edge.area_vec[c] * pface);
+        if !graph.dirichlet[edge.b] {
+            for (c, rv) in rhs.iter_mut().enumerate() {
+                rv.add_value(dm.gid[edge.b], edge.area_vec[c] * pfaces[k]);
             }
         }
     }
@@ -149,8 +170,8 @@ pub fn fill_momentum(
         } else {
             let tcoef = rho * mesh.node_volume[n] / params.dt;
             vals.add(slot, tcoef);
-            for c in 0..3 {
-                rhs[c].add_value(dm.gid[n], tcoef * state.vel_old[n][c]);
+            for (c, rv) in rhs.iter_mut().enumerate() {
+                rv.add_value(dm.gid[n], tcoef * state.vel_old[n][c]);
             }
         }
     }
@@ -233,28 +254,38 @@ pub fn fill_continuity(
     let mut rhs = IjVector::new(rank, dm.dist.clone());
     let kappa_coef = params.dt / params.density;
 
+    // Edge stage (parallel map + order-fixed scatter, as in
+    // `fill_momentum`).
+    let coeffs: Vec<[f64; 4]> = owned_edges
+        .par_iter()
+        .map(|&e| {
+            let kappa = kappa_coef * mesh.edges[e].area_over_dist;
+            [kappa, -kappa, kappa, -kappa]
+        })
+        .collect();
+    vals.scatter_edges(&graph.scatter, coeffs.as_flattened());
+
+    // Divergence of the provisional velocity through each dual face.
+    let fluxes: Vec<f64> = owned_edges
+        .par_iter()
+        .map(|&e| {
+            let edge = &mesh.edges[e];
+            let (a, b) = (edge.a, edge.b);
+            let uface = [
+                0.5 * (state.vel[a][0] + state.vel[b][0]),
+                0.5 * (state.vel[a][1] + state.vel[b][1]),
+                0.5 * (state.vel[a][2] + state.vel[b][2]),
+            ];
+            dot3(edge.area_vec, uface)
+        })
+        .collect();
     for (k, &e) in owned_edges.iter().enumerate() {
         let edge = &mesh.edges[e];
-        let (a, b) = (edge.a, edge.b);
-        let slots = graph.edge_slots[k];
-        let kappa = kappa_coef * edge.area_over_dist;
-        vals.add(slots[0], kappa);
-        vals.add(slots[1], -kappa);
-        vals.add(slots[2], kappa);
-        vals.add(slots[3], -kappa);
-
-        // Divergence of the provisional velocity through this dual face.
-        let uface = [
-            0.5 * (state.vel[a][0] + state.vel[b][0]),
-            0.5 * (state.vel[a][1] + state.vel[b][1]),
-            0.5 * (state.vel[a][2] + state.vel[b][2]),
-        ];
-        let flux = dot3(edge.area_vec, uface);
-        if !graph.dirichlet[a] {
-            rhs.add_value(dm.gid[a], -flux);
+        if !graph.dirichlet[edge.a] {
+            rhs.add_value(dm.gid[edge.a], -fluxes[k]);
         }
-        if !graph.dirichlet[b] {
-            rhs.add_value(dm.gid[b], flux);
+        if !graph.dirichlet[edge.b] {
+            rhs.add_value(dm.gid[edge.b], fluxes[k]);
         }
     }
 
@@ -308,23 +339,30 @@ pub fn fill_scalar(
     let mut rhs = IjVector::new(rank, dm.dist.clone());
     let rho = params.density;
 
-    for (k, &e) in owned_edges.iter().enumerate() {
-        let edge = &mesh.edges[e];
-        let (a, b) = (edge.a, edge.b);
-        let slots = graph.edge_slots[k];
-        let gamma = params.viscosity + rho * 0.5 * (state.nut[a] + state.nut[b]);
-        let uface = [
-            0.5 * (state.vel[a][0] + state.vel[b][0]),
-            0.5 * (state.vel[a][1] + state.vel[b][1]),
-            0.5 * (state.vel[a][2] + state.vel[b][2]),
-        ];
-        let mdot = rho * dot3(edge.area_vec, uface);
-        let dterm = gamma * edge.area_over_dist;
-        vals.add(slots[0], mdot.max(0.0) + dterm);
-        vals.add(slots[1], mdot.min(0.0) - dterm);
-        vals.add(slots[2], -mdot.min(0.0) + dterm);
-        vals.add(slots[3], -mdot.max(0.0) - dterm);
-    }
+    // Edge stage (parallel map + order-fixed scatter, as in
+    // `fill_momentum`).
+    let coeffs: Vec<[f64; 4]> = owned_edges
+        .par_iter()
+        .map(|&e| {
+            let edge = &mesh.edges[e];
+            let (a, b) = (edge.a, edge.b);
+            let gamma = params.viscosity + rho * 0.5 * (state.nut[a] + state.nut[b]);
+            let uface = [
+                0.5 * (state.vel[a][0] + state.vel[b][0]),
+                0.5 * (state.vel[a][1] + state.vel[b][1]),
+                0.5 * (state.vel[a][2] + state.vel[b][2]),
+            ];
+            let mdot = rho * dot3(edge.area_vec, uface);
+            let dterm = gamma * edge.area_over_dist;
+            [
+                mdot.max(0.0) + dterm,
+                mdot.min(0.0) - dterm,
+                -mdot.min(0.0) + dterm,
+                -mdot.max(0.0) - dterm,
+            ]
+        })
+        .collect();
+    vals.scatter_edges(&graph.scatter, coeffs.as_flattened());
     for (k, &n) in owned_nodes.iter().enumerate() {
         let slot = graph.diag_slots[k];
         if graph.dirichlet[n] {
@@ -379,17 +417,17 @@ pub fn correct_velocity(
     let mut grad = vec![[0.0f64; 3]; n];
     for edge in &mesh.edges {
         let pface = 0.5 * (state.dp[edge.a] + state.dp[edge.b]);
-        for c in 0..3 {
-            grad[edge.a][c] += edge.area_vec[c] * pface;
-            grad[edge.b][c] -= edge.area_vec[c] * pface;
+        for (c, &av) in edge.area_vec.iter().enumerate() {
+            grad[edge.a][c] += av * pface;
+            grad[edge.b][c] -= av * pface;
         }
     }
     // Close the dual surfaces at the domain boundary (Green-Gauss needs a
     // closed surface: a constant field must have zero gradient).
     for patch in &mesh.boundaries {
-        for (&node, &an) in patch.nodes.iter().zip(&patch.normals) {
-            for c in 0..3 {
-                grad[node][c] += an[c] * state.dp[node];
+        for (&node, an) in patch.nodes.iter().zip(&patch.normals) {
+            for (c, &anc) in an.iter().enumerate() {
+                grad[node][c] += anc * state.dp[node];
             }
         }
     }
@@ -399,8 +437,8 @@ pub fn correct_velocity(
             continue;
         }
         if !mom_dirichlet[i] {
-            for c in 0..3 {
-                state.vel[i][c] -= coef * grad[i][c] / mesh.node_volume[i];
+            for (c, &gc) in grad[i].iter().enumerate() {
+                state.vel[i][c] -= coef * gc / mesh.node_volume[i];
             }
         }
         state.p[i] += state.dp[i];
@@ -556,8 +594,8 @@ mod tests {
         let dir = dirichlet_momentum(&s.tags);
         let vel0 = state.vel.clone();
         correct_velocity(&s.mesh, &s.tags, &mut state, &params, &dir);
-        for i in 0..s.mesh.n_nodes() {
-            assert_eq!(state.vel[i], vel0[i], "constant dp moved velocity");
+        for (i, v0) in vel0.iter().enumerate() {
+            assert_eq!(state.vel[i], *v0, "constant dp moved velocity");
             assert!((state.p[i] - 7.5).abs() < 1e-12);
         }
     }
@@ -578,8 +616,8 @@ mod tests {
             let a = build_matrix(rank, &s.dm, &g, &vals).to_serial(rank);
             let [bx, _, _] = rhs;
             let bx = bx.assemble(rank).to_serial(rank);
-            for n in 0..s.mesh.n_nodes() {
-                if dir[n] {
+            for (n, &dn) in dir.iter().enumerate() {
+                if dn {
                     let gi = s.dm.gid[n] as usize;
                     let (cols, v) = a.row(gi);
                     assert_eq!(cols, &[gi]);
@@ -651,9 +689,9 @@ mod tests {
                 // Convert to node ordering (gid-independent comparison).
                 let n = s.mesh.n_nodes();
                 let mut dense = vec![vec![0.0; n]; n];
-                for i in 0..n {
-                    for j in 0..n {
-                        dense[i][j] = a.get(s.dm.gid[i] as usize, s.dm.gid[j] as usize);
+                for (i, row) in dense.iter_mut().enumerate() {
+                    for (j, dij) in row.iter_mut().enumerate() {
+                        *dij = a.get(s.dm.gid[i] as usize, s.dm.gid[j] as usize);
                     }
                 }
                 let b_nodes: Vec<f64> = (0..n).map(|i| bx[s.dm.gid[i] as usize]).collect();

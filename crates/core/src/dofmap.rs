@@ -54,8 +54,8 @@ impl DofMap {
                         .map(|h| {
                             let mut c = [0.0; 3];
                             for &v in h {
-                                for d in 0..3 {
-                                    c[d] += mesh.coords[v][d] / 8.0;
+                                for (d, cd) in c.iter_mut().enumerate() {
+                                    *cd += mesh.coords[v][d] / 8.0;
                                 }
                             }
                             c

@@ -11,6 +11,7 @@
 //! stage scatter coefficients without any searching (the paper's
 //! binary-search-once optimization of §3.2).
 
+use sparse_kit::prims;
 use windmesh::{BcKind, Mesh, NodeStatus};
 
 use crate::dofmap::DofMap;
@@ -82,6 +83,77 @@ pub const SKIP: u32 = u32::MAX;
 /// High bit marks a slot into the shared value array.
 const SHARED_BIT: u32 = 1 << 31;
 
+/// Inverse of [`EquationGraph::edge_slots`]: for every pattern slot, the
+/// list of per-edge contribution indices (`4·edge + corner`) that land in
+/// it, in ascending order.
+///
+/// This is what lets the local-assembly stage run the edge loop in
+/// parallel and still produce bitwise-deterministic sums: the per-edge
+/// coefficients are computed independently (a parallel map), and each
+/// slot then accumulates *its* contributions in the fixed edge order —
+/// the same order the sequential loop used — regardless of thread count.
+#[derive(Clone, Debug)]
+pub struct ScatterPlan {
+    /// CSR-style offsets into `owned_src`, one segment per owned slot.
+    pub owned_indptr: Vec<usize>,
+    /// Contribution indices (`4k + j`) per owned slot, ascending.
+    pub owned_src: Vec<u32>,
+    /// Offsets into `shared_src`, one segment per shared slot.
+    pub shared_indptr: Vec<usize>,
+    /// Contribution indices per shared slot, ascending.
+    pub shared_src: Vec<u32>,
+}
+
+impl ScatterPlan {
+    /// Counting-sort the slot targets of every edge contribution.
+    /// `SKIP`ped contributions (Dirichlet rows) are dropped.
+    pub fn build(edge_slots: &[[u32; 4]], n_owned: usize, n_shared: usize) -> ScatterPlan {
+        let mut owned_count = vec![0usize; n_owned];
+        let mut shared_count = vec![0usize; n_shared];
+        for slots in edge_slots {
+            for &s in slots {
+                if s == SKIP {
+                    continue;
+                }
+                if s & SHARED_BIT != 0 {
+                    shared_count[(s & !SHARED_BIT) as usize] += 1;
+                } else {
+                    owned_count[s as usize] += 1;
+                }
+            }
+        }
+        let owned_indptr = prims::exclusive_scan(&owned_count);
+        let shared_indptr = prims::exclusive_scan(&shared_count);
+        let mut owned_src = vec![0u32; *owned_indptr.last().unwrap()];
+        let mut shared_src = vec![0u32; *shared_indptr.last().unwrap()];
+        let mut owned_next = owned_indptr[..n_owned].to_vec();
+        let mut shared_next = shared_indptr[..n_shared].to_vec();
+        for (k, slots) in edge_slots.iter().enumerate() {
+            for (j, &s) in slots.iter().enumerate() {
+                if s == SKIP {
+                    continue;
+                }
+                let c = (4 * k + j) as u32;
+                if s & SHARED_BIT != 0 {
+                    let i = (s & !SHARED_BIT) as usize;
+                    shared_src[shared_next[i]] = c;
+                    shared_next[i] += 1;
+                } else {
+                    let i = s as usize;
+                    owned_src[owned_next[i]] = c;
+                    owned_next[i] += 1;
+                }
+            }
+        }
+        ScatterPlan {
+            owned_indptr,
+            owned_src,
+            shared_indptr,
+            shared_src,
+        }
+    }
+}
+
 /// The exact sparsity pattern of one equation system on one rank, with
 /// precomputed write slots.
 #[derive(Clone, Debug)]
@@ -96,6 +168,8 @@ pub struct EquationGraph {
     pub diag_slots: Vec<u32>,
     /// Dirichlet mask used to build the pattern.
     pub dirichlet: Vec<bool>,
+    /// Slot-wise inverse of `edge_slots` for the parallel edge scatter.
+    pub scatter: ScatterPlan,
 }
 
 impl EquationGraph {
@@ -173,12 +247,14 @@ impl EquationGraph {
                 owned.binary_search(&(g, g)).expect("diag missing") as u32
             })
             .collect();
+        let scatter = ScatterPlan::build(&edge_slots, owned.len(), shared.len());
         EquationGraph {
             owned,
             shared,
             edge_slots,
             diag_slots,
             dirichlet,
+            scatter,
         }
     }
 
@@ -272,6 +348,39 @@ impl LocalValues {
             } else {
                 Self::kahan_add(&mut self.owned[i], &mut self.comp_owned[i], v);
             }
+        }
+    }
+
+    /// Apply the whole edge stage at once: `src` is the flattened per-edge
+    /// coefficient array (`src[4k + j]` = corner `j` of edge `k`) and
+    /// `plan` routes every contribution to its slot. Each slot sums its
+    /// contributions in ascending edge order, so the result is bitwise
+    /// identical to calling [`LocalValues::add`] edge by edge — but the
+    /// underlying segmented reduction is free to run slots in parallel.
+    pub fn scatter_edges(&mut self, plan: &ScatterPlan, src: &[f64]) {
+        if self.comp_owned.is_empty() {
+            prims::segmented_gather_sum(&plan.owned_indptr, &plan.owned_src, src, &mut self.owned);
+            prims::segmented_gather_sum(
+                &plan.shared_indptr,
+                &plan.shared_src,
+                src,
+                &mut self.shared,
+            );
+        } else {
+            prims::segmented_gather_sum_kahan(
+                &plan.owned_indptr,
+                &plan.owned_src,
+                src,
+                &mut self.owned,
+                &mut self.comp_owned,
+            );
+            prims::segmented_gather_sum_kahan(
+                &plan.shared_indptr,
+                &plan.shared_src,
+                src,
+                &mut self.shared,
+                &mut self.comp_shared,
+            );
         }
     }
 
@@ -437,7 +546,7 @@ mod tests {
         let slot = g.diag_slots[0];
         let contributions: Vec<f64> = (0..200)
             .map(|k| {
-                let mag = 10f64.powi((k % 13) as i32 - 6);
+                let mag = 10f64.powi(k % 13 - 6);
                 mag * (1.0 + (k as f64) * 1e-3)
             })
             .collect();
@@ -481,6 +590,49 @@ mod tests {
         // And both agree to high relative accuracy.
         assert!((plain[0] - kahan[0]).abs() <= 1e-12 * kahan[0].abs());
         assert!(LocalValues::with_compensation(&g).compensated());
+    }
+
+    #[test]
+    fn scatter_plan_matches_sequential_adds_bitwise() {
+        // The plan-driven edge scatter must reproduce the sequential
+        // per-edge add loop bit for bit, in both summation modes, at any
+        // rank count (so shared slots get exercised too).
+        for nparts in [1, 2, 3] {
+            let (mesh, dm) = setup(nparts);
+            let tags = classify_nodes(&mesh);
+            let dir = dirichlet_momentum(&tags);
+            for me in 0..nparts {
+                let oe = owned_edges(&mesh, &dm, me);
+                let on = dm.owned_nodes(me);
+                let g = EquationGraph::build(&mesh, &dm, me, dir.clone(), &oe, &on);
+                // Contributions spanning many magnitudes and signs.
+                let src: Vec<f64> = (0..4 * g.edge_slots.len())
+                    .map(|c| {
+                        let mag = 10f64.powi((c % 9) as i32 - 4);
+                        mag * (((c * 2654435761) % 1000) as f64 - 499.5)
+                    })
+                    .collect();
+                for compensated in [false, true] {
+                    let mk = |g: &EquationGraph| {
+                        if compensated {
+                            LocalValues::with_compensation(g)
+                        } else {
+                            LocalValues::zeros(g)
+                        }
+                    };
+                    let mut seq = mk(&g);
+                    for (k, slots) in g.edge_slots.iter().enumerate() {
+                        for (j, &s) in slots.iter().enumerate() {
+                            seq.add(s, src[4 * k + j]);
+                        }
+                    }
+                    let mut plan = mk(&g);
+                    plan.scatter_edges(&g.scatter, &src);
+                    assert_eq!(seq.owned, plan.owned, "owned differ (kahan={compensated})");
+                    assert_eq!(seq.shared, plan.shared, "shared differ (kahan={compensated})");
+                }
+            }
+        }
     }
 
     #[test]

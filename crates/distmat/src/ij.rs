@@ -24,6 +24,9 @@ use crate::vector::ParVector;
 /// Bytes of one COO triple on the wire (i, j, value).
 const TRIPLE_BYTES: u64 = 24;
 
+/// COO triple arrays `(rows, cols, vals)` as sent on the wire.
+pub type CooBuffers = (Vec<u64>, Vec<u64>, Vec<f64>);
+
 /// An in-assembly distributed matrix (the IJ interface).
 #[derive(Clone, Debug)]
 pub struct IjMatrix {
@@ -87,7 +90,7 @@ impl IjMatrix {
         let nnz_recv: usize = count_matrix.iter().map(|row| row[self.rank_id] as usize).sum();
 
         // Exchange A_send: one message per destination rank.
-        let mut by_dst: Vec<(usize, (Vec<u64>, Vec<u64>, Vec<f64>))> = Vec::new();
+        let mut by_dst: Vec<(usize, CooBuffers)> = Vec::new();
         {
             let mut k = 0;
             while k < self.shared.len() {
@@ -115,11 +118,11 @@ impl IjMatrix {
         let mut all = Coo::with_capacity(self.owned.len() + nnz_recv);
         all.extend(&self.owned);
         let mut received = 0usize;
-        for src in 0..rank.size() {
-            if src == self.rank_id || count_matrix[src][self.rank_id] == 0 {
+        for (src, src_counts) in count_matrix.iter().enumerate() {
+            if src == self.rank_id || src_counts[self.rank_id] == 0 {
                 continue;
             }
-            let (rows, cols, vals): (Vec<u64>, Vec<u64>, Vec<f64>) = rank.recv(src, tag_mat);
+            let (rows, cols, vals): CooBuffers = rank.recv(src, tag_mat);
             received += rows.len();
             for ((r0, c0), v0) in rows.into_iter().zip(cols).zip(vals) {
                 all.push(r0, c0, v0);
@@ -191,7 +194,9 @@ impl IjVector {
         prims::stable_sort_by_key(&mut keys, &mut self.shared_vals);
         self.shared_ids = keys;
 
-        let mut msgs: Vec<(usize, (Vec<u64>, Vec<f64>))> = Vec::new();
+        // Vector entries `(ids, vals)` as sent on the wire.
+        type VecBuffers = (Vec<u64>, Vec<f64>);
+        let mut msgs: Vec<(usize, VecBuffers)> = Vec::new();
         let mut k = 0;
         while k < self.shared_ids.len() {
             let dst = self.dist.owner(self.shared_ids[k]);

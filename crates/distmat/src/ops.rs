@@ -9,7 +9,7 @@ use sparse_kit::spgemm::spgemm_flops;
 use sparse_kit::Coo;
 
 use crate::dist::RowDist;
-use crate::ij::IjMatrix;
+use crate::ij::{CooBuffers, IjMatrix};
 use crate::parcsr::ParCsr;
 
 /// Aᵀ distributed: every local entry is routed to the owner of its global
@@ -57,7 +57,7 @@ pub fn fetch_external_rows(rank: &Rank, b: &ParCsr, needed: &[u64]) -> ExtRows {
     let incoming = rank.sparse_exchange(requests);
 
     // Serve each request: flatten the rows as (counts, cols, vals).
-    let responses: Vec<(usize, (Vec<u64>, Vec<u64>, Vec<f64>))> = incoming
+    let responses: Vec<(usize, CooBuffers)> = incoming
         .into_iter()
         .map(|(src, gids)| {
             let mut counts = Vec::with_capacity(gids.len());
@@ -84,7 +84,7 @@ pub fn fetch_external_rows(rank: &Rank, b: &ParCsr, needed: &[u64]) -> ExtRows {
 
     // Reassemble into a map keyed by global row id. Requests were grouped
     // by owner in `needed` order, and each owner answered in that order.
-    let mut by_src: HashMap<usize, (Vec<u64>, Vec<u64>, Vec<f64>)> = HashMap::new();
+    let mut by_src: HashMap<usize, CooBuffers> = HashMap::new();
     for (src, payload) in rows_back {
         by_src.insert(src, payload);
     }

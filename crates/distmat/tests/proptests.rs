@@ -121,7 +121,7 @@ proptest! {
     ) {
         let n = a.nrows();
         // Interpolation: aggregate pairs of rows.
-        let nc = (n + 1) / 2;
+        let nc = n.div_ceil(2);
         let mut pcoo = Coo::new();
         for i in 0..n as u64 {
             pcoo.push(i, (i / 2).min(nc as u64 - 1), 1.0);

@@ -19,6 +19,7 @@
 use distmat::{ParCsr, ParVector};
 use parcomm::{KernelKind, Rank};
 use sparse_kit::cost;
+use sparse_kit::dense;
 use sparse_kit::Csr;
 
 use crate::precond::Preconditioner;
@@ -157,15 +158,14 @@ impl TwoStageGs {
     /// g⁰ = D⁻¹r, gʲ⁺¹ = D⁻¹(r − L gʲ)   (Eqs. 5–7).
     fn forward_solve(&self, rank: &Rank, r: &[f64]) -> Vec<f64> {
         let n = r.len();
-        let mut g: Vec<f64> = (0..n).map(|i| r[i] * self.split.inv_diag[i]).collect();
+        let mut g = vec![0.0; n];
+        dense::diag_scale(&self.split.inv_diag, r, &mut g);
         let mut lg = vec![0.0; n];
         for _ in 0..self.inner {
             let (bytes, flops) = cost::spmv(&self.split.l);
             rank.kernel(KernelKind::SpMV, bytes, flops);
             self.split.l.spmv_into(&g, &mut lg);
-            for i in 0..n {
-                g[i] = (r[i] - lg[i]) * self.split.inv_diag[i];
-            }
+            dense::jacobi_update(r, &lg, &self.split.inv_diag, &mut g);
         }
         g
     }
@@ -183,9 +183,7 @@ impl TwoStageGs {
             let g = self.forward_solve(rank, &r);
             let (bytes, flops) = cost::blas1(n, 3);
             rank.kernel(KernelKind::Stream, bytes, flops);
-            for i in 0..n {
-                x.local[i] += g[i];
-            }
+            dense::axpy(1.0, &g, &mut x.local);
         }
     }
 }
@@ -236,28 +234,28 @@ impl Sgs2 {
     /// triangular solves approximated by JR iterations.
     fn apply_local(&self, rank: &Rank, r: &[f64]) -> Vec<f64> {
         let n = r.len();
-        // Forward stage: y ≈ (L+D)⁻¹ r.
-        let mut y: Vec<f64> = (0..n).map(|i| r[i] * self.split.inv_diag[i]).collect();
+        // Forward stage: y ≈ (L+D)⁻¹ r (JR inner sweeps, element-wise
+        // parallel — see DESIGN.md, "Threading model").
+        let mut y = vec![0.0; n];
+        dense::diag_scale(&self.split.inv_diag, r, &mut y);
         let mut tmp = vec![0.0; n];
         for _ in 0..self.inner {
             let (bytes, flops) = cost::spmv(&self.split.l);
             rank.kernel(KernelKind::SpMV, bytes, flops);
             self.split.l.spmv_into(&y, &mut tmp);
-            for i in 0..n {
-                y[i] = (r[i] - tmp[i]) * self.split.inv_diag[i];
-            }
+            dense::jacobi_update(r, &tmp, &self.split.inv_diag, &mut y);
         }
         // Rescale: t = D y.
-        let t: Vec<f64> = (0..n).map(|i| y[i] * self.split.diag[i]).collect();
+        let mut t = vec![0.0; n];
+        dense::diag_scale(&self.split.diag, &y, &mut t);
         // Backward stage: z ≈ (D+U)⁻¹ t.
-        let mut z: Vec<f64> = (0..n).map(|i| t[i] * self.split.inv_diag[i]).collect();
+        let mut z = vec![0.0; n];
+        dense::diag_scale(&self.split.inv_diag, &t, &mut z);
         for _ in 0..self.inner {
             let (bytes, flops) = cost::spmv(&self.split.u);
             rank.kernel(KernelKind::SpMV, bytes, flops);
             self.split.u.spmv_into(&z, &mut tmp);
-            for i in 0..n {
-                z[i] = (t[i] - tmp[i]) * self.split.inv_diag[i];
-            }
+            dense::jacobi_update(&t, &tmp, &self.split.inv_diag, &mut z);
         }
         z
     }
@@ -272,9 +270,7 @@ impl Sgs2 {
             rank.kernel(KernelKind::SpMV, bytes, flops);
             local_residual(&self.a, &b.local, &x.local, &ext, &mut r);
             let z = self.apply_local(rank, &r);
-            for i in 0..n {
-                x.local[i] += z[i];
-            }
+            dense::axpy(1.0, &z, &mut x.local);
         }
     }
 }
@@ -307,9 +303,10 @@ impl L1Jacobi {
     pub fn new(a: &ParCsr) -> Self {
         let n = a.local_rows();
         let mut d = a.diag.diag();
-        for i in 0..n {
+        assert_eq!(d.len(), n);
+        for (i, di) in d.iter_mut().enumerate() {
             let (_, vals) = a.offd.row(i);
-            d[i] += vals.iter().map(|v| v.abs()).sum::<f64>();
+            *di += vals.iter().map(|v| v.abs()).sum::<f64>();
         }
         let inv_d_l1 = d
             .iter()
@@ -336,8 +333,8 @@ impl L1Jacobi {
             local_residual(&self.a, &b.local, &x.local, &ext, &mut r);
             let (bytes, flops) = cost::blas1(n, 3);
             rank.kernel(KernelKind::Stream, bytes, flops);
-            for i in 0..n {
-                x.local[i] += self.inv_d_l1[i] * r[i];
+            for (i, &ri) in r.iter().enumerate() {
+                x.local[i] += self.inv_d_l1[i] * ri;
             }
         }
     }
@@ -429,8 +426,8 @@ impl Chebyshev {
                 .map(|i| self.inv_diag[i] * r[i] / theta)
                 .collect();
             let mut sigma = theta / delta;
-            for i in 0..n {
-                x.local[i] += d[i];
+            for (i, &di) in d.iter().enumerate() {
+                x.local[i] += di;
             }
             for _ in 1..self.degree {
                 let ext = self.a.halo_exchange(rank, &x.local);

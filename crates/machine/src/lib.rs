@@ -210,8 +210,10 @@ mod tests {
     #[test]
     fn collectives_scale_with_log_ranks() {
         let m = MachineModel::summit_v100();
-        let mut t = Trace::default();
-        t.collectives = 100;
+        let t = Trace {
+            collectives: 100,
+            ..Trace::default()
+        };
         let t8 = m.rank_time(&t, 8);
         let t64 = m.rank_time(&t, 64);
         assert!((t64 / t8 - 2.0).abs() < 1e-9, "log2(64)/log2(8) = 2");

@@ -137,9 +137,9 @@ fn grow_initial(g: &Graph, nparts: usize, rng: &mut StdRng) -> Vec<usize> {
         }
         if p + 1 == nparts {
             // Last part absorbs everything left.
-            for v in 0..nv {
-                if part[v] == usize::MAX {
-                    part[v] = p;
+            for pv in part.iter_mut() {
+                if *pv == usize::MAX {
+                    *pv = p;
                 }
             }
             break;
@@ -208,7 +208,7 @@ fn refine(g: &Graph, part: &mut [usize], nparts: usize, rng: &mut StdRng) {
             let mut best: Option<usize> = None;
             for (u, _) in g.neighbors(v) {
                 let q = part[u];
-                if q != home && best.map_or(true, |b| weights[q] < weights[b]) {
+                if q != home && best.is_none_or(|b| weights[q] < weights[b]) {
                     best = Some(q);
                 }
             }

@@ -135,10 +135,7 @@ mod tests {
         for nparts in [1, 2, 3, 5, 6, 7, 8, 12, 16] {
             let part = rcb(&pts, &w, nparts);
             for p in 0..nparts {
-                assert!(
-                    part.iter().any(|&x| x == p),
-                    "part {p} empty for nparts={nparts}"
-                );
+                assert!(part.contains(&p), "part {p} empty for nparts={nparts}");
             }
             assert!(part.iter().all(|&p| p < nparts));
         }
@@ -159,7 +156,7 @@ mod tests {
     fn splits_longest_axis_first() {
         // Points stretched along y: the first cut must be in y.
         let pts: Vec<[f64; 3]> = (0..16).map(|i| [0.5, i as f64 * 10.0, 0.0]).collect();
-        let part = rcb(&pts, &vec![1.0; 16], 2);
+        let part = rcb(&pts, &[1.0; 16], 2);
         // Lower-y half in one part.
         for i in 0..8 {
             assert_eq!(part[i], part[0]);

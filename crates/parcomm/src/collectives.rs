@@ -147,8 +147,8 @@ impl Rank {
             self.send_internal_recorded(dst, tag, payload);
         }
         let mut received = Vec::new();
-        for src in 0..self.size() {
-            let n = all_counts[src][self.rank()];
+        for (src, src_counts) in all_counts.iter().enumerate() {
+            let n = src_counts[self.rank()];
             for _ in 0..n {
                 let payload: T = self.recv_internal(src, tag);
                 received.push((src, payload));

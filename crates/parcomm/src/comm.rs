@@ -5,7 +5,7 @@ use std::cell::{Cell, RefCell};
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 use crate::message::Message;
 use crate::perf::{KernelKind, PerfRecorder, PhaseTrace};
@@ -56,7 +56,7 @@ impl Comm {
         let mut txs = Vec::with_capacity(size);
         let mut rxs = Vec::with_capacity(size);
         for _ in 0..size {
-            let (tx, rx) = unbounded::<Envelope>();
+            let (tx, rx) = channel::<Envelope>();
             txs.push(tx);
             rxs.push(rx);
         }

@@ -4,7 +4,7 @@
 //! This crate reproduces the *programming model* those algorithms are
 //! written against — ranks, point-to-point messages, and collectives —
 //! inside a single process: each rank is an OS thread, and messages are
-//! typed values moved over crossbeam channels.
+//! typed values moved over std mpsc channels.
 //!
 //! Because the payloads never leave the process no serialization happens,
 //! but every send records the number of bytes an MPI implementation would

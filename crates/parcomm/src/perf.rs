@@ -253,12 +253,16 @@ mod tests {
 
     #[test]
     fn trace_total_and_max() {
-        let mut a = Trace::default();
-        a.kernel_launches = 2;
-        a.msg_bytes = 10;
-        let mut b = Trace::default();
-        b.kernel_launches = 5;
-        b.msg_bytes = 3;
+        let a = Trace {
+            kernel_launches: 2,
+            msg_bytes: 10,
+            ..Trace::default()
+        };
+        let b = Trace {
+            kernel_launches: 5,
+            msg_bytes: 3,
+            ..Trace::default()
+        };
 
         let total = Trace::total([&a, &b]);
         assert_eq!(total.kernel_launches, 7);

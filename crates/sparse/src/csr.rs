@@ -153,10 +153,10 @@ impl Csr {
     /// Dense row-major copy (tests and tiny systems only).
     pub fn to_dense(&self) -> Vec<Vec<f64>> {
         let mut out = vec![vec![0.0; self.ncols]; self.nrows];
-        for r in 0..self.nrows {
+        for (r, out_row) in out.iter_mut().enumerate() {
             let (cols, vals) = self.row(r);
             for (&c, &v) in cols.iter().zip(vals) {
-                out[r][c] = v;
+                out_row[c] = v;
             }
         }
         out
@@ -237,7 +237,7 @@ impl Csr {
         if self.nrows >= PAR_THRESHOLD {
             y.par_iter_mut().enumerate().map(|(r, yr)| (r, yr)).for_each(run);
         } else {
-            y.iter_mut().enumerate().map(|(r, yr)| (r, yr)).for_each(run);
+            y.iter_mut().enumerate().for_each(run);
         }
     }
 
@@ -245,12 +245,12 @@ impl Csr {
     pub fn spmv_add_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "x length != ncols");
         assert_eq!(y.len(), self.nrows, "y length != nrows");
-        for r in 0..self.nrows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.indptr[r]..self.indptr[r + 1] {
                 acc += self.vals[k] * x[self.indices[k]];
             }
-            y[r] += acc;
+            *yr += acc;
         }
     }
 
@@ -344,9 +344,9 @@ impl Csr {
     /// Scale row `r` by `d[r]` in place (D·A with D diagonal).
     pub fn scale_rows(&mut self, d: &[f64]) {
         assert_eq!(d.len(), self.nrows, "diagonal length != nrows");
-        for r in 0..self.nrows {
+        for (r, &dr) in d.iter().enumerate() {
             for k in self.indptr[r]..self.indptr[r + 1] {
-                self.vals[k] *= d[r];
+                self.vals[k] *= dr;
             }
         }
     }

@@ -21,8 +21,14 @@ pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
 pub fn waxpby(a: f64, x: &[f64], b: f64, y: &[f64], w: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "waxpby length mismatch");
     assert_eq!(x.len(), w.len(), "waxpby output length mismatch");
-    for i in 0..w.len() {
-        w[i] = a * x[i] + b * y[i];
+    if w.len() >= PAR_THRESHOLD {
+        w.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, wi)| *wi = a * x[i] + b * y[i]);
+    } else {
+        for i in 0..w.len() {
+            w[i] = a * x[i] + b * y[i];
+        }
     }
 }
 
@@ -43,8 +49,12 @@ pub fn norm2(x: &[f64]) -> f64 {
 
 /// x *= a.
 pub fn scale(a: f64, x: &mut [f64]) {
-    for xi in x {
-        *xi *= a;
+    if x.len() >= PAR_THRESHOLD {
+        x.par_iter_mut().for_each(|xi| *xi *= a);
+    } else {
+        for xi in x {
+            *xi *= a;
+        }
     }
 }
 
@@ -52,8 +62,33 @@ pub fn scale(a: f64, x: &mut [f64]) {
 pub fn diag_scale(d: &[f64], x: &[f64], out: &mut [f64]) {
     assert_eq!(d.len(), x.len(), "diag_scale length mismatch");
     assert_eq!(d.len(), out.len(), "diag_scale output length mismatch");
-    for i in 0..out.len() {
-        out[i] = d[i] * x[i];
+    if out.len() >= PAR_THRESHOLD {
+        out.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, o)| *o = d[i] * x[i]);
+    } else {
+        for i in 0..out.len() {
+            out[i] = d[i] * x[i];
+        }
+    }
+}
+
+/// Jacobi-Richardson inner update of the two-stage GS smoothers
+/// (Eqs. 5–7 / 11–14 of the paper): `g[i] = (r[i] − lg[i]) · inv_diag[i]`.
+/// Purely element-wise, so the parallel path is trivially bitwise
+/// deterministic at any thread count.
+pub fn jacobi_update(r: &[f64], lg: &[f64], inv_diag: &[f64], g: &mut [f64]) {
+    assert_eq!(r.len(), g.len(), "jacobi_update length mismatch");
+    assert_eq!(lg.len(), g.len(), "jacobi_update length mismatch");
+    assert_eq!(inv_diag.len(), g.len(), "jacobi_update length mismatch");
+    if g.len() >= PAR_THRESHOLD {
+        g.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, gi)| *gi = (r[i] - lg[i]) * inv_diag[i]);
+    } else {
+        for i in 0..g.len() {
+            g[i] = (r[i] - lg[i]) * inv_diag[i];
+        }
     }
 }
 
@@ -103,5 +138,23 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn dot_length_mismatch_panics() {
         dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn jacobi_update_small_and_large() {
+        let mut g = vec![0.0; 2];
+        jacobi_update(&[4.0, 9.0], &[1.0, 3.0], &[0.5, 2.0], &mut g);
+        assert_eq!(g, vec![1.5, 12.0]);
+
+        // Large path must agree bitwise with the serial formula.
+        let n = PAR_THRESHOLD + 3;
+        let r: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let lg: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+        let inv: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let mut g = vec![0.0; n];
+        jacobi_update(&r, &lg, &inv, &mut g);
+        for i in 0..n {
+            assert_eq!(g[i], (r[i] - lg[i]) * inv[i]);
+        }
     }
 }

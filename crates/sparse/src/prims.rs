@@ -15,10 +15,10 @@ const PAR_THRESHOLD: usize = 1 << 13;
 /// Stable sort of `(key, value)` pairs by key.
 ///
 /// Equivalent of `thrust::stable_sort_by_key`.
-pub fn stable_sort_by_key<K, V>(keys: &mut Vec<K>, vals: &mut Vec<V>)
+pub fn stable_sort_by_key<K, V>(keys: &mut [K], vals: &mut [V])
 where
-    K: Ord + Copy + Send,
-    V: Copy + Send,
+    K: Ord + Copy + Send + Sync,
+    V: Copy + Send + Sync,
 {
     assert_eq!(keys.len(), vals.len(), "key/value length mismatch");
     let mut pairs: Vec<(K, V)> = keys.iter().copied().zip(vals.iter().copied()).collect();
@@ -34,11 +34,11 @@ where
 }
 
 /// Stable sort of `(key, value1, value2)` triples by key.
-pub fn stable_sort_by_key2<K, V1, V2>(keys: &mut Vec<K>, vals1: &mut Vec<V1>, vals2: &mut Vec<V2>)
+pub fn stable_sort_by_key2<K, V1, V2>(keys: &mut [K], vals1: &mut [V1], vals2: &mut [V2])
 where
-    K: Ord + Copy + Send,
-    V1: Copy + Send,
-    V2: Copy + Send,
+    K: Ord + Copy + Send + Sync,
+    V1: Copy + Send + Sync,
+    V2: Copy + Send + Sync,
 {
     assert_eq!(keys.len(), vals1.len(), "key/value1 length mismatch");
     assert_eq!(keys.len(), vals2.len(), "key/value2 length mismatch");
@@ -60,16 +60,71 @@ where
     }
 }
 
+/// Fixed segment width for the parallel `reduce_by_key` path. A compile-time
+/// constant (never derived from the thread count) so segment boundaries — and
+/// therefore the work partition — are identical no matter how many threads
+/// execute them.
+const REDUCE_CHUNK: usize = 1 << 12;
+
 /// Reduce runs of equal adjacent keys, summing their values.
 ///
 /// Equivalent of `thrust::reduce_by_key` with a `plus` reduction: the
 /// input is expected to be key-sorted (as after [`stable_sort_by_key`]);
 /// the output contains each distinct key once, with the sum of its values.
+///
+/// **Determinism.** Every run of equal keys is summed left-to-right in input
+/// order, in both the serial and the parallel path. The parallel path cuts
+/// the input at fixed `REDUCE_CHUNK` boundaries *snapped forward to the next
+/// run start*, so no run ever spans two segments; each segment is then
+/// reduced serially and the per-segment outputs are concatenated in segment
+/// order. The result is bitwise identical to the serial reduction for any
+/// thread count, including one.
 pub fn reduce_by_key<K>(keys: &[K], vals: &[f64]) -> (Vec<K>, Vec<f64>)
+where
+    K: Eq + Copy + Send + Sync,
+{
+    assert_eq!(keys.len(), vals.len(), "key/value length mismatch");
+    let n = keys.len();
+    if n < PAR_THRESHOLD {
+        return reduce_by_key_serial(keys, vals);
+    }
+
+    // Segment boundaries: multiples of REDUCE_CHUNK, snapped forward past any
+    // run of equal keys straddling them.
+    let mut bounds = vec![0usize];
+    let mut b = REDUCE_CHUNK;
+    while b < n {
+        let mut snapped = b;
+        while snapped < n && keys[snapped] == keys[snapped - 1] {
+            snapped += 1;
+        }
+        if snapped < n && snapped > *bounds.last().unwrap() {
+            bounds.push(snapped);
+        }
+        b += REDUCE_CHUNK;
+    }
+    bounds.push(n);
+
+    let nseg = bounds.len() - 1;
+    let parts: Vec<(Vec<K>, Vec<f64>)> = (0..nseg)
+        .into_par_iter()
+        .map(|s| reduce_by_key_serial(&keys[bounds[s]..bounds[s + 1]], &vals[bounds[s]..bounds[s + 1]]))
+        .collect();
+
+    let total: usize = parts.iter().map(|(k, _)| k.len()).sum();
+    let mut out_keys = Vec::with_capacity(total);
+    let mut out_vals = Vec::with_capacity(total);
+    for (k, v) in parts {
+        out_keys.extend(k);
+        out_vals.extend(v);
+    }
+    (out_keys, out_vals)
+}
+
+fn reduce_by_key_serial<K>(keys: &[K], vals: &[f64]) -> (Vec<K>, Vec<f64>)
 where
     K: Eq + Copy,
 {
-    assert_eq!(keys.len(), vals.len(), "key/value length mismatch");
     let mut out_keys = Vec::with_capacity(keys.len());
     let mut out_vals = Vec::with_capacity(vals.len());
     let mut i = 0;
@@ -86,6 +141,76 @@ where
         i = j;
     }
     (out_keys, out_vals)
+}
+
+/// Segmented ordered gather-sum: for each segment `s`,
+///
+/// ```text
+/// out[s] += Σ_{p in indptr[s]..indptr[s+1]} src[perm[p]]   (summed in p order)
+/// ```
+///
+/// This is the deterministic replacement for an atomic scatter-add: instead
+/// of many writers racing on `out[s]`, a precomputed permutation groups each
+/// destination's contributions, and one task sums them in a fixed order.
+/// Segments are independent, so the loop parallelises over `s` with no
+/// change to any segment's summation order (§3.2's assembly scatter, minus
+/// the non-determinism the paper accepts on GPUs).
+pub fn segmented_gather_sum(indptr: &[usize], perm: &[u32], src: &[f64], out: &mut [f64]) {
+    assert_eq!(indptr.len(), out.len() + 1, "indptr/out length mismatch");
+    assert_eq!(*indptr.last().unwrap(), perm.len(), "indptr/perm length mismatch");
+    let run = |(s, o): (usize, &mut f64)| {
+        let mut acc = 0.0;
+        for &p in &perm[indptr[s]..indptr[s + 1]] {
+            acc += src[p as usize];
+        }
+        *o += acc;
+    };
+    if out.len() >= PAR_THRESHOLD {
+        out.par_iter_mut().enumerate().map(|(s, o)| (s, o)).for_each(run);
+    } else {
+        for (s, o) in out.iter_mut().enumerate() {
+            run((s, o));
+        }
+    }
+}
+
+/// Kahan-compensated variant of [`segmented_gather_sum`]: continues each
+/// segment's `(sum, compensation)` state in contribution order, exactly as a
+/// serial loop of compensated adds would. Per-segment state is independent,
+/// so parallelising over segments is bitwise exact.
+pub fn segmented_gather_sum_kahan(
+    indptr: &[usize],
+    perm: &[u32],
+    src: &[f64],
+    out: &mut [f64],
+    comp: &mut [f64],
+) {
+    assert_eq!(indptr.len(), out.len() + 1, "indptr/out length mismatch");
+    assert_eq!(out.len(), comp.len(), "out/comp length mismatch");
+    assert_eq!(*indptr.last().unwrap(), perm.len(), "indptr/perm length mismatch");
+    let run = |(s, (o, c)): (usize, (&mut f64, &mut f64))| {
+        let mut sum = *o;
+        let mut carry = *c;
+        for &p in &perm[indptr[s]..indptr[s + 1]] {
+            let y = src[p as usize] - carry;
+            let t = sum + y;
+            carry = (t - sum) - y;
+            sum = t;
+        }
+        *o = sum;
+        *c = carry;
+    };
+    if out.len() >= PAR_THRESHOLD {
+        out.par_iter_mut()
+            .zip(&mut comp[..])
+            .enumerate()
+            .map(|(s, oc)| (s, oc))
+            .for_each(run);
+    } else {
+        for (s, oc) in out.iter_mut().zip(comp.iter_mut()).enumerate() {
+            run((s, oc));
+        }
+    }
 }
 
 /// Exclusive prefix sum; returns a vector one longer than the input whose
@@ -196,6 +321,72 @@ mod tests {
         let mut dst = vec![0.0; 3];
         scatter_add(&mut dst, &[0, 2, 0], &[1.0, 2.0, 3.0]);
         assert_eq!(dst, vec![4.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn reduce_by_key_parallel_path_matches_serial_bitwise() {
+        // Long runs of equal keys crossing the REDUCE_CHUNK boundaries, with
+        // values chosen so that reassociation would change the rounding.
+        let n = PAR_THRESHOLD + 3 * REDUCE_CHUNK + 41;
+        let keys: Vec<u64> = (0..n).map(|i| (i / 1777) as u64).collect();
+        let vals: Vec<f64> = (0..n)
+            .map(|i| ((i % 613) as f64 - 300.0) * 1.0e-3 + 1.0e-12 * i as f64)
+            .collect();
+        let (pk, pv) = reduce_by_key(&keys, &vals);
+        let (sk, sv) = reduce_by_key_serial(&keys, &vals);
+        assert_eq!(pk, sk);
+        assert_eq!(pv.len(), sv.len());
+        for (a, b) in pv.iter().zip(&sv) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn reduce_by_key_parallel_single_giant_run() {
+        // One run spanning every chunk boundary: the snap-forward must
+        // collapse all interior boundaries.
+        let n = PAR_THRESHOLD + 2 * REDUCE_CHUNK;
+        let keys = vec![7u64; n];
+        let vals: Vec<f64> = (0..n).map(|i| 1.0 + 1.0e-14 * i as f64).collect();
+        let (pk, pv) = reduce_by_key(&keys, &vals);
+        let (sk, sv) = reduce_by_key_serial(&keys, &vals);
+        assert_eq!(pk, sk);
+        assert_eq!(pv[0].to_bits(), sv[0].to_bits());
+    }
+
+    #[test]
+    fn segmented_gather_sum_matches_ordered_serial() {
+        // 3 segments with interleaved source contributions.
+        let indptr = vec![0usize, 3, 3, 5];
+        let perm = vec![4u32, 0, 2, 1, 3];
+        let src = vec![0.1, 0.2, 0.3, 0.4, 0.5];
+        let mut out = vec![1.0, 2.0, 3.0];
+        segmented_gather_sum(&indptr, &perm, &src, &mut out);
+        assert_eq!(out[0], 1.0 + (0.5 + 0.1 + 0.3));
+        assert_eq!(out[1], 2.0); // empty segment untouched
+        assert_eq!(out[2], 3.0 + (0.2 + 0.4));
+    }
+
+    #[test]
+    fn segmented_gather_sum_kahan_continues_state() {
+        let indptr = vec![0usize, 2];
+        let perm = vec![0u32, 1];
+        let src = vec![1.0e-16, 1.0e-16];
+        let mut out = vec![1.0];
+        let mut comp = vec![0.0];
+        segmented_gather_sum_kahan(&indptr, &perm, &src, &mut out, &mut comp);
+        // Plain summation would lose both tiny addends; Kahan keeps them in
+        // the compensation term.
+        let mut sum = 1.0f64;
+        let mut carry = 0.0f64;
+        for v in [1.0e-16, 1.0e-16] {
+            let y = v - carry;
+            let t = sum + y;
+            carry = (t - sum) - y;
+            sum = t;
+        }
+        assert_eq!(out[0].to_bits(), sum.to_bits());
+        assert_eq!(comp[0].to_bits(), carry.to_bits());
     }
 
     #[test]

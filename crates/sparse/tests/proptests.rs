@@ -43,6 +43,36 @@ fn close(a: &[Vec<f64>], b: &[Vec<f64>]) -> bool {
         .all(|(ra, rb)| ra.iter().zip(rb).all(|(x, y)| (x - y).abs() < 1e-9))
 }
 
+/// Serial mirror of `prims::reduce_by_key`: runs of equal adjacent keys
+/// summed strictly left-to-right. The parallel path must reproduce this
+/// bitwise for any input.
+fn reduce_by_key_reference(keys: &[u64], vals: &[f64]) -> (Vec<u64>, Vec<f64>) {
+    let mut out_keys = Vec::new();
+    let mut out_vals = Vec::new();
+    let mut i = 0;
+    while i < keys.len() {
+        let k = keys[i];
+        let mut acc = vals[i];
+        let mut j = i + 1;
+        while j < keys.len() && keys[j] == k {
+            acc += vals[j];
+            j += 1;
+        }
+        out_keys.push(k);
+        out_vals.push(acc);
+        i = j;
+    }
+    (out_keys, out_vals)
+}
+
+/// Mixed-sign, mixed-magnitude values: any reassociation of a sum over
+/// these changes the floating-point rounding, so a bitwise comparison
+/// detects reordering.
+fn rounding_sensitive_val(i: usize) -> f64 {
+    let m = ((i.wrapping_mul(2654435761)) % 1000) as f64 - 499.5;
+    m * 10f64.powi((i % 9) as i32 - 4)
+}
+
 proptest! {
     #[test]
     fn sort_by_key_matches_std_sort(pairs in proptest::collection::vec((0u64..50, -10i64..10), 0..200)) {
@@ -179,6 +209,102 @@ proptest! {
     }
 
     #[test]
+    fn reduce_by_key_arbitrary_runs_match_serial_bitwise(
+        lens in proptest::collection::vec(0usize..700, 0..32)
+    ) {
+        // Arbitrary run lengths (empty runs included); totals regularly
+        // cross the parallel threshold, so both code paths are exercised.
+        let mut keys = Vec::new();
+        for (k, &l) in lens.iter().enumerate() {
+            keys.extend(std::iter::repeat_n(k as u64, l));
+        }
+        let vals: Vec<f64> = (0..keys.len()).map(rounding_sensitive_val).collect();
+        let (pk, pv) = prims::reduce_by_key(&keys, &vals);
+        let (sk, sv) = reduce_by_key_reference(&keys, &vals);
+        prop_assert_eq!(pk, sk);
+        prop_assert_eq!(pv.len(), sv.len());
+        for (a, b) in pv.iter().zip(&sv) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn reduce_by_key_all_equal_keys_match_serial_bitwise(n in 0usize..20000) {
+        // One run spanning the whole input (including sizes past the
+        // parallel threshold, where every chunk boundary must snap away).
+        let keys = vec![3u64; n];
+        let vals: Vec<f64> = (0..n).map(rounding_sensitive_val).collect();
+        let (pk, pv) = prims::reduce_by_key(&keys, &vals);
+        let (sk, sv) = reduce_by_key_reference(&keys, &vals);
+        prop_assert_eq!(pk, sk);
+        prop_assert_eq!(pv.len(), sv.len());
+        for (a, b) in pv.iter().zip(&sv) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn segmented_gather_sum_matches_serial_bitwise(
+        (nseg, span) in (0usize..9000, 1usize..5)
+    ) {
+        // Segment lengths 0..=span derived from the segment index; perm
+        // gathers with duplicates. Serial reference: per-segment ordered
+        // accumulation.
+        let counts: Vec<usize> = (0..nseg).map(|s| s.wrapping_mul(31) % (span + 1)).collect();
+        let indptr = prims::exclusive_scan(&counts);
+        let total = *indptr.last().unwrap();
+        let m = total.max(1);
+        let perm: Vec<u32> = (0..total).map(|p| (p.wrapping_mul(7919) % m) as u32).collect();
+        let src: Vec<f64> = (0..m).map(rounding_sensitive_val).collect();
+        let mut out: Vec<f64> = (0..nseg).map(|s| rounding_sensitive_val(s + 13)).collect();
+        let mut reference = out.clone();
+        prims::segmented_gather_sum(&indptr, &perm, &src, &mut out);
+        for s in 0..nseg {
+            let mut acc = 0.0;
+            for &p in &perm[indptr[s]..indptr[s + 1]] {
+                acc += src[p as usize];
+            }
+            reference[s] += acc;
+        }
+        for (a, b) in out.iter().zip(&reference) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn segmented_gather_sum_kahan_matches_serial_bitwise(
+        (nseg, span) in (0usize..9000, 1usize..5)
+    ) {
+        let counts: Vec<usize> = (0..nseg).map(|s| s.wrapping_mul(17) % (span + 1)).collect();
+        let indptr = prims::exclusive_scan(&counts);
+        let total = *indptr.last().unwrap();
+        let m = total.max(1);
+        let perm: Vec<u32> = (0..total).map(|p| (p.wrapping_mul(6151) % m) as u32).collect();
+        let src: Vec<f64> = (0..m).map(rounding_sensitive_val).collect();
+        let mut out: Vec<f64> = (0..nseg).map(|s| rounding_sensitive_val(s + 7)).collect();
+        let mut comp: Vec<f64> = (0..nseg).map(|s| rounding_sensitive_val(s + 29) * 1e-18).collect();
+        let mut ref_out = out.clone();
+        let mut ref_comp = comp.clone();
+        prims::segmented_gather_sum_kahan(&indptr, &perm, &src, &mut out, &mut comp);
+        for s in 0..nseg {
+            let mut sum = ref_out[s];
+            let mut carry = ref_comp[s];
+            for &p in &perm[indptr[s]..indptr[s + 1]] {
+                let y = src[p as usize] - carry;
+                let t = sum + y;
+                carry = (t - sum) - y;
+                sum = t;
+            }
+            ref_out[s] = sum;
+            ref_comp[s] = carry;
+        }
+        for s in 0..nseg {
+            prop_assert_eq!(out[s].to_bits(), ref_out[s].to_bits());
+            prop_assert_eq!(comp[s].to_bits(), ref_comp[s].to_bits());
+        }
+    }
+
+    #[test]
     fn lower_upper_diag_decomposition(d in (2usize..8,).prop_flat_map(|(n,)| dense(n, n))) {
         let a = Csr::from_dense(&d);
         let rebuilt = a
@@ -186,9 +312,9 @@ proptest! {
             .add(&a.strict_upper())
             .add(&Csr::from_diag(&a.diag()));
         // Same values everywhere.
-        for r in 0..d.len() {
-            for c in 0..d.len() {
-                prop_assert!((rebuilt.get(r, c) - d[r][c]).abs() < 1e-12);
+        for (r, row) in d.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                prop_assert!((rebuilt.get(r, c) - v).abs() < 1e-12);
             }
         }
     }

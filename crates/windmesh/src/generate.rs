@@ -166,9 +166,9 @@ pub fn box_mesh(xs: Vec<f64>, ys: Vec<f64>, zs: Vec<f64>, bc: BoxBc) -> Mesh {
     {
         let (mut n0, mut n1) = (Vec::new(), Vec::new());
         let (mut a0, mut a1) = (Vec::new(), Vec::new());
-        for j in 0..ny {
-            for k in 0..nz {
-                let area = hy[j] * hz[k];
+        for (j, &hyj) in hy.iter().enumerate() {
+            for (k, &hzk) in hz.iter().enumerate() {
+                let area = hyj * hzk;
                 n0.push(id(0, j, k));
                 a0.push([-area, 0.0, 0.0]);
                 n1.push(id(nx - 1, j, k));
@@ -181,9 +181,9 @@ pub fn box_mesh(xs: Vec<f64>, ys: Vec<f64>, zs: Vec<f64>, bc: BoxBc) -> Mesh {
     {
         let (mut n0, mut n1) = (Vec::new(), Vec::new());
         let (mut a0, mut a1) = (Vec::new(), Vec::new());
-        for i in 0..nx {
-            for k in 0..nz {
-                let area = hx[i] * hz[k];
+        for (i, &hxi) in hx.iter().enumerate() {
+            for (k, &hzk) in hz.iter().enumerate() {
+                let area = hxi * hzk;
                 n0.push(id(i, 0, k));
                 a0.push([0.0, -area, 0.0]);
                 n1.push(id(i, ny - 1, k));
@@ -196,9 +196,9 @@ pub fn box_mesh(xs: Vec<f64>, ys: Vec<f64>, zs: Vec<f64>, bc: BoxBc) -> Mesh {
     {
         let (mut n0, mut n1) = (Vec::new(), Vec::new());
         let (mut a0, mut a1) = (Vec::new(), Vec::new());
-        for i in 0..nx {
-            for j in 0..ny {
-                let area = hx[i] * hy[j];
+        for (i, &hxi) in hx.iter().enumerate() {
+            for (j, &hyj) in hy.iter().enumerate() {
+                let area = hxi * hyj;
                 n0.push(id(i, j, 0));
                 a0.push([0.0, 0.0, -area]);
                 n1.push(id(i, j, nz - 1));
@@ -278,7 +278,7 @@ pub fn annulus_mesh(xs: Vec<f64>, rs: Vec<f64>, n_theta: usize, center: [f64; 3]
         ([d[0] / len, d[1] / len, d[2] / len], len)
     };
     let mut edges = Vec::new();
-    for ix in 0..nx {
+    for (ix, &hxix) in hx.iter().enumerate() {
         for ir in 0..nr {
             for it in 0..nt {
                 let a = id(ix, ir, it);
@@ -298,7 +298,7 @@ pub fn annulus_mesh(xs: Vec<f64>, rs: Vec<f64>, n_theta: usize, center: [f64; 3]
                 if ir + 1 < nr {
                     let b = id(ix, ir + 1, it);
                     let r_face = 0.5 * (rs[ir] + rs[ir + 1]);
-                    let area = hx[ix] * r_face * dth;
+                    let area = hxix * r_face * dth;
                     let (u, len) = unit(coords[a], coords[b]);
                     edges.push(Edge {
                         a,
@@ -312,7 +312,7 @@ pub fn annulus_mesh(xs: Vec<f64>, rs: Vec<f64>, n_theta: usize, center: [f64; 3]
                     let b = id(ix, ir, (it + 1) % nt);
                     if a < b || (it + 1) % nt == 0 {
                         // emit each wrap edge exactly once
-                        let area = hx[ix] * hr[ir];
+                        let area = hxix * hr[ir];
                         let (u, len) = unit(coords[a], coords[b]);
                         edges.push(Edge {
                             a,
@@ -331,15 +331,15 @@ pub fn annulus_mesh(xs: Vec<f64>, rs: Vec<f64>, n_theta: usize, center: [f64; 3]
     let mut wall_normals = Vec::new();
     let mut rec_nodes = Vec::new();
     let mut rec_normals = Vec::new();
-    for ix in 0..nx {
+    for (ix, &hxix) in hx.iter().enumerate() {
         for it in 0..nt {
             let th = it as f64 * dth;
             // Inner ring: wall, normal pointing inward (−r̂).
-            let area_in = hx[ix] * rs[0] * dth;
+            let area_in = hxix * rs[0] * dth;
             wall_nodes.push(id(ix, 0, it));
             wall_normals.push([0.0, -th.cos() * area_in, -th.sin() * area_in]);
             // Outer ring: receptor.
-            let area_out = hx[ix] * rs[nr - 1] * dth;
+            let area_out = hxix * rs[nr - 1] * dth;
             rec_nodes.push(id(ix, nr - 1, it));
             rec_normals.push([0.0, th.cos() * area_out, th.sin() * area_out]);
         }
@@ -414,7 +414,7 @@ mod tests {
         assert_eq!(m.n_nodes(), 12);
         assert_eq!(m.n_elems(), 2);
         // Edges: x: 2*4, y: 3*2*... count via formula: nx-1)*ny*nz + ...
-        assert_eq!(m.edges.len(), 2 * 4 + 3 * 1 * 2 + 3 * 2 * 1);
+        assert_eq!(m.edges.len(), 2 * 4 + 3 * 2 + 3 * 2);
         assert!((m.total_volume() - 2.0).abs() < 1e-12);
         assert!(m.max_aspect_ratio() < 2.0 + 1e-9);
     }
@@ -463,8 +463,8 @@ mod tests {
         // Interpolating coordinates recovers the point.
         let mut q = [0.0; 3];
         for (n, wt) in nodes.iter().zip(&w) {
-            for d in 0..3 {
-                q[d] += m.coords[*n][d] * wt;
+            for (d, qd) in q.iter_mut().enumerate() {
+                *qd += m.coords[*n][d] * wt;
             }
         }
         for d in 0..3 {
@@ -502,8 +502,8 @@ mod tests {
             let (nodes, w) = m.locate(p).unwrap();
             let mut q = [0.0; 3];
             for (n, wt) in nodes.iter().zip(&w) {
-                for d in 0..3 {
-                    q[d] += m.coords[*n][d] * wt;
+                for (d, qd) in q.iter_mut().enumerate() {
+                    *qd += m.coords[*n][d] * wt;
                 }
             }
             // Trilinear-in-latent is only approximately linear in

@@ -113,8 +113,8 @@ mod tests {
             let (nodes, w) = m.locate(p).expect("point inside annulus");
             let mut q = [0.0; 3];
             for (n, wt) in nodes.iter().zip(&w) {
-                for d in 0..3 {
-                    q[d] += m.coords[*n][d] * wt;
+                for (d, qd) in q.iter_mut().enumerate() {
+                    *qd += m.coords[*n][d] * wt;
                 }
             }
             for d in 0..3 {

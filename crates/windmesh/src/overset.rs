@@ -243,8 +243,8 @@ mod tests {
             let donor = &meshes[r.donor_mesh];
             let mut q = [0.0; 3];
             for (n, w) in r.donor_nodes.iter().zip(&r.weights) {
-                for d in 0..3 {
-                    q[d] += donor.coords[*n][d] * w;
+                for (d, qd) in q.iter_mut().enumerate() {
+                    *qd += donor.coords[*n][d] * w;
                 }
             }
             for d in 0..3 {

@@ -34,8 +34,8 @@ fn pressure_matrix(mesh: &exawind::windmesh::Mesh, dm: &DofMap) -> Csr {
             coo.push(dm.gid[b], dm.gid[a], -k);
         }
     }
-    for i in 0..n {
-        if dir[i] {
+    for (i, &di) in dir.iter().enumerate() {
+        if di {
             coo.push(dm.gid[i], dm.gid[i], 1.0);
         }
     }

@@ -1,0 +1,301 @@
+//! Offline stand-in for the `rand` crate (0.8-era API surface).
+//!
+//! The build container cannot reach crates.io, so this shim provides the
+//! subset of `rand` the workspace uses: seeded `StdRng`/`SmallRng`,
+//! `Rng::{gen, gen_range, gen_bool}`, and `seq::SliceRandom::shuffle`.
+//!
+//! All generators are deterministic functions of their `seed_from_u64` seed
+//! (SplitMix64 to expand the seed, xoshiro256++-style state update). The
+//! workspace never asserts on specific random values — only on invariants of
+//! the consuming algorithms (PMIS independence, partition balance, solver
+//! convergence) — so matching the real rand's exact streams is not required;
+//! matching its statistical quality and determinism is.
+
+/// Core source of random 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible by `Rng::gen`.
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types usable as `Rng::gen_range` bounds.
+pub trait SampleUniform: PartialOrd + Copy {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                debug_assert!(span > 0, "gen_range: empty range");
+                // Modulo bias is < 2^-64 * span: irrelevant for the mesh and
+                // matrix sizes used here, and determinism is what matters.
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + f32::sample(rng) * (hi - lo)
+    }
+}
+
+/// The user-facing generator trait.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "gen_range: empty range");
+        T::sample_range(self, range.start, range.end)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0,1]");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++-style generator seeded via SplitMix64 (the same seeding
+/// scheme the real rand uses for its small RNGs).
+#[derive(Clone, Debug)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // Avoid the all-zero state (cannot occur from splitmix64, but cheap).
+        if s == [0, 0, 0, 0] {
+            s[0] = 1;
+        }
+        Xoshiro256 { s }
+    }
+}
+
+impl RngCore for Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+pub mod rngs {
+    use super::*;
+
+    /// Stand-in for rand's `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng(pub(crate) Xoshiro256);
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng(Xoshiro256::from_seed(seed))
+        }
+    }
+
+    /// Stand-in for rand's `SmallRng`.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng(pub(crate) Xoshiro256);
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Different stream from StdRng for the same seed.
+            SmallRng(Xoshiro256::from_seed(seed ^ 0xA5A5_5A5A_DEAD_BEEF))
+        }
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    pub trait SliceRandom {
+        type Item;
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        /// Fisher–Yates; deterministic given the rng state.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64_pub(), b.next_u64_pub());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<f64>(), c.gen::<f64>());
+    }
+
+    trait NextPub {
+        fn next_u64_pub(&mut self) -> u64;
+    }
+    impl NextPub for StdRng {
+        fn next_u64_pub(&mut self) -> u64 {
+            use super::RngCore;
+            self.next_u64()
+        }
+    }
+
+    #[test]
+    fn unit_interval_and_ranges() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut mean = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            mean += x;
+        }
+        mean /= 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+        for _ in 0..1000 {
+            let k = rng.gen_range(3..9);
+            assert!((3..9).contains(&k));
+            let f = rng.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((hits as f64 / 10_000.0 - 0.3).abs() < 0.03);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<usize> = (0..257).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..257).collect::<Vec<_>>());
+        assert_ne!(v, (0..257).collect::<Vec<_>>());
+    }
+}

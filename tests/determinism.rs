@@ -1,0 +1,180 @@
+//! Bitwise determinism of the threaded hot paths across rayon thread
+//! counts.
+//!
+//! The paper's per-rank parallelism (local assembly, Algorithm 1/2
+//! global assembly, AMG setup, Jacobi-Richardson smoother sweeps) must
+//! not change a single bit of the results when the thread count
+//! changes: every reduction runs in a fixed, index-determined order.
+//! These tests rebuild the same turbine problem under thread pools of
+//! size 1, 2, and 8 and compare raw `f64` bit patterns.
+//!
+//! The pool is installed *inside* each simulated-MPI rank closure:
+//! `Comm::run` spawns one OS thread per rank, and pool installation is
+//! thread-local, so installing before `Comm::run` would have no effect
+//! on the rank threads.
+
+use exawind::amg::pmis::pmis;
+use exawind::amg::strength::Strength;
+use exawind::amg::{AmgConfig, AmgHierarchy, CfState};
+use exawind::nalu_core::assemble::{build_matrix, fill_continuity, fill_momentum, PhysicsParams};
+use exawind::nalu_core::eqsys::MeshSystem;
+use exawind::nalu_core::state::State;
+use exawind::nalu_core::{PartitionMethod, Simulation, SolverConfig};
+use exawind::parcomm::Comm;
+use exawind::windmesh::turbine::generate;
+use exawind::windmesh::NrelCase;
+use rayon::ThreadPoolBuilder;
+
+/// Thread counts exercised against the single-thread baseline.
+const THREAD_COUNTS: [usize; 2] = [2, 8];
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Per-rank signature of the assembly + AMG-setup pipeline: raw bits of
+/// the assembled CSR values, the PMIS C/F split, the per-level operator
+/// values, and the interpolation weights.
+struct SetupSignature {
+    csr_bits: Vec<u64>,
+    cf_split: Vec<u8>,
+    level_bits: Vec<u64>,
+    interp_bits: Vec<u64>,
+}
+
+/// Assemble the continuity + momentum systems of the turbine background
+/// mesh on 2 ranks and build the pressure AMG hierarchy, all under a
+/// rayon pool of `threads` threads.
+fn setup_signatures(threads: usize) -> Vec<SetupSignature> {
+    let tm = generate(NrelCase::SingleLow, 1e-4);
+    let mesh = tm.meshes[0].clone();
+    const NPARTS: usize = 2;
+    Comm::run(NPARTS, move |rank| {
+        let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        pool.install(|| {
+            let me = rank.rank();
+            let mut sys = MeshSystem::new(&mesh, NPARTS, PartitionMethod::Rcb, 0, me);
+            sys.rebuild_graphs(&mesh, me);
+            let mut graphs = sys.graphs.take().unwrap();
+            let params = PhysicsParams::default();
+            let state = State::cold_start(mesh.n_nodes(), params.u_inflow, params.nut_inflow);
+
+            let _rhs_p = fill_continuity(
+                rank, &mesh, &sys.dm, &graphs.continuity, &sys.tags, &state, &params,
+                &sys.owned_edges, &sys.owned_nodes, &mut graphs.con_vals,
+            );
+            let a_p = build_matrix(rank, &sys.dm, &graphs.continuity, &graphs.con_vals);
+            let _rhs_m = fill_momentum(
+                rank, &mesh, &sys.dm, &graphs.momentum, &sys.tags, &state, &params,
+                &sys.owned_edges, &sys.owned_nodes, &mut graphs.mom_vals,
+            );
+            let a_m = build_matrix(rank, &sys.dm, &graphs.momentum, &graphs.mom_vals);
+
+            let mut csr = a_p.diag.vals().to_vec();
+            csr.extend_from_slice(a_p.offd.vals());
+            csr.extend_from_slice(a_m.diag.vals());
+            csr.extend_from_slice(a_m.offd.vals());
+            let csr_bits = bits(&csr);
+
+            let strength = Strength::classical(rank, &a_p, 0.25);
+            let split = pmis(rank, &a_p, &strength, 42);
+            let cf_split: Vec<u8> = split
+                .states
+                .iter()
+                .map(|s| match s {
+                    CfState::Coarse => 1u8,
+                    CfState::Fine => 0u8,
+                })
+                .collect();
+
+            let h = AmgHierarchy::setup(rank, a_p, &AmgConfig::pressure_default());
+            let mut level_vals = Vec::new();
+            let mut interp_vals = Vec::new();
+            for lvl in &h.levels {
+                level_vals.extend_from_slice(lvl.a.diag.vals());
+                level_vals.extend_from_slice(lvl.a.offd.vals());
+                if let Some(p) = &lvl.p {
+                    interp_vals.extend_from_slice(p.diag.vals());
+                    interp_vals.extend_from_slice(p.offd.vals());
+                }
+            }
+
+            SetupSignature {
+                csr_bits,
+                cf_split,
+                level_bits: bits(&level_vals),
+                interp_bits: bits(&interp_vals),
+            }
+        })
+    })
+}
+
+#[test]
+fn assembly_and_amg_setup_bitwise_identical_across_thread_counts() {
+    let baseline = setup_signatures(1);
+    assert!(
+        baseline.iter().any(|s| !s.interp_bits.is_empty()),
+        "hierarchy must have interpolation levels for the comparison to be meaningful"
+    );
+    for threads in THREAD_COUNTS {
+        let other = setup_signatures(threads);
+        assert_eq!(baseline.len(), other.len());
+        for (r, (b, o)) in baseline.iter().zip(&other).enumerate() {
+            assert_eq!(
+                b.csr_bits, o.csr_bits,
+                "assembled CSR values differ on rank {r} at {threads} threads"
+            );
+            assert_eq!(
+                b.cf_split, o.cf_split,
+                "PMIS C/F split differs on rank {r} at {threads} threads"
+            );
+            assert_eq!(
+                b.level_bits, o.level_bits,
+                "coarse-level operators differ on rank {r} at {threads} threads"
+            );
+            assert_eq!(
+                b.interp_bits, o.interp_bits,
+                "interpolation weights differ on rank {r} at {threads} threads"
+            );
+        }
+    }
+}
+
+/// End-to-end: one full `Simulation::step` (assembly, AMG-preconditioned
+/// solves, smoother sweeps, projection) must leave bitwise-identical
+/// fields whatever the thread count.
+fn step_field_bits(threads: usize) -> Vec<Vec<u64>> {
+    let tm = generate(NrelCase::SingleLow, 1e-4);
+    let meshes = tm.meshes;
+    Comm::run(2, move |rank| {
+        let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        pool.install(|| {
+            let cfg = SolverConfig {
+                picard_iters: 2,
+                ..SolverConfig::default()
+            };
+            let mut sim = Simulation::new(rank, meshes.clone(), cfg);
+            sim.step(rank);
+            let mut out = Vec::new();
+            for m in 0..sim.n_meshes() {
+                let st = sim.state(m);
+                out.extend(st.vel.iter().flat_map(|v| v.iter().map(|x| x.to_bits())));
+                out.extend(st.p.iter().map(|x| x.to_bits()));
+                out.extend(st.nut.iter().map(|x| x.to_bits()));
+            }
+            out
+        })
+    })
+}
+
+#[test]
+fn converged_fields_bitwise_identical_across_thread_counts() {
+    let baseline = step_field_bits(1);
+    for threads in THREAD_COUNTS {
+        let other = step_field_bits(threads);
+        assert_eq!(
+            baseline, other,
+            "solution fields differ between 1 and {threads} threads"
+        );
+    }
+}
