@@ -7,3 +7,10 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo bench --no-run
+
+# Telemetry end-to-end: a quickstart run must emit a JSONL event stream
+# that the offline validator accepts (exit 0 ⇔ schema-valid, non-empty).
+tel_out=$(mktemp /tmp/exawind_telemetry.XXXXXX.jsonl)
+trap 'rm -f "$tel_out"' EXIT
+EXAWIND_TELEMETRY="$tel_out" cargo run --release --example quickstart
+cargo run --release -p telemetry --bin validate_telemetry -- "$tel_out"

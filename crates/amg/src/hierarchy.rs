@@ -69,6 +69,16 @@ pub struct AmgLevel {
     pub smoother: LevelSmoother,
 }
 
+/// Global size of one hierarchy level (the rows of the paper's
+/// Tables 2–4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AmgLevelStat {
+    /// Global rows of the level operator.
+    pub rows: u64,
+    /// Global nonzeros of the level operator.
+    pub nnz: u64,
+}
+
 /// A complete AMG hierarchy plus complexity statistics.
 #[derive(Clone, Debug)]
 pub struct AmgHierarchy {
@@ -76,6 +86,8 @@ pub struct AmgHierarchy {
     pub levels: Vec<AmgLevel>,
     /// Dense solver for the coarsest operator.
     pub coarse: CoarseSolver,
+    /// Global rows/nnz per level, finest first (one entry per level).
+    pub level_stats: Vec<AmgLevelStat>,
     /// Σ global rows over levels / global rows on the finest level.
     pub grid_complexity: f64,
     /// Σ global nnz over levels / global nnz on the finest level.
@@ -91,10 +103,14 @@ impl AmgHierarchy {
         let fine_nnz = a_cur.global_nnz(rank).max(1);
         let mut sum_n = 0u64;
         let mut sum_nnz = 0u64;
+        let mut level_stats: Vec<AmgLevelStat> = Vec::new();
 
         for lvl in 0..config.max_levels {
-            sum_n += a_cur.row_dist().global_n();
-            sum_nnz += a_cur.global_nnz(rank);
+            let lvl_n = a_cur.row_dist().global_n();
+            let lvl_nnz = a_cur.global_nnz(rank);
+            sum_n += lvl_n;
+            sum_nnz += lvl_nnz;
+            level_stats.push(AmgLevelStat { rows: lvl_n, nnz: lvl_nnz });
             if a_cur.row_dist().global_n() <= config.max_coarse_size as u64 {
                 break;
             }
@@ -127,6 +143,19 @@ impl AmgHierarchy {
             a_cur = a_next;
         }
         // Coarsest level.
+        if level_stats.len() == levels.len() {
+            // `max_levels` was exhausted, so the loop never visited the
+            // final coarse operator: record its stats here. This is a
+            // collective, but `levels.len()` is identical on every rank
+            // (hierarchy construction is collective), so all ranks take
+            // this branch together. The complexity sums intentionally
+            // keep their historical definition (they exclude this level
+            // in the exhausted case).
+            level_stats.push(AmgLevelStat {
+                rows: a_cur.row_dist().global_n(),
+                nnz: a_cur.global_nnz(rank),
+            });
+        }
         let smoother = LevelSmoother::build(rank, &a_cur, config);
         let coarse = CoarseSolver::new(rank, &a_cur);
         levels.push(AmgLevel {
@@ -136,12 +165,40 @@ impl AmgHierarchy {
             smoother,
         });
 
-        AmgHierarchy {
+        let hierarchy = AmgHierarchy {
             levels,
             coarse,
+            level_stats,
             grid_complexity: sum_n as f64 / fine_n as f64,
             operator_complexity: sum_nnz as f64 / fine_nnz as f64,
+        };
+        hierarchy.emit_telemetry(rank);
+        hierarchy
+    }
+
+    /// Record an `amg_setup` event on this rank's telemetry dispatcher.
+    /// One thread-local read when telemetry is disabled.
+    fn emit_telemetry(&self, rank: &Rank) {
+        let tel = telemetry::current();
+        if !tel.is_enabled() {
+            return;
         }
+        tel.record(telemetry::Event::AmgSetup {
+            rank: rank.rank(),
+            path: tel.current_path(),
+            levels: self
+                .level_stats
+                .iter()
+                .enumerate()
+                .map(|(i, s)| telemetry::AmgLevelRow {
+                    level: i,
+                    rows: s.rows,
+                    nnz: s.nnz,
+                })
+                .collect(),
+            grid_complexity: self.grid_complexity,
+            operator_complexity: self.operator_complexity,
+        });
     }
 
     /// Standard level: one PMIS pass, one interpolation, one RAP.
@@ -362,6 +419,31 @@ mod tests {
             let total_diag = rank.allreduce_sum_f64(diag_norm * diag_norm).sqrt();
             assert!(norm_y < total_diag, "coarse op blew up: {norm_y} vs {total_diag}");
         });
+    }
+
+    #[test]
+    fn level_stats_cover_every_level() {
+        let serial = laplacian_2d(16);
+        for (p, cfg) in [
+            (2, AmgConfig::standard()),
+            // Exhaust max_levels so the coarsest operator is only
+            // counted by the post-loop branch.
+            (2, AmgConfig { max_levels: 2, ..AmgConfig::standard() }),
+        ] {
+            let s2 = serial.clone();
+            let out = Comm::run(p, move |rank| {
+                let h = setup_from_serial(rank, &s2, &cfg);
+                (h.level_stats.clone(), h.level_sizes(), h.levels[0].a.global_nnz(rank))
+            });
+            for (stats, sizes, fine_nnz) in out {
+                assert_eq!(stats.len(), sizes.len(), "{stats:?} vs {sizes:?}");
+                for (s, n) in stats.iter().zip(&sizes) {
+                    assert_eq!(s.rows, *n);
+                    assert!(s.nnz > 0);
+                }
+                assert_eq!(stats[0].nnz, fine_nnz);
+            }
+        }
     }
 
     #[test]

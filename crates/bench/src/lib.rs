@@ -125,10 +125,17 @@ impl RunResult {
             let mut penalized = PhaseTrace::default();
             for name in t.phase_names() {
                 let mut tr = t.phase(&name);
-                if name.ends_with("global assembly") || name.ends_with("local assembly") {
-                    scale_trace(&mut tr, 2.2, 1.8);
-                } else if name.ends_with("precond setup") {
-                    scale_trace(&mut tr, 1.35, 1.2);
+                // Phase identification goes through the shared
+                // `Phase::parse_trace_label` instead of matching label
+                // text here, so the label spelling lives in one place.
+                match Phase::parse_trace_label(&name).map(|(_, ph)| ph) {
+                    Some(Phase::LocalAssembly) | Some(Phase::GlobalAssembly) => {
+                        scale_trace(&mut tr, 2.2, 1.8);
+                    }
+                    Some(Phase::PrecondSetup) => {
+                        scale_trace(&mut tr, 1.35, 1.2);
+                    }
+                    _ => {}
                 }
                 penalized.insert(&name, tr);
             }

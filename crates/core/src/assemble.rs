@@ -394,6 +394,11 @@ pub fn build_matrix(
     graph: &EquationGraph,
     vals: &LocalValues,
 ) -> ParCsr {
+    telemetry::counter(
+        "assembly.matrix_entries",
+        (graph.owned.len() + graph.shared.len()) as u64,
+    );
+    telemetry::counter("assembly.shared_entries", graph.shared.len() as u64);
     let mut ij = IjMatrix::new(rank, dm.dist.clone(), dm.dist.clone());
     for (&(r, c), &v) in graph.owned.iter().zip(&vals.owned) {
         ij.add_value(r, c, v);

@@ -56,6 +56,10 @@ pub struct SolverConfig {
     pub sgs_outer: usize,
     /// Overset hole-cutting margin.
     pub overset_margin: f64,
+    /// Force-enable the telemetry event stream. Telemetry is also
+    /// enabled when the `EXAWIND_TELEMETRY` environment variable is set
+    /// (see the `telemetry` crate); with both off, recording is a no-op.
+    pub telemetry: bool,
 }
 
 impl Default for SolverConfig {
@@ -74,6 +78,7 @@ impl Default for SolverConfig {
             sgs_inner: 2,
             sgs_outer: 2,
             overset_margin: 0.18,
+            telemetry: false,
         }
     }
 }
@@ -100,6 +105,13 @@ pub struct Simulation {
     /// Cumulative per-equation, per-phase timings over all steps.
     pub timings: Timings,
     step_count: usize,
+    /// Per-rank telemetry recorder (disabled = no-op).
+    telemetry: telemetry::Telemetry,
+    /// Keeps `telemetry` installed as this thread's current dispatcher
+    /// so the solver layers (GMRES, AMG, smoothers, assembly) can emit
+    /// events without signature changes. Dropped by
+    /// [`Simulation::finish_telemetry`].
+    tel_guard: Option<telemetry::InstallGuard>,
 }
 
 impl Simulation {
@@ -123,6 +135,12 @@ impl Simulation {
                 State::cold_start(m.n_nodes(), cfg.physics.u_inflow, cfg.physics.nut_inflow)
             })
             .collect();
+        let tel = if cfg.telemetry {
+            telemetry::Telemetry::enabled(me)
+        } else {
+            telemetry::Telemetry::from_env(me)
+        };
+        let tel_guard = tel.is_enabled().then(|| tel.install());
         Simulation {
             cfg,
             meshes,
@@ -131,7 +149,30 @@ impl Simulation {
             systems,
             timings: Timings::new(),
             step_count: 0,
+            telemetry: tel,
+            tel_guard,
         }
+    }
+
+    /// Whether this simulation is recording telemetry.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_enabled()
+    }
+
+    /// Finish telemetry recording: uninstall the dispatcher, convert the
+    /// rank's accumulated perf trace into `phase_perf` events, and drain
+    /// the event stream. Returns an empty vec when telemetry is off.
+    /// Call once, after the last [`Simulation::step`].
+    pub fn finish_telemetry(&mut self, rank: &Rank) -> Vec<telemetry::Event> {
+        self.tel_guard.take();
+        if !self.telemetry.is_enabled() {
+            return Vec::new();
+        }
+        for ev in rank.telemetry_events() {
+            self.telemetry.record(ev);
+        }
+        let tel = std::mem::replace(&mut self.telemetry, telemetry::Telemetry::disabled());
+        tel.finish()
     }
 
     /// Build from a generated turbine case.
@@ -169,6 +210,11 @@ impl Simulation {
         f: impl FnOnce() -> R,
     ) -> R {
         let label = ph.trace_label(eq);
+        // Span path e.g. "timestep/picard/continuity/solve": events
+        // emitted by the solver layers (GMRES, AMG) read the equation
+        // back as the second-to-last segment.
+        let _eq_span = telemetry::span(eq);
+        let _ph_span = telemetry::span(ph.label());
         t.time(eq, ph, || rank.with_phase(&label, f))
     }
 
@@ -178,6 +224,7 @@ impl Simulation {
         let mut t = Timings::new();
         let mut iters: BTreeMap<String, usize> = BTreeMap::new();
         let me = rank.rank();
+        let _step_span = telemetry::span("timestep");
 
         // --- Mesh motion + overset connectivity update ------------------
         if self.meshes.len() > 1 {
@@ -199,6 +246,7 @@ impl Simulation {
 
         // --- Picard iterations -------------------------------------------
         for _ in 0..self.cfg.picard_iters {
+            let _picard_span = telemetry::span("picard");
             Self::phased(rank, &mut t, "overset", Phase::GraphPhysics, || {
                 overset_exchange(&mut self.states, &self.meshes, &self.overset);
             });
@@ -214,6 +262,17 @@ impl Simulation {
 
         for st in &mut self.states {
             st.advance_time();
+        }
+        if self.telemetry.is_enabled() {
+            for (eq, ph, secs) in t.iter() {
+                self.telemetry.record(telemetry::Event::PhaseTime {
+                    rank: me,
+                    step: self.step_count,
+                    eq: eq.to_string(),
+                    phase: ph.label().to_string(),
+                    secs,
+                });
+            }
         }
         self.step_count += 1;
         self.timings.merge(&t);

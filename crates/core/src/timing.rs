@@ -48,6 +48,21 @@ impl Phase {
     pub fn trace_label(self, eq: &str) -> String {
         format!("{eq}/{}", self.label())
     }
+
+    /// Inverse of [`Phase::label`].
+    pub fn from_label(label: &str) -> Option<Phase> {
+        Phase::ALL.iter().copied().find(|p| p.label() == label)
+    }
+
+    /// Inverse of [`Phase::trace_label`]: split an `"{eq}/{phase}"` perf
+    /// label back into its equation and phase. This is the single place
+    /// where trace labels are interpreted; downstream consumers (bench
+    /// pricing, telemetry) must use it instead of string-matching label
+    /// text themselves.
+    pub fn parse_trace_label(label: &str) -> Option<(&str, Phase)> {
+        let (eq, rest) = label.rsplit_once('/')?;
+        Some((eq, Phase::from_label(rest)?))
+    }
 }
 
 /// Accumulated wall-clock seconds per (equation, phase).
@@ -99,6 +114,12 @@ impl Timings {
         eqs
     }
 
+    /// Iterate `((equation, phase), seconds)` in BTreeMap order:
+    /// alphabetical by equation, then plot (declaration) order by phase.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Phase, f64)> {
+        self.acc.iter().map(|((eq, ph), &s)| (eq.as_str(), *ph, s))
+    }
+
     /// Merge another accumulator into this one.
     pub fn merge(&mut self, other: &Timings) {
         for ((eq, phase), secs) in &other.acc {
@@ -144,5 +165,29 @@ mod tests {
             "continuity/solve"
         );
         assert_eq!(Phase::ALL.len(), 5);
+    }
+
+    #[test]
+    fn trace_label_round_trips_for_every_phase() {
+        for ph in Phase::ALL {
+            assert_eq!(Phase::from_label(ph.label()), Some(ph));
+            let label = ph.trace_label("momentum_x");
+            assert_eq!(Phase::parse_trace_label(&label), Some(("momentum_x", ph)));
+        }
+        assert_eq!(Phase::parse_trace_label("no-slash"), None);
+        assert_eq!(Phase::parse_trace_label("eq/unknown phase"), None);
+    }
+
+    #[test]
+    fn iter_yields_plot_order_within_equation() {
+        let mut t = Timings::new();
+        t.add("continuity", Phase::Solve, 1.0);
+        t.add("continuity", Phase::GraphPhysics, 2.0);
+        t.add("continuity", Phase::PrecondSetup, 3.0);
+        let phases: Vec<Phase> = t.iter().map(|(_, p, _)| p).collect();
+        assert_eq!(
+            phases,
+            vec![Phase::GraphPhysics, Phase::PrecondSetup, Phase::Solve]
+        );
     }
 }

@@ -89,12 +89,14 @@ impl Gmres {
                 history.push(rel);
             }
             if rel <= self.tol || total_iters >= self.max_iters {
-                return GmresStats {
+                let stats = GmresStats {
                     iters: total_iters,
                     rel_residual: rel,
                     converged: rel <= self.tol,
                     history,
                 };
+                self.emit_telemetry(rank, &stats);
+                return stats;
             }
             r.scale(rank, 1.0 / beta);
             let mut v: Vec<ParVector> = vec![r];
@@ -168,6 +170,25 @@ impl Gmres {
             // Loop continues: recompute the true residual and restart or
             // exit at the top.
         }
+    }
+
+    /// Record the finished solve on this rank's telemetry dispatcher.
+    /// No-op (one thread-local read) when telemetry is disabled, so the
+    /// solve path is unperturbed in normal runs.
+    fn emit_telemetry(&self, rank: &Rank, stats: &GmresStats) {
+        let tel = telemetry::current();
+        if !tel.is_enabled() {
+            return;
+        }
+        tel.observe("gmres.iters", stats.iters as f64);
+        tel.record(telemetry::Event::Gmres {
+            rank: rank.rank(),
+            path: tel.current_path(),
+            iters: stats.iters,
+            final_rel: stats.rel_residual,
+            converged: stats.converged,
+            history: stats.history.clone(),
+        });
     }
 
     /// Classical modified Gram-Schmidt: j+1 dot-product reductions plus a

@@ -90,6 +90,7 @@ impl HybridGs {
     /// One round of halo exchange + `local_sweeps` local GS sweeps,
     /// repeated `rounds` times. Collective.
     pub fn smooth(&self, rank: &Rank, b: &ParVector, x: &mut ParVector, rounds: usize) {
+        telemetry::counter("smoother.hybrid_gs.rounds", rounds as u64);
         let n = x.local.len();
         for _ in 0..rounds {
             let ext = self.a.halo_exchange(rank, &x.local);
@@ -173,6 +174,7 @@ impl TwoStageGs {
     /// One outer two-stage GS iteration: x̂ₖ₊₁ = x̂ₖ + M̃⁻¹(b − A x̂ₖ).
     /// Collective (computes a distributed residual).
     pub fn smooth(&self, rank: &Rank, b: &ParVector, x: &mut ParVector, rounds: usize) {
+        telemetry::counter("smoother.two_stage_gs.rounds", rounds as u64);
         let n = x.local.len();
         let mut r = vec![0.0; n];
         for _ in 0..rounds {
@@ -262,6 +264,7 @@ impl Sgs2 {
 
     /// Stationary iteration with the SGS2 preconditioner. Collective.
     pub fn smooth(&self, rank: &Rank, b: &ParVector, x: &mut ParVector, rounds: usize) {
+        telemetry::counter("smoother.sgs2.rounds", rounds as u64);
         let n = x.local.len();
         let mut r = vec![0.0; n];
         for _ in 0..rounds {
@@ -324,6 +327,7 @@ impl L1Jacobi {
 
     /// `rounds` damped-Jacobi iterations with the ℓ1 diagonal. Collective.
     pub fn smooth(&self, rank: &Rank, b: &ParVector, x: &mut ParVector, rounds: usize) {
+        telemetry::counter("smoother.l1_jacobi.rounds", rounds as u64);
         let n = x.local.len();
         let mut r = vec![0.0; n];
         for _ in 0..rounds {
@@ -412,6 +416,7 @@ impl Chebyshev {
     /// One degree-`degree` Chebyshev application per round (the classic
     /// three-term recurrence on the preconditioned residual). Collective.
     pub fn smooth(&self, rank: &Rank, b: &ParVector, x: &mut ParVector, rounds: usize) {
+        telemetry::counter("smoother.chebyshev.rounds", rounds as u64);
         let n = x.local.len();
         let theta = 0.5 * (self.lambda_max + self.lambda_min);
         let delta = 0.5 * (self.lambda_max - self.lambda_min);

@@ -285,6 +285,31 @@ impl Rank {
     pub fn trace_snapshot(&self) -> PhaseTrace {
         self.perf.borrow().snapshot()
     }
+
+    /// This rank's accumulated perf trace as telemetry events, one
+    /// [`telemetry::Event::PhasePerf`] per phase label in sorted order
+    /// (so the export is deterministic regardless of execution order).
+    pub fn telemetry_events(&self) -> Vec<telemetry::Event> {
+        let trace = self.trace_snapshot();
+        trace
+            .phase_names()
+            .into_iter()
+            .map(|label| {
+                let t = trace.phase(&label);
+                telemetry::Event::PhasePerf {
+                    rank: self.rank,
+                    label,
+                    kernel_launches: t.kernel_launches,
+                    kernel_bytes: t.kernel_bytes,
+                    kernel_flops: t.kernel_flops,
+                    msgs: t.msgs,
+                    msg_bytes: t.msg_bytes,
+                    collectives: t.collectives,
+                    collective_bytes: t.collective_bytes,
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,68 @@
+//! Offline validator for telemetry JSONL exports.
+//!
+//! Usage: `validate_telemetry <run.jsonl> [--report]`
+//!
+//! Parses every line against the event schema, prints a one-line summary
+//! (and optionally the full ASCII report), and exits non-zero if any line
+//! is malformed. `ci.sh` runs this against the quickstart export.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use telemetry::{Event, Report};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: validate_telemetry <run.jsonl> [--report]");
+        return ExitCode::from(2);
+    };
+    let want_report = args.any(|a| a == "--report");
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate_telemetry: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut events = Vec::new();
+    let mut errors = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Event::parse_line(line) {
+            Ok(ev) => events.push(ev),
+            Err(e) => {
+                eprintln!("{path}:{}: {e}", i + 1);
+                errors += 1;
+            }
+        }
+    }
+
+    let mut by_type: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for ev in &events {
+        *by_type.entry(ev.type_tag()).or_insert(0) += 1;
+    }
+    let breakdown: Vec<String> = by_type.iter().map(|(t, n)| format!("{t}={n}")).collect();
+    println!(
+        "{path}: {} events ({}), {} malformed line(s)",
+        events.len(),
+        breakdown.join(" "),
+        errors
+    );
+
+    if want_report {
+        print!("{}", Report::from_events(&events).render_ascii());
+    }
+
+    if errors > 0 || events.is_empty() {
+        if events.is_empty() {
+            eprintln!("{path}: no events found");
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

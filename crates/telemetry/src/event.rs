@@ -1,0 +1,583 @@
+//! The telemetry event schema (version 1).
+//!
+//! One event per JSONL line, tagged by `"type"`. The stream carries the
+//! three solver telemetry islands in one format:
+//!
+//! | type         | source                    | paper artifact            |
+//! |--------------|---------------------------|---------------------------|
+//! | `run`        | export harness            | run metadata              |
+//! | `span`       | hierarchical span guards  | phase wall-clock tree     |
+//! | `phase_time` | `nalu_core::Timings`      | Figs. 6/7 stacked bars    |
+//! | `phase_perf` | `parcomm::PhaseTrace`     | machine-model inputs      |
+//! | `amg`        | `amg::AmgHierarchy::setup`| Tables 2–4 per-level rows |
+//! | `gmres`      | `krylov::Gmres::solve`    | convergence trajectories  |
+//! | `counter`    | subsystem counters        | —                         |
+//! | `hist`       | log₂ histograms           | —                         |
+//! | `bench`      | criterion-shim records    | BENCH_*.json baselines    |
+//!
+//! Every event type round-trips exactly through [`Event::to_line`] /
+//! [`Event::parse_line`] (integers exact, floats bit-identical).
+
+use crate::json::Json;
+
+/// Schema version stamped into `run` events.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One row of an AMG hierarchy: global rows and nonzeros of a level
+/// operator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AmgLevelRow {
+    pub level: usize,
+    pub rows: u64,
+    pub nnz: u64,
+}
+
+/// A telemetry event. See the module docs for the type ↔ source map.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// Run metadata, emitted once per exported stream.
+    Run {
+        ranks: usize,
+        threads: usize,
+        git_commit: Option<String>,
+    },
+    /// A closed span: `path` is the `/`-joined stack of open span names.
+    Span {
+        rank: usize,
+        path: String,
+        depth: usize,
+        secs: f64,
+    },
+    /// Per-step, per-equation, per-phase wall-clock (from `Timings`).
+    PhaseTime {
+        rank: usize,
+        step: usize,
+        eq: String,
+        phase: String,
+        secs: f64,
+    },
+    /// Per-phase operation counts (from `parcomm::PhaseTrace`).
+    PhasePerf {
+        rank: usize,
+        label: String,
+        kernel_launches: u64,
+        kernel_bytes: u64,
+        kernel_flops: u64,
+        msgs: u64,
+        msg_bytes: u64,
+        collectives: u64,
+        collective_bytes: u64,
+    },
+    /// One AMG setup: per-level rows/nnz plus the paper's grid and
+    /// operator complexities.
+    AmgSetup {
+        rank: usize,
+        path: String,
+        levels: Vec<AmgLevelRow>,
+        grid_complexity: f64,
+        operator_complexity: f64,
+    },
+    /// One GMRES solve: iteration count and the relative-residual
+    /// trajectory.
+    Gmres {
+        rank: usize,
+        path: String,
+        iters: usize,
+        final_rel: f64,
+        converged: bool,
+        history: Vec<f64>,
+    },
+    /// A named monotonic counter (aggregated per rank at finish).
+    Counter { rank: usize, name: String, value: u64 },
+    /// A named log₂ histogram (aggregated per rank at finish).
+    Hist {
+        rank: usize,
+        name: String,
+        count: u64,
+        total: f64,
+        buckets: Vec<(i32, u64)>,
+    },
+    /// A benchmark record (the criterion-shim `BENCH_*.json` line format,
+    /// unified into this schema).
+    Bench {
+        bench: String,
+        mean_ns: u64,
+        median_ns: u64,
+        min_ns: u64,
+        samples: u64,
+        threads: Option<u64>,
+        git_commit: Option<String>,
+    },
+}
+
+impl Event {
+    /// The schema type tag.
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            Event::Run { .. } => "run",
+            Event::Span { .. } => "span",
+            Event::PhaseTime { .. } => "phase_time",
+            Event::PhasePerf { .. } => "phase_perf",
+            Event::AmgSetup { .. } => "amg",
+            Event::Gmres { .. } => "gmres",
+            Event::Counter { .. } => "counter",
+            Event::Hist { .. } => "hist",
+            Event::Bench { .. } => "bench",
+        }
+    }
+
+    /// Serialize to a JSON value.
+    pub fn to_json(&self) -> Json {
+        let tag = Json::Str(self.type_tag().to_string());
+        match self {
+            Event::Run {
+                ranks,
+                threads,
+                git_commit,
+            } => {
+                let mut pairs = vec![
+                    ("type", tag),
+                    ("schema", Json::Int(SCHEMA_VERSION as i128)),
+                    ("ranks", Json::Int(*ranks as i128)),
+                    ("threads", Json::Int(*threads as i128)),
+                ];
+                if let Some(c) = git_commit {
+                    pairs.push(("git_commit", Json::Str(c.clone())));
+                }
+                Json::obj(pairs)
+            }
+            Event::Span {
+                rank,
+                path,
+                depth,
+                secs,
+            } => Json::obj(vec![
+                ("type", tag),
+                ("rank", Json::Int(*rank as i128)),
+                ("path", Json::Str(path.clone())),
+                ("depth", Json::Int(*depth as i128)),
+                ("secs", Json::Float(*secs)),
+            ]),
+            Event::PhaseTime {
+                rank,
+                step,
+                eq,
+                phase,
+                secs,
+            } => Json::obj(vec![
+                ("type", tag),
+                ("rank", Json::Int(*rank as i128)),
+                ("step", Json::Int(*step as i128)),
+                ("eq", Json::Str(eq.clone())),
+                ("phase", Json::Str(phase.clone())),
+                ("secs", Json::Float(*secs)),
+            ]),
+            Event::PhasePerf {
+                rank,
+                label,
+                kernel_launches,
+                kernel_bytes,
+                kernel_flops,
+                msgs,
+                msg_bytes,
+                collectives,
+                collective_bytes,
+            } => Json::obj(vec![
+                ("type", tag),
+                ("rank", Json::Int(*rank as i128)),
+                ("label", Json::Str(label.clone())),
+                ("kernel_launches", Json::Int(*kernel_launches as i128)),
+                ("kernel_bytes", Json::Int(*kernel_bytes as i128)),
+                ("kernel_flops", Json::Int(*kernel_flops as i128)),
+                ("msgs", Json::Int(*msgs as i128)),
+                ("msg_bytes", Json::Int(*msg_bytes as i128)),
+                ("collectives", Json::Int(*collectives as i128)),
+                ("collective_bytes", Json::Int(*collective_bytes as i128)),
+            ]),
+            Event::AmgSetup {
+                rank,
+                path,
+                levels,
+                grid_complexity,
+                operator_complexity,
+            } => Json::obj(vec![
+                ("type", tag),
+                ("rank", Json::Int(*rank as i128)),
+                ("path", Json::Str(path.clone())),
+                (
+                    "levels",
+                    Json::Arr(
+                        levels
+                            .iter()
+                            .map(|l| {
+                                Json::obj(vec![
+                                    ("level", Json::Int(l.level as i128)),
+                                    ("rows", Json::Int(l.rows as i128)),
+                                    ("nnz", Json::Int(l.nnz as i128)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("grid_complexity", Json::Float(*grid_complexity)),
+                ("operator_complexity", Json::Float(*operator_complexity)),
+            ]),
+            Event::Gmres {
+                rank,
+                path,
+                iters,
+                final_rel,
+                converged,
+                history,
+            } => Json::obj(vec![
+                ("type", tag),
+                ("rank", Json::Int(*rank as i128)),
+                ("path", Json::Str(path.clone())),
+                ("iters", Json::Int(*iters as i128)),
+                ("final_rel", Json::Float(*final_rel)),
+                ("converged", Json::Bool(*converged)),
+                (
+                    "history",
+                    Json::Arr(history.iter().map(|&r| Json::Float(r)).collect()),
+                ),
+            ]),
+            Event::Counter { rank, name, value } => Json::obj(vec![
+                ("type", tag),
+                ("rank", Json::Int(*rank as i128)),
+                ("name", Json::Str(name.clone())),
+                ("value", Json::Int(*value as i128)),
+            ]),
+            Event::Hist {
+                rank,
+                name,
+                count,
+                total,
+                buckets,
+            } => Json::obj(vec![
+                ("type", tag),
+                ("rank", Json::Int(*rank as i128)),
+                ("name", Json::Str(name.clone())),
+                ("count", Json::Int(*count as i128)),
+                ("total", Json::Float(*total)),
+                (
+                    "buckets",
+                    Json::Arr(
+                        buckets
+                            .iter()
+                            .map(|&(e, c)| {
+                                Json::Arr(vec![Json::Int(e as i128), Json::Int(c as i128)])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Event::Bench {
+                bench,
+                mean_ns,
+                median_ns,
+                min_ns,
+                samples,
+                threads,
+                git_commit,
+            } => {
+                let mut pairs = vec![
+                    ("type", tag),
+                    ("bench", Json::Str(bench.clone())),
+                    ("mean_ns", Json::Int(*mean_ns as i128)),
+                    ("median_ns", Json::Int(*median_ns as i128)),
+                    ("min_ns", Json::Int(*min_ns as i128)),
+                    ("samples", Json::Int(*samples as i128)),
+                ];
+                if let Some(t) = threads {
+                    pairs.push(("threads", Json::Int(*t as i128)));
+                }
+                if let Some(c) = git_commit {
+                    pairs.push(("git_commit", Json::Str(c.clone())));
+                }
+                Json::obj(pairs)
+            }
+        }
+    }
+
+    /// Serialize to one JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Parse and validate one JSONL line.
+    pub fn parse_line(line: &str) -> Result<Event, String> {
+        let v = Json::parse(line)?;
+        Event::from_json(&v)
+    }
+
+    /// Validate a parsed JSON value against the schema.
+    pub fn from_json(v: &Json) -> Result<Event, String> {
+        let obj = v.as_obj().ok_or("event is not a JSON object")?;
+        // Legacy BENCH_*.json lines predate the "type" tag; anything that
+        // carries a "bench" key is a bench record.
+        let tag = match obj.get("type") {
+            Some(t) => t.as_str().ok_or("\"type\" is not a string")?,
+            None if obj.contains_key("bench") => "bench",
+            None => return Err("missing \"type\" field".into()),
+        };
+
+        let str_field = |k: &str| -> Result<String, String> {
+            obj.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(format!("{tag}: missing/invalid string field \"{k}\""))
+        };
+        let u64_field = |k: &str| -> Result<u64, String> {
+            obj.get(k)
+                .and_then(Json::as_u64)
+                .ok_or(format!("{tag}: missing/invalid integer field \"{k}\""))
+        };
+        let usize_field = |k: &str| -> Result<usize, String> {
+            obj.get(k)
+                .and_then(Json::as_usize)
+                .ok_or(format!("{tag}: missing/invalid integer field \"{k}\""))
+        };
+        let f64_field = |k: &str| -> Result<f64, String> {
+            obj.get(k)
+                .and_then(Json::as_f64)
+                .ok_or(format!("{tag}: missing/invalid number field \"{k}\""))
+        };
+
+        match tag {
+            "run" => Ok(Event::Run {
+                ranks: usize_field("ranks")?,
+                threads: usize_field("threads")?,
+                git_commit: obj.get("git_commit").and_then(Json::as_str).map(str::to_string),
+            }),
+            "span" => Ok(Event::Span {
+                rank: usize_field("rank")?,
+                path: str_field("path")?,
+                depth: usize_field("depth")?,
+                secs: f64_field("secs")?,
+            }),
+            "phase_time" => Ok(Event::PhaseTime {
+                rank: usize_field("rank")?,
+                step: usize_field("step")?,
+                eq: str_field("eq")?,
+                phase: str_field("phase")?,
+                secs: f64_field("secs")?,
+            }),
+            "phase_perf" => Ok(Event::PhasePerf {
+                rank: usize_field("rank")?,
+                label: str_field("label")?,
+                kernel_launches: u64_field("kernel_launches")?,
+                kernel_bytes: u64_field("kernel_bytes")?,
+                kernel_flops: u64_field("kernel_flops")?,
+                msgs: u64_field("msgs")?,
+                msg_bytes: u64_field("msg_bytes")?,
+                collectives: u64_field("collectives")?,
+                collective_bytes: u64_field("collective_bytes")?,
+            }),
+            "amg" => {
+                let levels = obj
+                    .get("levels")
+                    .and_then(Json::as_arr)
+                    .ok_or("amg: missing \"levels\" array")?
+                    .iter()
+                    .map(|l| {
+                        let lo = l.as_obj().ok_or("amg: level is not an object")?;
+                        Ok(AmgLevelRow {
+                            level: lo
+                                .get("level")
+                                .and_then(Json::as_usize)
+                                .ok_or("amg: bad level index")?,
+                            rows: lo
+                                .get("rows")
+                                .and_then(Json::as_u64)
+                                .ok_or("amg: bad level rows")?,
+                            nnz: lo
+                                .get("nnz")
+                                .and_then(Json::as_u64)
+                                .ok_or("amg: bad level nnz")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Event::AmgSetup {
+                    rank: usize_field("rank")?,
+                    path: str_field("path")?,
+                    levels,
+                    grid_complexity: f64_field("grid_complexity")?,
+                    operator_complexity: f64_field("operator_complexity")?,
+                })
+            }
+            "gmres" => {
+                let history = obj
+                    .get("history")
+                    .and_then(Json::as_arr)
+                    .ok_or("gmres: missing \"history\" array")?
+                    .iter()
+                    .map(|x| x.as_f64().ok_or("gmres: non-numeric history entry".to_string()))
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Event::Gmres {
+                    rank: usize_field("rank")?,
+                    path: str_field("path")?,
+                    iters: usize_field("iters")?,
+                    final_rel: f64_field("final_rel")?,
+                    converged: obj
+                        .get("converged")
+                        .and_then(Json::as_bool)
+                        .ok_or("gmres: missing \"converged\"")?,
+                    history,
+                })
+            }
+            "counter" => Ok(Event::Counter {
+                rank: usize_field("rank")?,
+                name: str_field("name")?,
+                value: u64_field("value")?,
+            }),
+            "hist" => {
+                let buckets = obj
+                    .get("buckets")
+                    .and_then(Json::as_arr)
+                    .ok_or("hist: missing \"buckets\" array")?
+                    .iter()
+                    .map(|b| {
+                        let pair = b.as_arr().ok_or("hist: bucket is not a pair")?;
+                        if pair.len() != 2 {
+                            return Err("hist: bucket is not a pair".to_string());
+                        }
+                        let e = pair[0]
+                            .as_i128()
+                            .and_then(|i| i32::try_from(i).ok())
+                            .ok_or("hist: bad bucket exponent")?;
+                        let c = pair[1].as_u64().ok_or("hist: bad bucket count")?;
+                        Ok((e, c))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Event::Hist {
+                    rank: usize_field("rank")?,
+                    name: str_field("name")?,
+                    count: u64_field("count")?,
+                    total: f64_field("total")?,
+                    buckets,
+                })
+            }
+            "bench" => Ok(Event::Bench {
+                bench: str_field("bench")?,
+                mean_ns: u64_field("mean_ns")?,
+                median_ns: u64_field("median_ns")?,
+                min_ns: u64_field("min_ns")?,
+                samples: u64_field("samples")?,
+                threads: obj.get("threads").and_then(Json::as_u64),
+                git_commit: obj.get("git_commit").and_then(Json::as_str).map(str::to_string),
+            }),
+            other => Err(format!("unknown event type {other:?}")),
+        }
+    }
+
+    /// Example of every event variant (schema documentation + round-trip
+    /// test fixture).
+    pub fn examples() -> Vec<Event> {
+        vec![
+            Event::Run {
+                ranks: 4,
+                threads: 8,
+                git_commit: Some("deadbeef".into()),
+            },
+            Event::Span {
+                rank: 0,
+                path: "timestep/picard/continuity/solve".into(),
+                depth: 3,
+                secs: 0.0123,
+            },
+            Event::PhaseTime {
+                rank: 1,
+                step: 2,
+                eq: "momentum".into(),
+                phase: "local assembly".into(),
+                secs: 1.0 / 3.0,
+            },
+            Event::PhasePerf {
+                rank: 2,
+                label: "continuity/solve".into(),
+                kernel_launches: 120,
+                kernel_bytes: u64::MAX / 2,
+                kernel_flops: 9_999,
+                msgs: 14,
+                msg_bytes: 2048,
+                collectives: 7,
+                collective_bytes: 56,
+            },
+            Event::AmgSetup {
+                rank: 0,
+                path: "timestep/picard/continuity/precond setup".into(),
+                levels: vec![
+                    AmgLevelRow { level: 0, rows: 1000, nnz: 6800 },
+                    AmgLevelRow { level: 1, rows: 210, nnz: 1900 },
+                ],
+                grid_complexity: 1.21,
+                operator_complexity: 1.2794117647058822,
+            },
+            Event::Gmres {
+                rank: 3,
+                path: "timestep/picard/continuity/solve".into(),
+                iters: 3,
+                final_rel: 3.2e-7,
+                converged: true,
+                history: vec![1.0, 0.25, 1e-3, 3.2e-7],
+            },
+            Event::Counter {
+                rank: 0,
+                name: "assembly.matrix_entries".into(),
+                value: 123_456,
+            },
+            Event::Hist {
+                rank: 1,
+                name: "gmres.iters".into(),
+                count: 3,
+                total: 21.0,
+                buckets: vec![(-1071, 1), (2, 1), (3, 1)],
+            },
+            Event::Bench {
+                bench: "amg_setup/mm_ext".into(),
+                mean_ns: 15135352,
+                median_ns: 14956112,
+                min_ns: 13776211,
+                samples: 10,
+                threads: Some(4),
+                git_commit: None,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_event_type_round_trips() {
+        for ev in Event::examples() {
+            let line = ev.to_line();
+            let back = Event::parse_line(&line)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{line}", ev.type_tag()));
+            assert_eq!(back, ev, "{line}");
+        }
+    }
+
+    #[test]
+    fn legacy_bench_lines_without_type_tag_parse() {
+        let line = r#"{"bench":"amg_setup/direct","mean_ns":13722057,"median_ns":11849471,"min_ns":11141866,"samples":10}"#;
+        match Event::parse_line(line).unwrap() {
+            Event::Bench { bench, samples, threads, .. } => {
+                assert_eq!(bench, "amg_setup/direct");
+                assert_eq!(samples, 10);
+                assert_eq!(threads, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_fields_are_rejected() {
+        assert!(Event::parse_line(r#"{"type":"span","rank":0}"#).is_err());
+        assert!(Event::parse_line(r#"{"type":"nope"}"#).is_err());
+        assert!(Event::parse_line(r#"{"rank":0}"#).is_err());
+        assert!(Event::parse_line("[1,2]").is_err());
+    }
+}

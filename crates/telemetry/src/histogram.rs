@@ -1,0 +1,178 @@
+//! Log-scale (power-of-two) histograms.
+//!
+//! Values are bucketed by their binary exponent: bucket `e` covers the
+//! half-open range `[2^e, 2^(e+1))`. The exponent is read directly from
+//! the IEEE-754 bit pattern, so bucket edges are exact: `record(4.0)`
+//! lands in bucket 2, `record(3.999…)` in bucket 1 — no floating `log2`
+//! rounding at the boundaries. Non-positive and non-finite values land in
+//! a dedicated underflow bucket.
+
+use std::collections::BTreeMap;
+
+/// Bucket index reserved for values that have no binary exponent
+/// (zero, negatives, NaN, infinities).
+pub const UNDERFLOW_BUCKET: i32 = i32::MIN;
+
+/// Exact binary exponent of a positive finite value: `floor(log2(v))`.
+fn bucket_of(v: f64) -> i32 {
+    if !v.is_finite() || v <= 0.0 {
+        return UNDERFLOW_BUCKET;
+    }
+    let bits = v.to_bits();
+    let biased = ((bits >> 52) & 0x7ff) as i32;
+    if biased == 0 {
+        // Subnormal: exponent of the leading significand bit.
+        let sig = bits & 0x000f_ffff_ffff_ffff;
+        -1023 - (sig.leading_zeros() as i32 - 11)
+    } else {
+        biased - 1023
+    }
+}
+
+/// A mergeable log₂ histogram with count/total/min/max summary stats.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LogHistogram {
+    count: u64,
+    total: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+    buckets: BTreeMap<i32, u64>,
+}
+
+impl LogHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        if v.is_finite() {
+            self.total += v;
+            self.min = Some(self.min.map_or(v, |m| m.min(v)));
+            self.max = Some(self.max.map_or(v, |m| m.max(v)));
+        }
+        *self.buckets.entry(bucket_of(v)).or_insert(0) += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all finite observations.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+
+    /// Mean of finite observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total / self.count as f64
+        }
+    }
+
+    /// `(bucket_exponent, count)` pairs in ascending exponent order.
+    /// Bucket `e` covers `[2^e, 2^(e+1))`; [`UNDERFLOW_BUCKET`] collects
+    /// non-positive values.
+    pub fn buckets(&self) -> Vec<(i32, u64)> {
+        self.buckets.iter().map(|(&e, &c)| (e, c)).collect()
+    }
+
+    /// Count in one bucket.
+    pub fn bucket_count(&self, exponent: i32) -> u64 {
+        self.buckets.get(&exponent).copied().unwrap_or(0)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        self.count += other.count;
+        self.total += other.total;
+        if let Some(m) = other.min {
+            self.min = Some(self.min.map_or(m, |s| s.min(m)));
+        }
+        if let Some(m) = other.max {
+            self.max = Some(self.max.map_or(m, |s| s.max(m)));
+        }
+        for (&e, &c) in &other.buckets {
+            *self.buckets.entry(e).or_insert(0) += c;
+        }
+    }
+
+    /// Rebuild from exported parts (JSONL import path).
+    pub fn from_parts(count: u64, total: f64, buckets: Vec<(i32, u64)>) -> LogHistogram {
+        LogHistogram {
+            count,
+            total,
+            min: None,
+            max: None,
+            buckets: buckets.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_exact() {
+        // Exact powers of two open a new bucket; the value just below
+        // stays in the previous one.
+        assert_eq!(bucket_of(1.0), 0);
+        assert_eq!(bucket_of(1.999_999_999), 0);
+        assert_eq!(bucket_of(2.0), 1);
+        assert_eq!(bucket_of(4.0), 2);
+        assert_eq!(bucket_of(f64::from_bits(4.0f64.to_bits() - 1)), 1);
+        assert_eq!(bucket_of(0.5), -1);
+        assert_eq!(bucket_of(0.25), -2);
+        assert_eq!(bucket_of(3.0), 1);
+        assert_eq!(bucket_of(1024.0), 10);
+    }
+
+    #[test]
+    fn non_positive_values_underflow() {
+        assert_eq!(bucket_of(0.0), UNDERFLOW_BUCKET);
+        assert_eq!(bucket_of(-1.0), UNDERFLOW_BUCKET);
+        assert_eq!(bucket_of(f64::NAN), UNDERFLOW_BUCKET);
+        assert_eq!(bucket_of(f64::INFINITY), UNDERFLOW_BUCKET);
+    }
+
+    #[test]
+    fn subnormals_get_negative_exponents() {
+        let e = bucket_of(f64::MIN_POSITIVE / 4.0);
+        assert!(e < -1023, "subnormal exponent {e}");
+    }
+
+    #[test]
+    fn records_and_merges() {
+        let mut h = LogHistogram::new();
+        for v in [1.0, 1.5, 2.0, 3.0, 4.0, 0.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.bucket_count(0), 2); // 1.0, 1.5
+        assert_eq!(h.bucket_count(1), 2); // 2.0, 3.0
+        assert_eq!(h.bucket_count(2), 1); // 4.0
+        assert_eq!(h.bucket_count(UNDERFLOW_BUCKET), 1);
+        assert_eq!(h.min(), Some(0.0));
+        assert_eq!(h.max(), Some(4.0));
+
+        let mut other = LogHistogram::new();
+        other.record(4.5);
+        h.merge(&other);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.bucket_count(2), 2);
+        assert_eq!(h.max(), Some(4.5));
+    }
+}

@@ -1,0 +1,525 @@
+//! Unified telemetry layer: hierarchical spans, solver metrics, and
+//! Fig. 6/7-style phase reports.
+//!
+//! One [`Telemetry`] handle per simulated MPI rank records into a
+//! per-rank [event](Event) stream:
+//!
+//! - **spans** — a `timestep → picard → equation → phase` hierarchy with
+//!   per-span wall clock, closed by RAII guards;
+//! - **counters** and log-scale [histograms](LogHistogram), aggregated
+//!   per rank and flushed at [`Telemetry::finish`];
+//! - **structured solver events** — GMRES convergence trajectories, AMG
+//!   hierarchy tables, per-phase `Timings`/`PhaseTrace` rollups.
+//!
+//! The handle is installed as a thread-local *current* dispatcher
+//! ([`Telemetry::install`]), so deep solver layers (`krylov::gmres`,
+//! `amg::hierarchy`, smoothers, assembly) emit through the free functions
+//! [`span`], [`counter`], [`observe`], [`record`] without threading a
+//! handle through every signature — the same pattern as the `tracing`
+//! crate's dispatcher. Each simulated rank is one OS thread and rayon
+//! worker threads never touch the dispatcher, so recording is
+//! single-threaded per rank and merging per-rank streams in rank order
+//! ([`merge_ranks`]) is deterministic and thread-count independent.
+//!
+//! **Disabled is (near) free**: a disabled handle is `inner: None`; every
+//! hook is one thread-local read and an `Option` check, no allocation, no
+//! clock read. Enabling telemetry only *observes* the solver — it is
+//! proven by `tests/determinism.rs` not to perturb converged results by a
+//! single bit.
+//!
+//! Enable via the `EXAWIND_TELEMETRY=<path>` environment variable (the
+//! path also names the JSONL export file) or the `SolverConfig::telemetry`
+//! flag.
+
+pub mod event;
+pub mod histogram;
+pub mod json;
+pub mod report;
+
+pub use event::{AmgLevelRow, Event, SCHEMA_VERSION};
+pub use histogram::{LogHistogram, UNDERFLOW_BUCKET};
+pub use json::Json;
+pub use report::Report;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Environment variable that enables telemetry and names the JSONL
+/// export path.
+pub const ENV_VAR: &str = "EXAWIND_TELEMETRY";
+
+/// The export path from [`ENV_VAR`], if set and non-empty.
+pub fn env_path() -> Option<String> {
+    match std::env::var(ENV_VAR) {
+        Ok(v) if !v.is_empty() => Some(v),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recorder
+// ---------------------------------------------------------------------------
+
+struct OpenSpan {
+    name: String,
+    start: Instant,
+}
+
+struct Recorder {
+    rank: usize,
+    stack: Vec<OpenSpan>,
+    events: Vec<Event>,
+    counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, LogHistogram>,
+}
+
+impl Recorder {
+    fn path(&self) -> String {
+        let names: Vec<&str> = self.stack.iter().map(|s| s.name.as_str()).collect();
+        names.join("/")
+    }
+}
+
+/// Per-rank telemetry handle. Cheap to clone (shared recorder); a
+/// disabled handle is a no-op on every operation.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Option<Rc<RefCell<Recorder>>>,
+}
+
+impl Telemetry {
+    /// A handle that records nothing, at near-zero cost.
+    pub fn disabled() -> Telemetry {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled handle recording for `rank`.
+    pub fn enabled(rank: usize) -> Telemetry {
+        Telemetry {
+            inner: Some(Rc::new(RefCell::new(Recorder {
+                rank,
+                stack: Vec::new(),
+                events: Vec::new(),
+                counters: BTreeMap::new(),
+                hists: BTreeMap::new(),
+            }))),
+        }
+    }
+
+    /// Enabled iff [`ENV_VAR`] is set (to the export path).
+    pub fn from_env(rank: usize) -> Telemetry {
+        if env_path().is_some() {
+            Telemetry::enabled(rank)
+        } else {
+            Telemetry::disabled()
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Recording rank (0 for a disabled handle).
+    pub fn rank(&self) -> usize {
+        self.inner.as_ref().map_or(0, |r| r.borrow().rank)
+    }
+
+    /// `/`-joined names of the currently open spans.
+    pub fn current_path(&self) -> String {
+        self.inner.as_ref().map_or_else(String::new, |r| r.borrow().path())
+    }
+
+    /// Install as the thread-local current dispatcher; restored (to the
+    /// previous dispatcher) when the guard drops.
+    pub fn install(&self) -> InstallGuard {
+        let prev = CURRENT.with(|c| c.replace(self.clone()));
+        InstallGuard { prev: Some(prev) }
+    }
+
+    /// Open a span; it closes (recording an [`Event::Span`]) when the
+    /// guard drops. Guards must drop in LIFO order (scopes do this).
+    pub fn span(&self, name: &str) -> SpanGuard {
+        if let Some(rec) = &self.inner {
+            rec.borrow_mut().stack.push(OpenSpan {
+                name: name.to_string(),
+                start: Instant::now(),
+            });
+        }
+        SpanGuard {
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// Add to a named counter.
+    pub fn counter(&self, name: &str, add: u64) {
+        if let Some(rec) = &self.inner {
+            *rec.borrow_mut().counters.entry(name.to_string()).or_insert(0) += add;
+        }
+    }
+
+    /// Record one observation into a named log₂ histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(rec) = &self.inner {
+            rec.borrow_mut()
+                .hists
+                .entry(name.to_string())
+                .or_default()
+                .record(value);
+        }
+    }
+
+    /// Append a structured event.
+    pub fn record(&self, ev: Event) {
+        if let Some(rec) = &self.inner {
+            rec.borrow_mut().events.push(ev);
+        }
+    }
+
+    /// Drain the recorder: flush counters and histograms (sorted by
+    /// name, so the tail of the stream is deterministic) and return all
+    /// events. Errors if any span is still open — the span-nesting
+    /// invariant.
+    pub fn try_finish(&self) -> Result<Vec<Event>, String> {
+        let Some(rec) = &self.inner else {
+            return Ok(Vec::new());
+        };
+        let mut rec = rec.borrow_mut();
+        if !rec.stack.is_empty() {
+            let open: Vec<String> = rec.stack.iter().map(|s| s.name.clone()).collect();
+            return Err(format!("unclosed spans at finish: {}", open.join("/")));
+        }
+        let rank = rec.rank;
+        let mut events = std::mem::take(&mut rec.events);
+        for (name, value) in std::mem::take(&mut rec.counters) {
+            events.push(Event::Counter { rank, name, value });
+        }
+        for (name, h) in std::mem::take(&mut rec.hists) {
+            events.push(Event::Hist {
+                rank,
+                name,
+                count: h.count(),
+                total: h.total(),
+                buckets: h.buckets(),
+            });
+        }
+        Ok(events)
+    }
+
+    /// [`Telemetry::try_finish`], panicking on unclosed spans.
+    pub fn finish(&self) -> Vec<Event> {
+        self.try_finish().expect("telemetry finish")
+    }
+}
+
+/// Restores the previously installed dispatcher on drop.
+pub struct InstallGuard {
+    prev: Option<Telemetry>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            CURRENT.with(|c| c.replace(prev));
+        }
+    }
+}
+
+/// Closes its span on drop.
+pub struct SpanGuard {
+    inner: Option<Rc<RefCell<Recorder>>>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(rec) = self.inner.take() {
+            let mut rec = rec.borrow_mut();
+            let Some(top) = rec.stack.pop() else {
+                debug_assert!(false, "span guard dropped with empty span stack");
+                return;
+            };
+            let secs = top.start.elapsed().as_secs_f64();
+            let depth = rec.stack.len();
+            let path = if depth == 0 {
+                top.name
+            } else {
+                format!("{}/{}", rec.path(), top.name)
+            };
+            let rank = rec.rank;
+            rec.events.push(Event::Span {
+                rank,
+                path,
+                depth,
+                secs,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local current dispatcher
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CURRENT: RefCell<Telemetry> = RefCell::new(Telemetry::disabled());
+}
+
+/// Clone of the thread-local current handle.
+pub fn current() -> Telemetry {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// True when the current dispatcher records (cheap pre-check before
+/// building expensive event payloads).
+pub fn is_enabled() -> bool {
+    CURRENT.with(|c| c.borrow().inner.is_some())
+}
+
+/// Open a span on the current dispatcher.
+pub fn span(name: &str) -> SpanGuard {
+    CURRENT.with(|c| c.borrow().span(name))
+}
+
+/// Add to a counter on the current dispatcher.
+pub fn counter(name: &str, add: u64) {
+    CURRENT.with(|c| c.borrow().counter(name, add));
+}
+
+/// Observe into a histogram on the current dispatcher.
+pub fn observe(name: &str, value: f64) {
+    CURRENT.with(|c| c.borrow().observe(name, value));
+}
+
+/// Record a structured event on the current dispatcher.
+pub fn record(ev: Event) {
+    CURRENT.with(|c| c.borrow().record(ev));
+}
+
+// ---------------------------------------------------------------------------
+// Merge + export
+// ---------------------------------------------------------------------------
+
+/// Merge per-rank event streams into one deterministic stream: ranks in
+/// index order, each rank's events in recorded order. The result is
+/// independent of the thread count the ranks ran under (recording is
+/// per-rank-thread), which `tests/telemetry.rs` asserts.
+pub fn merge_ranks(logs: Vec<Vec<Event>>) -> Vec<Event> {
+    logs.into_iter().flatten().collect()
+}
+
+/// Run metadata for an exported stream: rank count, worker thread count
+/// (`RAYON_NUM_THREADS` or hardware parallelism), and the git commit if
+/// discoverable (`GIT_COMMIT` env or `.git/HEAD`).
+pub fn run_info(ranks: usize) -> Event {
+    Event::Run {
+        ranks,
+        threads: configured_threads(),
+        git_commit: git_commit(),
+    }
+}
+
+/// Worker-thread count the process runs with.
+pub fn configured_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        })
+}
+
+/// Current git commit: `GIT_COMMIT` env var, else resolved from
+/// `.git/HEAD` (walking one symbolic ref). Offline, no subprocess.
+/// `cargo test`/`cargo bench` set cwd to the package dir, so the `.git`
+/// directory is searched for in every ancestor of the current dir.
+pub fn git_commit() -> Option<String> {
+    if let Ok(c) = std::env::var("GIT_COMMIT") {
+        if !c.is_empty() {
+            return Some(c);
+        }
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    let git = loop {
+        let cand = dir.join(".git");
+        if cand.is_dir() {
+            break cand;
+        }
+        if !dir.pop() {
+            return None;
+        }
+    };
+    let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+    let head = head.trim();
+    if let Some(refname) = head.strip_prefix("ref: ") {
+        let direct = std::fs::read_to_string(git.join(refname)).ok();
+        if let Some(c) = direct {
+            return Some(c.trim().to_string());
+        }
+        // Packed refs fallback.
+        let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+        for line in packed.lines() {
+            if let Some(hash) = line.strip_suffix(refname) {
+                return Some(hash.trim().to_string());
+            }
+        }
+        None
+    } else if head.len() >= 7 {
+        Some(head.to_string())
+    } else {
+        None
+    }
+}
+
+/// Write events as JSONL (one event per line), replacing `path`.
+pub fn write_jsonl(path: &str, events: &[Event]) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for ev in events {
+        writeln!(f, "{}", ev.to_line())?;
+    }
+    f.flush()
+}
+
+/// Parse a JSONL string, validating every line against the schema.
+pub fn read_jsonl_str(s: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (i, line) in s.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        events.push(
+            Event::parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))?,
+        );
+    }
+    Ok(events)
+}
+
+/// Read + validate a JSONL file.
+pub fn read_jsonl(path: &str) -> Result<Vec<Event>, String> {
+    let s = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    read_jsonl_str(&s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_a_no_op() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        {
+            let _s = t.span("x");
+            t.counter("c", 1);
+            t.observe("h", 2.0);
+            t.record(Event::Counter { rank: 0, name: "n".into(), value: 1 });
+        }
+        assert!(t.finish().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_record_paths() {
+        let t = Telemetry::enabled(3);
+        {
+            let _a = t.span("timestep");
+            assert_eq!(t.current_path(), "timestep");
+            {
+                let _b = t.span("picard");
+                let _c = t.span("continuity");
+                assert_eq!(t.current_path(), "timestep/picard/continuity");
+            }
+        }
+        let events = t.finish();
+        let paths: Vec<(String, usize)> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Span { path, depth, rank, .. } => {
+                    assert_eq!(*rank, 3);
+                    Some((path.clone(), *depth))
+                }
+                _ => None,
+            })
+            .collect();
+        // Closed innermost-first.
+        assert_eq!(
+            paths,
+            vec![
+                ("timestep/picard/continuity".to_string(), 2),
+                ("timestep/picard".to_string(), 1),
+                ("timestep".to_string(), 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn unclosed_span_fails_finish() {
+        let t = Telemetry::enabled(0);
+        let g = t.span("leaked");
+        let err = t.try_finish().unwrap_err();
+        assert!(err.contains("leaked"), "{err}");
+        drop(g);
+        assert_eq!(t.finish().len(), 1); // now closes cleanly
+    }
+
+    #[test]
+    fn counters_and_hists_flush_sorted() {
+        let t = Telemetry::enabled(0);
+        t.counter("b", 2);
+        t.counter("a", 1);
+        t.counter("b", 3);
+        t.observe("h", 4.0);
+        let events = t.finish();
+        match &events[0] {
+            Event::Counter { name, value, .. } => {
+                assert_eq!(name, "a");
+                assert_eq!(*value, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &events[1] {
+            Event::Counter { name, value, .. } => {
+                assert_eq!(name, "b");
+                assert_eq!(*value, 5);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &events[2] {
+            Event::Hist { name, count, buckets, .. } => {
+                assert_eq!(name, "h");
+                assert_eq!(*count, 1);
+                assert_eq!(buckets, &vec![(2, 1)]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn install_scopes_the_current_dispatcher() {
+        assert!(!is_enabled());
+        let t = Telemetry::enabled(1);
+        {
+            let _g = t.install();
+            assert!(is_enabled());
+            counter("via_free_fn", 7);
+            let _s = span("s");
+        }
+        assert!(!is_enabled());
+        let events = t.finish();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::Counter { name, value: 7, .. } if name == "via_free_fn"
+        )));
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let events = Event::examples();
+        let s: String = events.iter().map(|e| e.to_line() + "\n").collect();
+        let back = read_jsonl_str(&s).unwrap();
+        assert_eq!(back, events);
+        assert!(read_jsonl_str("{\"type\":\"span\"}\n").is_err());
+    }
+}

@@ -1,0 +1,551 @@
+//! End-of-run report: aggregate an event stream into the paper's
+//! observability artifacts and render them as ASCII or JSON.
+//!
+//! - per-equation, per-phase stacked wall-clock breakdowns (Figs. 6/7),
+//! - per-level AMG hierarchy tables with grid/operator complexity
+//!   (Tables 2–4),
+//! - per-equation GMRES iteration counts, final residuals, and the
+//!   convergence trajectory of the last solve,
+//! - the span tree, counters, and histograms.
+//!
+//! All aggregation maps are `BTreeMap`s, so rendering is deterministic
+//! for a given event stream.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{AmgLevelRow, Event};
+use crate::histogram::{LogHistogram, UNDERFLOW_BUCKET};
+use crate::json::Json;
+
+/// Aggregated GMRES statistics for one equation system.
+#[derive(Clone, Debug, Default)]
+pub struct GmresSummary {
+    pub solves: u64,
+    pub total_iters: u64,
+    pub min_iters: u64,
+    pub max_iters: u64,
+    pub converged: u64,
+    pub last_final_rel: f64,
+    pub last_history: Vec<f64>,
+}
+
+/// Aggregated AMG setup statistics for one equation system.
+#[derive(Clone, Debug)]
+pub struct AmgSummary {
+    pub setups: u64,
+    pub levels: Vec<AmgLevelRow>,
+    pub grid_complexity: f64,
+    pub operator_complexity: f64,
+}
+
+/// Per-path span aggregate.
+#[derive(Clone, Debug, Default)]
+pub struct SpanSummary {
+    pub depth: usize,
+    pub count: u64,
+    pub total_secs: f64,
+}
+
+/// The aggregated view of a telemetry event stream.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Rank count (from the `run` event, else max rank seen + 1).
+    pub ranks: usize,
+    /// Worker threads (from the `run` event).
+    pub threads: usize,
+    pub git_commit: Option<String>,
+    /// Phase column order: first appearance in the stream (the emitters
+    /// walk phases in plot order, so this reproduces it without this
+    /// crate depending on the `Phase` enum).
+    pub phases: Vec<String>,
+    /// Mean seconds per rank for each `(equation, phase)`.
+    pub phase_secs: BTreeMap<(String, String), f64>,
+    /// Steps observed.
+    pub steps: usize,
+    pub amg: BTreeMap<String, AmgSummary>,
+    pub gmres: BTreeMap<String, GmresSummary>,
+    pub spans: BTreeMap<String, SpanSummary>,
+    /// Counters summed over ranks.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms merged over ranks.
+    pub hists: BTreeMap<String, LogHistogram>,
+}
+
+/// Equation system of a span path like
+/// `timestep/picard/continuity/precond setup`: the second-to-last
+/// segment.
+fn eq_of_path(path: &str) -> String {
+    let segs: Vec<&str> = path.split('/').collect();
+    if segs.len() >= 2 {
+        segs[segs.len() - 2].to_string()
+    } else {
+        path.to_string()
+    }
+}
+
+impl Report {
+    /// Aggregate a (merged) event stream.
+    pub fn from_events(events: &[Event]) -> Report {
+        let mut r = Report::default();
+        let mut max_rank = 0usize;
+        let mut phase_sums: BTreeMap<(String, String), f64> = BTreeMap::new();
+        for ev in events {
+            match ev {
+                Event::Run { ranks, threads, git_commit } => {
+                    r.ranks = *ranks;
+                    r.threads = *threads;
+                    r.git_commit = git_commit.clone();
+                }
+                Event::PhaseTime { rank, step, eq, phase, secs } => {
+                    max_rank = max_rank.max(*rank);
+                    r.steps = r.steps.max(*step + 1);
+                    if !r.phases.contains(phase) {
+                        r.phases.push(phase.clone());
+                    }
+                    *phase_sums.entry((eq.clone(), phase.clone())).or_insert(0.0) += secs;
+                }
+                Event::Span { rank, path, depth, secs } => {
+                    max_rank = max_rank.max(*rank);
+                    let s = r.spans.entry(path.clone()).or_default();
+                    s.depth = *depth;
+                    s.count += 1;
+                    s.total_secs += secs;
+                }
+                Event::AmgSetup { rank, path, levels, grid_complexity, operator_complexity } => {
+                    max_rank = max_rank.max(*rank);
+                    let eq = eq_of_path(path);
+                    let entry = r.amg.entry(eq).or_insert_with(|| AmgSummary {
+                        setups: 0,
+                        levels: Vec::new(),
+                        grid_complexity: 0.0,
+                        operator_complexity: 0.0,
+                    });
+                    entry.setups += 1;
+                    // Keep the most recent hierarchy shape.
+                    entry.levels = levels.clone();
+                    entry.grid_complexity = *grid_complexity;
+                    entry.operator_complexity = *operator_complexity;
+                }
+                Event::Gmres { rank, path, iters, final_rel, converged, history } => {
+                    max_rank = max_rank.max(*rank);
+                    // One solve is collective over all ranks and is
+                    // reported by each; count it once via rank 0.
+                    if *rank != 0 {
+                        continue;
+                    }
+                    let eq = eq_of_path(path);
+                    let s = r.gmres.entry(eq).or_default();
+                    let it = *iters as u64;
+                    if s.solves == 0 {
+                        s.min_iters = it;
+                        s.max_iters = it;
+                    } else {
+                        s.min_iters = s.min_iters.min(it);
+                        s.max_iters = s.max_iters.max(it);
+                    }
+                    s.solves += 1;
+                    s.total_iters += it;
+                    s.converged += *converged as u64;
+                    s.last_final_rel = *final_rel;
+                    s.last_history = history.clone();
+                }
+                Event::Counter { rank, name, value } => {
+                    max_rank = max_rank.max(*rank);
+                    *r.counters.entry(name.clone()).or_insert(0) += value;
+                }
+                Event::Hist { rank, name, count, total, buckets } => {
+                    max_rank = max_rank.max(*rank);
+                    r.hists
+                        .entry(name.clone())
+                        .or_default()
+                        .merge(&LogHistogram::from_parts(*count, *total, buckets.clone()));
+                }
+                Event::PhasePerf { rank, .. } => {
+                    max_rank = max_rank.max(*rank);
+                }
+                Event::Bench { .. } => {}
+            }
+        }
+        if r.ranks == 0 {
+            r.ranks = max_rank + 1;
+        }
+        let n = r.ranks.max(1) as f64;
+        r.phase_secs = phase_sums.into_iter().map(|(k, v)| (k, v / n)).collect();
+        r
+    }
+
+    /// Equations with timing data, sorted.
+    pub fn equations(&self) -> Vec<String> {
+        let mut eqs: Vec<String> = self.phase_secs.keys().map(|(e, _)| e.clone()).collect();
+        eqs.sort();
+        eqs.dedup();
+        eqs
+    }
+
+    fn eq_total(&self, eq: &str) -> f64 {
+        self.phase_secs
+            .iter()
+            .filter(|((e, _), _)| e == eq)
+            .map(|(_, s)| s)
+            .sum()
+    }
+
+    /// Render the full ASCII report.
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::new();
+        let commit = self.git_commit.as_deref().unwrap_or("unknown");
+        let _ = writeln!(out, "== telemetry report ==");
+        let _ = writeln!(
+            out,
+            "ranks: {}   threads: {}   steps: {}   commit: {}",
+            self.ranks, self.threads, self.steps, commit
+        );
+
+        // --- Fig. 6/7: per-equation stacked phase breakdown -------------
+        if !self.phase_secs.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n-- per-equation phase breakdown, mean seconds per rank (cf. paper Figs. 6/7) --"
+            );
+            let mut header = format!("{:<12}", "equation");
+            for ph in &self.phases {
+                let _ = write!(header, " {ph:>16}");
+            }
+            let _ = writeln!(out, "{header} {:>10}", "total");
+            for eq in self.equations() {
+                let total = self.eq_total(&eq);
+                let mut row = format!("{eq:<12}");
+                for ph in &self.phases {
+                    let s = self
+                        .phase_secs
+                        .get(&(eq.clone(), ph.clone()))
+                        .copied()
+                        .unwrap_or(0.0);
+                    let pct = if total > 0.0 { 100.0 * s / total } else { 0.0 };
+                    let _ = write!(row, " {:>9.4} {:>2.0}%{:>3}", s, pct, "");
+                }
+                let _ = writeln!(out, "{row} {total:>10.4}");
+                // Stacked ASCII bar, one letter per phase.
+                if total > 0.0 {
+                    let width = 48usize;
+                    let mut bar = String::new();
+                    for (i, ph) in self.phases.iter().enumerate() {
+                        let s = self
+                            .phase_secs
+                            .get(&(eq.clone(), ph.clone()))
+                            .copied()
+                            .unwrap_or(0.0);
+                        let cells = ((s / total) * width as f64).round() as usize;
+                        let letter = ph
+                            .chars()
+                            .next()
+                            .unwrap_or(char::from(b'a' + (i % 26) as u8))
+                            .to_ascii_uppercase();
+                        bar.extend(std::iter::repeat_n(letter, cells));
+                    }
+                    let _ = writeln!(out, "{:<12} [{bar:<width$}]", "");
+                }
+            }
+            let legend: Vec<String> = self
+                .phases
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{}={p}",
+                        p.chars().next().unwrap_or('?').to_ascii_uppercase()
+                    )
+                })
+                .collect();
+            let _ = writeln!(out, "{:<12} {}", "", legend.join("  "));
+        }
+
+        // --- Tables 2–4: AMG hierarchies ---------------------------------
+        for (eq, amg) in &self.amg {
+            let _ = writeln!(
+                out,
+                "\n-- AMG hierarchy for {eq} ({} setups; cf. paper Tables 2-4) --",
+                amg.setups
+            );
+            let _ = writeln!(out, "{:>5} {:>12} {:>14} {:>10}", "level", "rows", "nnz", "coarsen");
+            let mut prev_rows: Option<u64> = None;
+            for l in &amg.levels {
+                let ratio = match prev_rows {
+                    Some(p) if l.rows > 0 => format!("{:.2}x", p as f64 / l.rows as f64),
+                    _ => "-".to_string(),
+                };
+                let _ = writeln!(out, "{:>5} {:>12} {:>14} {:>10}", l.level, l.rows, l.nnz, ratio);
+                prev_rows = Some(l.rows);
+            }
+            let _ = writeln!(
+                out,
+                "grid complexity {:.3}   operator complexity {:.3}",
+                amg.grid_complexity, amg.operator_complexity
+            );
+        }
+
+        // --- GMRES convergence -------------------------------------------
+        if !self.gmres.is_empty() {
+            let _ = writeln!(out, "\n-- GMRES solves --");
+            let _ = writeln!(
+                out,
+                "{:<12} {:>7} {:>11} {:>9} {:>9} {:>11} {:>13}",
+                "equation", "solves", "iters", "min", "max", "converged", "last rel"
+            );
+            for (eq, s) in &self.gmres {
+                let _ = writeln!(
+                    out,
+                    "{:<12} {:>7} {:>11} {:>9} {:>9} {:>9}/{:<3} {:>11.2e}",
+                    eq, s.solves, s.total_iters, s.min_iters, s.max_iters, s.converged, s.solves,
+                    s.last_final_rel
+                );
+            }
+            for (eq, s) in &self.gmres {
+                if s.last_history.len() > 1 {
+                    let _ = writeln!(
+                        out,
+                        "{eq} last-solve convergence (log10 rel residual per iteration):"
+                    );
+                    let _ = writeln!(out, "  {}", render_curve(&s.last_history));
+                }
+            }
+        }
+
+        // --- Span tree ----------------------------------------------------
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "\n-- span tree (seconds summed over ranks) --");
+            for (path, s) in &self.spans {
+                let name = path.rsplit('/').next().unwrap_or(path);
+                let _ = writeln!(
+                    out,
+                    "{:indent$}{name:<24} {:>8} calls {:>12.4}s",
+                    "",
+                    s.count,
+                    s.total_secs,
+                    indent = 2 * s.depth
+                );
+            }
+        }
+
+        // --- Counters + histograms ---------------------------------------
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "\n-- counters (summed over ranks) --");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<36} {v}");
+            }
+        }
+        if !self.hists.is_empty() {
+            let _ = writeln!(out, "\n-- histograms (log2 buckets, merged over ranks) --");
+            for (name, h) in &self.hists {
+                let buckets: Vec<String> = h
+                    .buckets()
+                    .iter()
+                    .map(|&(e, c)| {
+                        if e == UNDERFLOW_BUCKET {
+                            format!("<=0:{c}")
+                        } else {
+                            format!("2^{e}:{c}")
+                        }
+                    })
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "  {name:<24} n={} mean={:.3}  {}",
+                    h.count(),
+                    h.mean(),
+                    buckets.join(" ")
+                );
+            }
+        }
+        out
+    }
+
+    /// The report as a JSON object (machine-readable form of the ASCII
+    /// rendering).
+    pub fn to_json(&self) -> Json {
+        let mut eq_objs: Vec<Json> = Vec::new();
+        for eq in self.equations() {
+            let phases: Vec<Json> = self
+                .phases
+                .iter()
+                .map(|ph| {
+                    Json::obj(vec![
+                        ("phase", Json::Str(ph.clone())),
+                        (
+                            "secs",
+                            Json::Float(
+                                self.phase_secs
+                                    .get(&(eq.clone(), ph.clone()))
+                                    .copied()
+                                    .unwrap_or(0.0),
+                            ),
+                        ),
+                    ])
+                })
+                .collect();
+            eq_objs.push(Json::obj(vec![
+                ("equation", Json::Str(eq.clone())),
+                ("total_secs", Json::Float(self.eq_total(&eq))),
+                ("phases", Json::Arr(phases)),
+            ]));
+        }
+        let amg: Vec<Json> = self
+            .amg
+            .iter()
+            .map(|(eq, a)| {
+                Json::obj(vec![
+                    ("equation", Json::Str(eq.clone())),
+                    ("setups", Json::Int(a.setups as i128)),
+                    ("grid_complexity", Json::Float(a.grid_complexity)),
+                    ("operator_complexity", Json::Float(a.operator_complexity)),
+                    (
+                        "levels",
+                        Json::Arr(
+                            a.levels
+                                .iter()
+                                .map(|l| {
+                                    Json::obj(vec![
+                                        ("level", Json::Int(l.level as i128)),
+                                        ("rows", Json::Int(l.rows as i128)),
+                                        ("nnz", Json::Int(l.nnz as i128)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let gmres: Vec<Json> = self
+            .gmres
+            .iter()
+            .map(|(eq, s)| {
+                Json::obj(vec![
+                    ("equation", Json::Str(eq.clone())),
+                    ("solves", Json::Int(s.solves as i128)),
+                    ("total_iters", Json::Int(s.total_iters as i128)),
+                    ("min_iters", Json::Int(s.min_iters as i128)),
+                    ("max_iters", Json::Int(s.max_iters as i128)),
+                    ("converged", Json::Int(s.converged as i128)),
+                    ("last_final_rel", Json::Float(s.last_final_rel)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("ranks", Json::Int(self.ranks as i128)),
+            ("threads", Json::Int(self.threads as i128)),
+            ("steps", Json::Int(self.steps as i128)),
+            ("equations", Json::Arr(eq_objs)),
+            ("amg", Json::Arr(amg)),
+            ("gmres", Json::Arr(gmres)),
+        ])
+    }
+}
+
+/// Render a residual trajectory as a one-line level plot: each iteration
+/// maps to a digit 9 (starting residual) … 0 (smallest), on a log scale.
+fn render_curve(history: &[f64]) -> String {
+    let logs: Vec<f64> = history
+        .iter()
+        .map(|&r| if r > 0.0 { r.log10() } else { -16.0 })
+        .collect();
+    let hi = logs.iter().cloned().fold(f64::MIN, f64::max);
+    let lo = logs.iter().cloned().fold(f64::MAX, f64::min);
+    let range = (hi - lo).max(1e-12);
+    let digits: String = logs
+        .iter()
+        .map(|&l| {
+            let level = (9.0 * (l - lo) / range).round() as u32;
+            char::from_digit(level.min(9), 10).unwrap()
+        })
+        .collect();
+    format!(
+        "[{digits}]  1e{:.1} -> 1e{:.1} in {} iters",
+        hi,
+        logs.last().copied().unwrap_or(0.0),
+        history.len() - 1
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        let mut evs = vec![crate::run_info(2)];
+        for rank in 0..2usize {
+            for (eq, phase, secs) in [
+                ("momentum", "graph+physics", 0.1),
+                ("momentum", "local assembly", 0.2),
+                ("momentum", "solve", 0.3),
+                ("continuity", "local assembly", 0.1),
+                ("continuity", "solve", 0.5),
+            ] {
+                evs.push(Event::PhaseTime {
+                    rank,
+                    step: 0,
+                    eq: eq.into(),
+                    phase: phase.into(),
+                    secs,
+                });
+            }
+            evs.push(Event::Gmres {
+                rank,
+                path: "timestep/picard/continuity/solve".into(),
+                iters: 12,
+                final_rel: 1e-6,
+                converged: true,
+                history: vec![1.0, 1e-2, 1e-4, 1e-6],
+            });
+            evs.push(Event::AmgSetup {
+                rank,
+                path: "timestep/picard/continuity/precond setup".into(),
+                levels: vec![
+                    AmgLevelRow { level: 0, rows: 100, nnz: 640 },
+                    AmgLevelRow { level: 1, rows: 25, nnz: 200 },
+                ],
+                grid_complexity: 1.25,
+                operator_complexity: 1.3125,
+            });
+        }
+        evs
+    }
+
+    #[test]
+    fn aggregates_means_over_ranks() {
+        let r = Report::from_events(&sample_events());
+        assert_eq!(r.ranks, 2);
+        // Both ranks reported 0.3 → mean is 0.3.
+        assert!(
+            (r.phase_secs[&("momentum".to_string(), "solve".to_string())] - 0.3).abs() < 1e-12
+        );
+        assert_eq!(r.equations(), vec!["continuity".to_string(), "momentum".to_string()]);
+        // Phase order follows first appearance (plot order), not
+        // alphabetical.
+        assert_eq!(r.phases[0], "graph+physics");
+        // GMRES solves counted once (rank 0 only).
+        assert_eq!(r.gmres["continuity"].solves, 1);
+        assert_eq!(r.gmres["continuity"].total_iters, 12);
+        assert_eq!(r.amg["continuity"].setups, 2);
+        assert_eq!(r.amg["continuity"].levels.len(), 2);
+    }
+
+    #[test]
+    fn ascii_report_contains_all_sections() {
+        let r = Report::from_events(&sample_events());
+        let s = r.render_ascii();
+        assert!(s.contains("Figs. 6/7"), "{s}");
+        assert!(s.contains("AMG hierarchy for continuity"), "{s}");
+        assert!(s.contains("GMRES solves"), "{s}");
+        assert!(s.contains("grid complexity 1.250"), "{s}");
+        assert!(s.contains("momentum"), "{s}");
+        let json = r.to_json().to_string();
+        assert!(json.contains("\"operator_complexity\""), "{json}");
+    }
+
+    #[test]
+    fn curve_renders_monotone_levels() {
+        let s = render_curve(&[1.0, 1e-3, 1e-6, 1e-9]);
+        assert!(s.starts_with("[9630]"), "{s}");
+    }
+}

@@ -3,17 +3,40 @@
 //!
 //! ```sh
 //! cargo run --release --example quickstart
+//! # with telemetry (JSONL event stream + end-of-run report):
+//! cargo run --release --example quickstart -- --telemetry run.jsonl
+//! # equivalently:
+//! EXAWIND_TELEMETRY=run.jsonl cargo run --release --example quickstart
 //! ```
 
 use exawind::nalu_core::{Simulation, SolverConfig};
 use exawind::parcomm::Comm;
+use exawind::telemetry;
 use exawind::windmesh::generate::{box_mesh, uniform_spacing, BoxBc};
+
+/// `--telemetry <path>` from argv, else the `EXAWIND_TELEMETRY` env var.
+fn telemetry_path() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--telemetry")
+        .map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| {
+                    eprintln!("--telemetry requires a path argument");
+                    std::process::exit(2);
+                })
+                .clone()
+        })
+        .or_else(telemetry::env_path)
+}
 
 fn main() {
     let nranks = 4;
     let steps = 3;
+    let tel_path = telemetry_path();
+    let telemetry_on = tel_path.is_some();
 
-    let outputs = Comm::run(nranks, |rank| {
+    let outputs = Comm::run(nranks, move |rank| {
         // A 10×4×4 rotor-diameter wind tunnel, inflow 8 m/s in +x.
         let mesh = box_mesh(
             uniform_spacing(0.0, 630.0, 17),
@@ -21,7 +44,10 @@ fn main() {
             uniform_spacing(-126.0, 126.0, 9),
             BoxBc::wind_tunnel(),
         );
-        let cfg = SolverConfig::default();
+        let cfg = SolverConfig {
+            telemetry: telemetry_on,
+            ..SolverConfig::default()
+        };
         let mut sim = Simulation::new(rank, vec![mesh], cfg);
 
         let mut lines = Vec::new();
@@ -55,10 +81,11 @@ fn main() {
                 }
             }
         }
-        (lines, probe)
+        let events = sim.finish_telemetry(rank);
+        (lines, probe, events)
     });
 
-    let (lines, probe) = &outputs[0];
+    let (lines, probe, _) = &outputs[0];
     println!("== ExaWind-RS quickstart: empty wind tunnel on {nranks} ranks ==");
     for l in lines {
         println!("{l}");
@@ -66,5 +93,16 @@ fn main() {
     println!("\ncentreline probe (expect u ≈ (8, 0, 0), p ≈ 0):");
     for l in probe {
         println!("  {l}");
+    }
+
+    if let Some(path) = tel_path {
+        let mut events = vec![telemetry::run_info(nranks)];
+        events.extend(telemetry::merge_ranks(
+            outputs.into_iter().map(|(_, _, ev)| ev).collect(),
+        ));
+        telemetry::write_jsonl(&path, &events)
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("\ntelemetry: {} events written to {path}", events.len());
+        print!("{}", telemetry::Report::from_events(&events).render_ascii());
     }
 }

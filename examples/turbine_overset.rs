@@ -5,17 +5,38 @@
 //!
 //! ```sh
 //! cargo run --release --example turbine_overset
+//! # with telemetry (JSONL event stream + end-of-run report):
+//! cargo run --release --example turbine_overset -- --telemetry run.jsonl
 //! ```
 
 use exawind::nalu_core::{Phase, Simulation, SolverConfig};
 use exawind::parcomm::Comm;
+use exawind::telemetry;
 use exawind::windmesh::turbine::generate;
 use exawind::windmesh::NrelCase;
+
+/// `--telemetry <path>` from argv, else the `EXAWIND_TELEMETRY` env var.
+fn telemetry_path() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--telemetry")
+        .map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| {
+                    eprintln!("--telemetry requires a path argument");
+                    std::process::exit(2);
+                })
+                .clone()
+        })
+        .or_else(telemetry::env_path)
+}
 
 fn main() {
     let nranks = 4;
     let steps = 2;
     let scale = 2e-4;
+    let tel_path = telemetry_path();
+    let telemetry_on = tel_path.is_some();
 
     let tm = generate(NrelCase::SingleLow, scale);
     println!(
@@ -28,7 +49,11 @@ fn main() {
     let meshes = tm.meshes;
 
     let outputs = Comm::run(nranks, move |rank| {
-        let mut sim = Simulation::new(rank, meshes.clone(), SolverConfig::default());
+        let cfg = SolverConfig {
+            telemetry: telemetry_on,
+            ..SolverConfig::default()
+        };
+        let mut sim = Simulation::new(rank, meshes.clone(), cfg);
         let mut lines = Vec::new();
         for step in 0..steps {
             let report = sim.step(rank);
@@ -64,10 +89,11 @@ fn main() {
                 breakdown.push(format!("{eq:12} {}", row.join("  ")));
             }
         }
-        (lines, deficit, breakdown)
+        let events = sim.finish_telemetry(rank);
+        (lines, deficit, breakdown, events)
     });
 
-    let (lines, deficit, breakdown) = &outputs[0];
+    let (lines, deficit, breakdown, _) = &outputs[0];
     for l in lines {
         println!("{l}");
     }
@@ -78,5 +104,16 @@ fn main() {
     println!("\nper-equation wall-clock breakdown (cf. paper Figs. 6/7):");
     for l in breakdown {
         println!("  {l}");
+    }
+
+    if let Some(path) = tel_path {
+        let mut events = vec![telemetry::run_info(nranks)];
+        events.extend(telemetry::merge_ranks(
+            outputs.into_iter().map(|(_, _, _, ev)| ev).collect(),
+        ));
+        telemetry::write_jsonl(&path, &events)
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("\ntelemetry: {} events written to {path}", events.len());
+        print!("{}", telemetry::Report::from_events(&events).render_ascii());
     }
 }

@@ -151,16 +151,75 @@ fn run_one(group: &str, id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Ben
     );
     if let Ok(path) = std::env::var("CRITERION_JSON") {
         if !path.is_empty() {
-            let line = format!(
-                "{{\"bench\":\"{full}\",\"mean_ns\":{mean},\"median_ns\":{median},\"min_ns\":{min},\"samples\":{}}}\n",
-                sorted.len()
+            // `type`/`threads`/`git_commit` make the record a valid
+            // `telemetry::Event::Bench` line (BENCH_*.json shares the
+            // telemetry JSONL schema); readers still accept old lines
+            // without them.
+            let mut line = format!(
+                "{{\"type\":\"bench\",\"bench\":\"{full}\",\"mean_ns\":{mean},\"median_ns\":{median},\"min_ns\":{min},\"samples\":{},\"threads\":{}",
+                sorted.len(),
+                configured_threads()
             );
+            if let Some(commit) = git_commit() {
+                line.push_str(&format!(",\"git_commit\":\"{commit}\""));
+            }
+            line.push_str("}\n");
             let _ = std::fs::OpenOptions::new()
                 .create(true)
                 .append(true)
                 .open(&path)
                 .and_then(|mut fh| fh.write_all(line.as_bytes()));
         }
+    }
+}
+
+/// Rayon pool size the benches will run with: `RAYON_NUM_THREADS` if set,
+/// else the machine's available parallelism.
+fn configured_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Current git commit, resolved offline (no `git` subprocess): the
+/// `GIT_COMMIT` env var, else `.git/HEAD` walking one symbolic ref.
+fn git_commit() -> Option<String> {
+    if let Ok(c) = std::env::var("GIT_COMMIT") {
+        if !c.is_empty() {
+            return Some(c);
+        }
+    }
+    // Bench executables run with cwd = the package dir, so walk up to
+    // whatever ancestor holds the `.git` directory.
+    let mut dir = std::env::current_dir().ok()?;
+    let git = loop {
+        let cand = dir.join(".git");
+        if cand.is_dir() {
+            break cand;
+        }
+        if !dir.pop() {
+            return None;
+        }
+    };
+    let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+    let head = head.trim();
+    if let Some(refname) = head.strip_prefix("ref: ") {
+        if let Ok(direct) = std::fs::read_to_string(git.join(refname)) {
+            return Some(direct.trim().to_string());
+        }
+        let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+        for line in packed.lines() {
+            if let Some(hash) = line.strip_suffix(refname) {
+                return Some(hash.trim().to_string());
+            }
+        }
+        None
+    } else if head.len() >= 7 {
+        Some(head.to_string())
+    } else {
+        None
     }
 }
 
@@ -218,5 +277,23 @@ mod tests {
     fn bench_function_on_criterion() {
         let mut c = Criterion::default();
         c.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+    }
+
+    #[test]
+    fn json_lines_carry_type_threads_and_commit_fields() {
+        let path = std::env::temp_dir().join(format!("criterion_shim_{}.jsonl", std::process::id()));
+        std::env::set_var("CRITERION_JSON", &path);
+        let mut c = Criterion::default();
+        c.bench_function("jsonfields", |b| b.iter(|| black_box(1 + 1)));
+        std::env::remove_var("CRITERION_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let line = text
+            .lines()
+            .find(|l| l.contains("\"bench\":\"jsonfields\""))
+            .expect("bench line written");
+        assert!(line.starts_with("{\"type\":\"bench\""), "{line}");
+        assert!(line.contains("\"threads\":"), "{line}");
+        assert!(line.contains("\"samples\":20"), "{line}");
     }
 }

@@ -12,6 +12,7 @@
 //! - [`krylov`] — GMRES and GPU-oriented smoothers
 //! - [`nalu_core`] — the incompressible-flow solver
 //! - [`machine`] — Summit/Eagle performance models
+//! - [`telemetry`] — span tracing, solver metrics, phase reports
 
 pub use amg;
 pub use distmat;
@@ -21,4 +22,5 @@ pub use meshpart;
 pub use nalu_core;
 pub use parcomm;
 pub use sparse_kit;
+pub use telemetry;
 pub use windmesh;

@@ -143,7 +143,7 @@ fn assembly_and_amg_setup_bitwise_identical_across_thread_counts() {
 /// End-to-end: one full `Simulation::step` (assembly, AMG-preconditioned
 /// solves, smoother sweeps, projection) must leave bitwise-identical
 /// fields whatever the thread count.
-fn step_field_bits(threads: usize) -> Vec<Vec<u64>> {
+fn step_field_bits(threads: usize, telemetry: bool) -> Vec<Vec<u64>> {
     let tm = generate(NrelCase::SingleLow, 1e-4);
     let meshes = tm.meshes;
     Comm::run(2, move |rank| {
@@ -151,10 +151,16 @@ fn step_field_bits(threads: usize) -> Vec<Vec<u64>> {
         pool.install(|| {
             let cfg = SolverConfig {
                 picard_iters: 2,
+                telemetry,
                 ..SolverConfig::default()
             };
             let mut sim = Simulation::new(rank, meshes.clone(), cfg);
             sim.step(rank);
+            if telemetry {
+                // Drain the recorder (also asserts span nesting closed).
+                let events = sim.finish_telemetry(rank);
+                assert!(!events.is_empty());
+            }
             let mut out = Vec::new();
             for m in 0..sim.n_meshes() {
                 let st = sim.state(m);
@@ -169,12 +175,26 @@ fn step_field_bits(threads: usize) -> Vec<Vec<u64>> {
 
 #[test]
 fn converged_fields_bitwise_identical_across_thread_counts() {
-    let baseline = step_field_bits(1);
+    let baseline = step_field_bits(1, false);
     for threads in THREAD_COUNTS {
-        let other = step_field_bits(threads);
+        let other = step_field_bits(threads, false);
         assert_eq!(
             baseline, other,
             "solution fields differ between 1 and {threads} threads"
+        );
+    }
+}
+
+/// Telemetry is an observer: turning the event stream on must not change
+/// a single bit of the solution fields, at any thread count.
+#[test]
+fn telemetry_does_not_perturb_solution_bits() {
+    let baseline = step_field_bits(1, false);
+    for threads in [1, 8] {
+        let with_tel = step_field_bits(threads, true);
+        assert_eq!(
+            baseline, with_tel,
+            "telemetry perturbed the solution at {threads} threads"
         );
     }
 }

@@ -1,0 +1,205 @@
+//! Integration tests for the unified telemetry layer: event-schema
+//! round-trips, span-nesting invariants, histogram bucket edges, and an
+//! end-to-end simulation export whose stream must be schema-valid,
+//! structurally thread-count independent, and aggregable into the
+//! Fig. 6/7-style report.
+
+use std::collections::BTreeSet;
+
+use exawind::nalu_core::{Simulation, SolverConfig};
+use exawind::parcomm::Comm;
+use exawind::telemetry::{self, Event, LogHistogram, Report, Telemetry};
+use exawind::windmesh::generate::{box_mesh, uniform_spacing, BoxBc};
+use rayon::ThreadPoolBuilder;
+
+// ---------------------------------------------------------------------------
+// Schema
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_event_type_round_trips_through_jsonl() {
+    let examples = Event::examples();
+    let tags: BTreeSet<&str> = examples.iter().map(|e| e.type_tag()).collect();
+    // The fixture must cover the whole schema.
+    for tag in [
+        "run", "span", "phase_time", "phase_perf", "amg", "gmres", "counter", "hist", "bench",
+    ] {
+        assert!(tags.contains(tag), "examples() missing event type {tag}");
+    }
+    for ev in &examples {
+        let line = ev.to_line();
+        let back = Event::parse_line(&line)
+            .unwrap_or_else(|e| panic!("cannot parse own output {line}: {e}"));
+        assert_eq!(&back, ev, "round-trip changed {line}");
+    }
+    // Whole-stream helpers agree too.
+    let text: String = examples.iter().map(|e| e.to_line() + "\n").collect();
+    assert_eq!(telemetry::read_jsonl_str(&text).unwrap(), examples);
+}
+
+#[test]
+fn unclosed_span_fails_the_nesting_invariant() {
+    let tel = Telemetry::enabled(0);
+    let guard = tel.span("timestep");
+    std::mem::forget(guard); // simulate a span leaked across finish()
+    let err = tel.try_finish().unwrap_err();
+    assert!(err.contains("timestep"), "{err}");
+}
+
+#[test]
+fn histogram_bucket_edges_are_powers_of_two() {
+    let mut h = LogHistogram::new();
+    // 2^e is the *inclusive* lower edge of bucket e.
+    h.record(4.0); // bucket 2
+    h.record(f64::from_bits(4.0f64.to_bits() - 1)); // just below → bucket 1
+    h.record(0.5); // bucket -1
+    h.record(0.0); // underflow
+    assert_eq!(h.bucket_count(2), 1);
+    assert_eq!(h.bucket_count(1), 1);
+    assert_eq!(h.bucket_count(-1), 1);
+    assert_eq!(h.bucket_count(telemetry::UNDERFLOW_BUCKET), 1);
+    assert_eq!(h.count(), 4);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end simulation export
+// ---------------------------------------------------------------------------
+
+fn small_channel() -> exawind::windmesh::Mesh {
+    // No-slip walls on the z faces: uniform inflow is NOT a solution, so
+    // the solves genuinely iterate (exercising smoothers and AMG cycles).
+    let bc = BoxBc {
+        zmin: exawind::windmesh::BcKind::Wall,
+        zmax: exawind::windmesh::BcKind::Wall,
+        ..BoxBc::wind_tunnel()
+    };
+    box_mesh(
+        uniform_spacing(0.0, 4.0, 6),
+        uniform_spacing(0.0, 2.0, 4),
+        uniform_spacing(0.0, 2.0, 4),
+        bc,
+    )
+}
+
+/// Run a 2-rank, 2-step simulation with telemetry on under `threads`
+/// rayon threads and return the merged event stream (run header first).
+fn sim_events(threads: usize) -> Vec<Event> {
+    let mesh = small_channel();
+    let per_rank = Comm::run(2, move |rank| {
+        let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        pool.install(|| {
+            let cfg = SolverConfig {
+                telemetry: true,
+                picard_iters: 2,
+                ..SolverConfig::default()
+            };
+            let mut sim = Simulation::new(rank, vec![mesh.clone()], cfg);
+            sim.step(rank);
+            sim.step(rank);
+            sim.finish_telemetry(rank)
+        })
+    });
+    let mut events = vec![telemetry::run_info(2)];
+    events.extend(telemetry::merge_ranks(per_rank));
+    events
+}
+
+#[test]
+fn simulation_stream_is_schema_valid_and_report_complete() {
+    let events = sim_events(1);
+
+    // Every event must survive a serialize → parse round-trip.
+    for ev in &events {
+        let line = ev.to_line();
+        assert_eq!(&Event::parse_line(&line).unwrap(), ev, "{line}");
+    }
+
+    let report = Report::from_events(&events);
+    assert_eq!(report.ranks, 2);
+    assert_eq!(report.steps, 2);
+
+    // Fig. 6/7 phase breakdown: all three equation systems, all five
+    // phases, in plot order.
+    for eq in ["momentum", "continuity", "scalar"] {
+        assert!(report.equations().contains(&eq.to_string()), "{eq} missing");
+    }
+    assert_eq!(
+        report.phases,
+        vec![
+            "graph+physics",
+            "local assembly",
+            "global assembly",
+            "precond setup",
+            "solve"
+        ]
+    );
+
+    // AMG hierarchy table for the pressure solve: per-level rows/nnz and
+    // both complexities.
+    let amg = &report.amg["continuity"];
+    assert!(amg.setups >= 4, "2 steps × 2 picard iterations expected");
+    assert!(!amg.levels.is_empty());
+    for (i, l) in amg.levels.iter().enumerate() {
+        assert_eq!(l.level, i);
+        assert!(l.rows > 0 && l.nnz > 0);
+    }
+    assert!(amg.grid_complexity >= 1.0);
+    assert!(amg.operator_complexity >= 1.0);
+
+    // GMRES aggregates for every equation system.
+    for eq in ["momentum", "continuity", "scalar"] {
+        let g = &report.gmres[eq];
+        assert!(g.solves > 0, "{eq} has no gmres events");
+        assert!(!g.last_history.is_empty());
+        assert!(g.last_final_rel.is_finite());
+    }
+
+    // Span tree: the hierarchy the sim layer promises.
+    for path in [
+        "timestep",
+        "timestep/picard",
+        "timestep/picard/continuity/solve",
+        "timestep/picard/continuity/precond setup",
+        "timestep/picard/momentum/local assembly",
+    ] {
+        assert!(report.spans.contains_key(path), "span {path} missing");
+    }
+
+    // Counters from the assembly layer and smoother instrumentation.
+    assert!(report.counters["assembly.matrix_entries"] > 0);
+    assert!(report.counters.keys().any(|k| k.starts_with("smoother.")));
+    assert!(report.hists["gmres.iters"].count() > 0);
+
+    // The rendered report carries the headline numbers.
+    let text = report.render_ascii();
+    assert!(text.contains("Figs. 6/7"), "{text}");
+    assert!(text.contains("AMG hierarchy for continuity"), "{text}");
+    assert!(text.contains("GMRES solves"), "{text}");
+}
+
+/// Structural signature of a stream: everything except wall-clock
+/// durations, which legitimately vary run to run.
+fn structure(events: &[Event]) -> Vec<String> {
+    events
+        .iter()
+        .map(|ev| match ev {
+            Event::Span { rank, path, depth, .. } => {
+                format!("span r{rank} {path} d{depth}")
+            }
+            Event::PhaseTime { rank, step, eq, phase, .. } => {
+                format!("phase_time r{rank} s{step} {eq}/{phase}")
+            }
+            Event::Run { ranks, .. } => format!("run {ranks}"),
+            // Perf counts, AMG shapes, GMRES iteration counts and
+            // residual bits must all be exactly reproducible.
+            other => other.to_line(),
+        })
+        .collect()
+}
+
+#[test]
+fn stream_structure_is_thread_count_independent() {
+    let baseline = structure(&sim_events(1));
+    let threaded = structure(&sim_events(4));
+    assert_eq!(baseline, threaded, "telemetry stream depends on thread count");
+}

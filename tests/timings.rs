@@ -3,6 +3,8 @@
 //! every [`Phase`] recorded for both the momentum and the continuity
 //! equation systems.
 
+use std::collections::BTreeSet;
+
 use exawind::nalu_core::{Phase, Simulation, SolverConfig};
 use exawind::parcomm::Comm;
 use exawind::windmesh::generate::{box_mesh, uniform_spacing, BoxBc};
@@ -43,4 +45,45 @@ fn step_times_every_phase_of_momentum_and_continuity() {
             );
         }
     });
+}
+
+/// The perf-trace labels and the `Timings` ledger are generated from the
+/// same `Phase::trace_label` and must stay parseable by its inverse:
+/// every phase label seen in a rank trace (except the "other" idle
+/// bucket) round-trips through `Phase::parse_trace_label` to an
+/// `(equation, phase)` pair present in the timing ledger.
+#[test]
+fn trace_labels_and_timing_ledger_agree() {
+    let mesh = box_mesh(
+        uniform_spacing(0.0, 4.0, 6),
+        uniform_spacing(0.0, 2.0, 4),
+        uniform_spacing(0.0, 2.0, 4),
+        BoxBc::wind_tunnel(),
+    );
+    let (outs, traces) = Comm::run_traced(2, move |rank| {
+        let mut sim = Simulation::new(rank, vec![mesh.clone()], SolverConfig::default());
+        let report = sim.step(rank);
+        report.timings
+    });
+    let timed: BTreeSet<(String, Phase)> = outs[0]
+        .iter()
+        .map(|(eq, ph, _)| (eq.to_string(), ph))
+        .collect();
+    assert!(!timed.is_empty());
+    for tr in &traces {
+        let mut parsed = 0;
+        for label in tr.phase_names() {
+            if label == "other" {
+                continue; // idle bucket outside any phased section
+            }
+            let (eq, ph) = Phase::parse_trace_label(&label)
+                .unwrap_or_else(|| panic!("unparseable trace label {label:?}"));
+            assert!(
+                timed.contains(&(eq.to_string(), ph)),
+                "trace phase {label:?} missing from the timing ledger"
+            );
+            parsed += 1;
+        }
+        assert!(parsed >= 8, "suspiciously few phases traced: {parsed}");
+    }
 }
