@@ -11,6 +11,16 @@ cargo bench --no-run
 # Telemetry end-to-end: a quickstart run must emit a JSONL event stream
 # that the offline validator accepts (exit 0 ⇔ schema-valid, non-empty).
 tel_out=$(mktemp /tmp/exawind_telemetry.XXXXXX.jsonl)
-trap 'rm -f "$tel_out"' EXIT
+fault_out=$(mktemp /tmp/exawind_faulted.XXXXXX.jsonl)
+trap 'rm -f "$tel_out" "$fault_out"' EXIT
 EXAWIND_TELEMETRY="$tel_out" cargo run --release --example quickstart
 cargo run --release -p telemetry --bin validate_telemetry -- "$tel_out"
+
+# Fault-injection smoke: a NaN injected into the first continuity
+# assembly must be caught by the recovery ladder (exit 0, not a panic),
+# logged as a schema-valid `recovery` event, and still converge.
+EXAWIND_FAULTS="assembly-nan@continuity/global:1" \
+  EXAWIND_TELEMETRY="$fault_out" cargo run --release --example quickstart
+cargo run --release -p telemetry --bin validate_telemetry -- "$fault_out"
+grep -q '"type": *"recovery"' "$fault_out" \
+  || { echo "fault-injection smoke: no recovery event in $fault_out" >&2; exit 1; }

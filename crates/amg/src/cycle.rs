@@ -3,6 +3,7 @@
 use distmat::{ParCsr, ParVector};
 use krylov::Preconditioner;
 use parcomm::Rank;
+use resilience::SolveError;
 
 use crate::config::AmgConfig;
 use crate::hierarchy::AmgHierarchy;
@@ -81,13 +82,18 @@ pub struct AmgPrecond {
 
 impl AmgPrecond {
     /// Set up AMG for `a` with `config`. Collective.
-    pub fn setup(rank: &Rank, a: ParCsr, config: &AmgConfig) -> Self {
-        let hierarchy = AmgHierarchy::setup(rank, a, config);
-        AmgPrecond {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AmgHierarchy::setup`] failures (non-finite
+    /// coefficients, coarsening stagnation).
+    pub fn setup(rank: &Rank, a: ParCsr, config: &AmgConfig) -> Result<Self, SolveError> {
+        let hierarchy = AmgHierarchy::setup(rank, a, config)?;
+        Ok(AmgPrecond {
             hierarchy,
             cycles: 1,
             sweeps: config.smooth_sweeps,
-        }
+        })
     }
 
     /// Wrap an existing hierarchy.
@@ -213,11 +219,11 @@ mod tests {
                 ortho: OrthoStrategy::OneReduce,
             };
             let mut x0 = ParVector::zeros(rank, dist.clone());
-            let plain = gmres.solve(rank, &a, &b, &mut x0, &IdentityPrecond);
+            let plain = gmres.solve(rank, &a, &b, &mut x0, &IdentityPrecond).unwrap();
 
-            let amg = AmgPrecond::setup(rank, a.clone(), &AmgConfig::pressure_default());
+            let amg = AmgPrecond::setup(rank, a.clone(), &AmgConfig::pressure_default()).unwrap();
             let mut x1 = ParVector::zeros(rank, dist);
-            let pre = gmres.solve(rank, &a, &b, &mut x1, &amg);
+            let pre = gmres.solve(rank, &a, &b, &mut x1, &amg).unwrap();
             (plain.iters, pre.iters, pre.converged)
         });
         let (plain, pre, converged) = out[0];
@@ -266,7 +272,7 @@ mod tests {
         let out = Comm::run(2, move |rank| {
             let dist = RowDist::block(n, rank.size());
             let a = ParCsr::from_serial(rank, dist.clone(), dist.clone(), &serial);
-            let amg = AmgPrecond::setup(rank, a.clone(), &AmgConfig::pressure_default());
+            let amg = AmgPrecond::setup(rank, a.clone(), &AmgConfig::pressure_default()).unwrap();
             let b = ParVector::from_fn(rank, dist.clone(), |g| 1.0 + (g % 3) as f64);
             let mut x = ParVector::zeros(rank, dist);
             let gmres = Gmres {
@@ -275,7 +281,7 @@ mod tests {
                 tol: 1e-8,
                 ortho: OrthoStrategy::OneReduce,
             };
-            let stats = gmres.solve(rank, &a, &b, &mut x, &amg);
+            let stats = gmres.solve(rank, &a, &b, &mut x, &amg).unwrap();
             (stats.converged, stats.iters)
         });
         let (converged, iters) = out[0];
@@ -296,7 +302,7 @@ mod tests {
             let out = Comm::run(p, move |rank| {
                 let dist = RowDist::block(n, rank.size());
                 let a = ParCsr::from_serial(rank, dist.clone(), dist.clone(), &s2);
-                let amg = AmgPrecond::setup(rank, a.clone(), &AmgConfig::standard());
+                let amg = AmgPrecond::setup(rank, a.clone(), &AmgConfig::standard()).unwrap();
                 let b = ParVector::from_fn(rank, dist.clone(), |g| (g as f64).sin());
                 let mut x = ParVector::zeros(rank, dist);
                 Gmres {
@@ -305,7 +311,8 @@ mod tests {
                     tol: 1e-12,
                     ortho: OrthoStrategy::OneReduce,
                 }
-                .solve(rank, &a, &b, &mut x, &amg);
+                .solve(rank, &a, &b, &mut x, &amg)
+                .unwrap();
                 x.to_serial(rank)
             });
             sols.push(out[0].clone());
@@ -323,7 +330,7 @@ mod tests {
         Comm::run(2, move |rank| {
             let dist = RowDist::block(64, rank.size());
             let a = ParCsr::from_serial(rank, dist.clone(), dist.clone(), &serial);
-            let amg = AmgPrecond::setup(rank, a, &AmgConfig::standard());
+            let amg = AmgPrecond::setup(rank, a, &AmgConfig::standard()).unwrap();
             let r = ParVector::from_fn(rank, dist, |g| g as f64);
             let z1 = amg.apply(rank, &r);
             let z2 = amg.apply(rank, &r);

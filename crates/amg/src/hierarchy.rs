@@ -11,6 +11,8 @@
 use distmat::{ops, ParCsr, ParVector, RowDist};
 use krylov::{Chebyshev, L1Jacobi, TwoStageGs};
 use parcomm::Rank;
+use resilience::faults::{self, FaultKind};
+use resilience::{guard, SolveError};
 
 use crate::coarse::CoarseSolver;
 use crate::config::{AmgConfig, InterpType, SmootherType};
@@ -94,9 +96,33 @@ pub struct AmgHierarchy {
     pub operator_complexity: f64,
 }
 
+/// A coarsening stall is tolerated (hierarchy truncated, as before)
+/// when the stalled level is within this factor of `max_coarse_size`;
+/// any larger and the stall is a [`SolveError::CoarseningStagnation`] —
+/// the coarse "solve" would be a near-full-size dense factorization.
+const STALL_TOLERANCE_FACTOR: u64 = 4;
+
 impl AmgHierarchy {
     /// Build the hierarchy for `a`. Collective.
-    pub fn setup(rank: &Rank, a: ParCsr, config: &AmgConfig) -> AmgHierarchy {
+    ///
+    /// # Errors
+    ///
+    /// - [`SolveError::NonFiniteCoefficient`] — the finest operator
+    ///   contains NaN/Inf entries (count allreduced, so every rank
+    ///   errors together).
+    /// - [`SolveError::CoarseningStagnation`] — PMIS stopped shrinking
+    ///   the grid while it is still far above `max_coarse_size`.
+    pub fn setup(rank: &Rank, a: ParCsr, config: &AmgConfig) -> Result<AmgHierarchy, SolveError> {
+        let local_bad =
+            guard::count_nonfinite(a.diag.vals()) + guard::count_nonfinite(a.offd.vals());
+        let bad = rank.allreduce_sum(local_bad);
+        if bad > 0 {
+            return Err(SolveError::NonFiniteCoefficient {
+                context: rank.phase_name(),
+                count: bad,
+            });
+        }
+
         let mut levels: Vec<AmgLevel> = Vec::new();
         let mut a_cur = a;
         let fine_n = a_cur.row_dist().global_n().max(1);
@@ -114,13 +140,29 @@ impl AmgHierarchy {
             if a_cur.row_dist().global_n() <= config.max_coarse_size as u64 {
                 break;
             }
+            let stall_is_fatal =
+                lvl_n > STALL_TOLERANCE_FACTOR * config.max_coarse_size.max(1) as u64;
+            // Fault hook: a `coarsen-stall` spec forces this level's PMIS
+            // pass to be treated as degenerate (identical on every rank:
+            // the plan and occurrence counters are replicated per rank).
+            if faults::fire(FaultKind::CoarsenStall, || rank.phase_name()) {
+                if stall_is_fatal {
+                    return Err(SolveError::CoarseningStagnation { level: lvl, rows: lvl_n });
+                }
+                break;
+            }
             let s = Strength::classical(rank, &a_cur, config.strength_threshold);
             let seed = config.seed.wrapping_add(lvl as u64);
             let first = pmis(rank, &a_cur, &s, seed);
             if first.coarse_dist.global_n() == 0
                 || first.coarse_dist.global_n() == a_cur.row_dist().global_n()
             {
-                break; // coarsening stalled
+                // Coarsening stalled: tolerable near the coarse-solver
+                // threshold, an error while the grid is still large.
+                if stall_is_fatal {
+                    return Err(SolveError::CoarseningStagnation { level: lvl, rows: lvl_n });
+                }
+                break;
             }
 
             let (p, a_next) = if lvl < config.agg_levels {
@@ -173,7 +215,7 @@ impl AmgHierarchy {
             operator_complexity: sum_nnz as f64 / fine_nnz as f64,
         };
         hierarchy.emit_telemetry(rank);
-        hierarchy
+        Ok(hierarchy)
     }
 
     /// Record an `amg_setup` event on this rank's telemetry dispatcher.
@@ -290,7 +332,8 @@ pub fn count_coarse(states: &[CfState]) -> usize {
 }
 
 /// Re-export for benches: build the finest-level distribution of a serial
-/// matrix and set up AMG in one call (test/bench helper).
+/// matrix and set up AMG in one call (test/bench helper). Panics on a
+/// [`SolveError`] — bench/test inputs are healthy by construction.
 pub fn setup_from_serial(
     rank: &Rank,
     serial: &sparse_kit::Csr,
@@ -298,7 +341,7 @@ pub fn setup_from_serial(
 ) -> AmgHierarchy {
     let dist = RowDist::block(serial.nrows() as u64, rank.size());
     let a = ParCsr::from_serial(rank, dist.clone(), dist, serial);
-    AmgHierarchy::setup(rank, a, config)
+    AmgHierarchy::setup(rank, a, config).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -443,6 +486,53 @@ mod tests {
                 }
                 assert_eq!(stats[0].nnz, fine_nnz);
             }
+        }
+    }
+
+    #[test]
+    fn non_finite_operator_is_rejected_before_setup() {
+        // One NaN coefficient (owned by rank 0 only) must fail setup on
+        // EVERY rank with the allreduced count — not just where it lives.
+        let mut coo = Coo::new();
+        coo.push(0, 0, f64::NAN);
+        for i in 1..64u64 {
+            coo.push(i, i, 2.0);
+        }
+        let serial = Csr::from_coo(64, 64, &coo);
+        let errs = Comm::run(2, move |rank| {
+            let dist = distmat::RowDist::block(64, rank.size());
+            let a = distmat::ParCsr::from_serial(rank, dist.clone(), dist, &serial);
+            AmgHierarchy::setup(rank, a, &AmgConfig::standard()).unwrap_err()
+        });
+        for err in errs {
+            match err {
+                SolveError::NonFiniteCoefficient { count, .. } => assert_eq!(count, 1),
+                other => panic!("expected NonFiniteCoefficient, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn forced_coarsen_stall_is_a_typed_error_on_large_grids() {
+        // A `coarsen-stall` fault on a grid far above max_coarse_size
+        // must surface as CoarseningStagnation instead of silently
+        // truncating the hierarchy into a huge dense coarse solve.
+        let serial = laplacian_2d(16); // 256 rows
+        let errs = Comm::run(2, move |rank| {
+            let plan = resilience::FaultPlan::parse("coarsen-stall@amg").unwrap();
+            let _g = plan.install();
+            let dist = distmat::RowDist::block(256, rank.size());
+            let a = distmat::ParCsr::from_serial(rank, dist.clone(), dist, &serial);
+            rank.with_phase("amg setup", || {
+                AmgHierarchy::setup(rank, a, &AmgConfig::standard())
+            })
+            .unwrap_err()
+        });
+        for err in errs {
+            assert!(
+                matches!(err, SolveError::CoarseningStagnation { level: 0, rows: 256 }),
+                "expected CoarseningStagnation, got {err:?}"
+            );
         }
     }
 

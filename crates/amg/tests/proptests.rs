@@ -146,7 +146,7 @@ proptest! {
         let out = Comm::run(2, move |rank| {
             let dist = RowDist::block(n as u64, rank.size());
             let pa = ParCsr::from_serial(rank, dist.clone(), dist.clone(), &a);
-            let h = AmgHierarchy::setup(rank, pa, &AmgConfig::standard());
+            let h = AmgHierarchy::setup(rank, pa, &AmgConfig::standard()).unwrap();
             let b = ParVector::from_fn(rank, dist.clone(), |g| ((g % 5) as f64) - 2.0);
             let mut x = ParVector::zeros(rank, dist);
             h.solve_cycles(rank, &b, &mut x, 6, 1)

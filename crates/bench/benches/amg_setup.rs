@@ -58,7 +58,7 @@ fn bench_amg_setup(c: &mut Criterion) {
                         let n = serial.nrows() as u64;
                         let dist = RowDist::block(n, rank.size());
                         let a = ParCsr::from_serial(rank, dist.clone(), dist, serial);
-                        let h = AmgHierarchy::setup(rank, a, cfg);
+                        let h = AmgHierarchy::setup(rank, a, cfg).unwrap();
                         (h.n_levels(), h.operator_complexity)
                     })
                 })

@@ -53,6 +53,7 @@ fn bench_gmres(c: &mut Criterion) {
                             ortho: *ortho,
                         }
                         .solve(rank, &a, &b, &mut x, &IdentityPrecond)
+                        .unwrap()
                         .iters
                     })
                 })

@@ -19,7 +19,7 @@ fn main() {
     let optimized = exawind_bench::optimized_config(args.picard);
 
     eprintln!("running optimized...");
-    let full = run_case(NrelCase::SingleLow, args.scale, p, args.steps, optimized);
+    let full = run_case(NrelCase::SingleLow, args.scale, p, args.steps, optimized.clone());
     let t_full = full.modeled_nli(&gpu);
 
     eprintln!("running w/o tuned assembly...");
@@ -38,7 +38,7 @@ fn main() {
         SolverConfig {
             sgs_inner: 1,
             amg: detuned_amg,
-            ..optimized
+            ..optimized.clone()
         },
     );
     let t_no_sweep = no_sweep.modeled_nli(&gpu);
@@ -51,7 +51,7 @@ fn main() {
         args.steps,
         SolverConfig {
             partition: PartitionMethod::Rcb,
-            ..optimized
+            ..optimized.clone()
         },
     );
     let t_rcb = rcb.modeled_nli(&gpu);
@@ -66,7 +66,7 @@ fn main() {
             partition: PartitionMethod::Rcb,
             sgs_inner: 1,
             amg: detuned_amg,
-            ..optimized
+            ..optimized.clone()
         },
     )
     .with_baseline_penalty();

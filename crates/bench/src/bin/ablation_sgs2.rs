@@ -20,7 +20,7 @@ fn main() {
             sgs_inner: inner,
             ..Default::default()
         };
-        let r = run_case(NrelCase::SingleLow, args.scale, p, args.steps, cfg);
+        let r = run_case(NrelCase::SingleLow, args.scale, p, args.steps, cfg.clone());
         let mom = r.gmres_iters.get("momentum").copied().unwrap_or(0);
         let sca = r.gmres_iters.get("scalar").copied().unwrap_or(0);
         iters_by_inner.push(mom);

@@ -19,7 +19,7 @@ fn main() {
     let mut results = Vec::new();
     for &p in &args.ranks {
         eprintln!("ranks={p}");
-        let r = run_case(NrelCase::SingleLow, args.scale, p, args.steps, cfg)
+        let r = run_case(NrelCase::SingleLow, args.scale, p, args.steps, cfg.clone())
             .extrapolated(1.0 / args.scale);
         let ts = r.modeled_nli(&summit);
         let te = r.modeled_nli(&eagle);

@@ -23,9 +23,9 @@ fn main() {
     let mut opt_pts = Vec::new();
     for &p in &args.ranks {
         eprintln!("ranks={p}");
-        let opt = run_case(NrelCase::SingleLow, args.scale, p, args.steps, opt_cfg)
+        let opt = run_case(NrelCase::SingleLow, args.scale, p, args.steps, opt_cfg.clone())
             .extrapolated(1.0 / args.scale);
-        let base = run_case(NrelCase::SingleLow, args.scale, p, args.steps, base_cfg)
+        let base = run_case(NrelCase::SingleLow, args.scale, p, args.steps, base_cfg.clone())
             .with_baseline_penalty()
             .extrapolated(1.0 / args.scale);
         let t_cpu = opt.modeled_nli(&cpu);

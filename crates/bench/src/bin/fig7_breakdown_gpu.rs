@@ -18,7 +18,7 @@ fn main() {
     let mut speedup_local = Vec::new();
     for &p in &args.ranks {
         eprintln!("ranks={p}");
-        let r = run_case(NrelCase::SingleLow, args.scale, p, args.steps, cfg)
+        let r = run_case(NrelCase::SingleLow, args.scale, p, args.steps, cfg.clone())
             .extrapolated(1.0 / args.scale);
         let parts: Vec<f64> = Phase::ALL
             .iter()

@@ -17,7 +17,7 @@ fn main() {
     let mut pts = Vec::new();
     for &p in &args.ranks {
         eprintln!("ranks={p}");
-        let r = run_case(NrelCase::Dual, args.scale, p, args.steps, cfg)
+        let r = run_case(NrelCase::Dual, args.scale, p, args.steps, cfg.clone())
             .extrapolated(1.0 / args.scale);
         let t_gpu = r.modeled_nli(&gpu);
         pts.push((p as f64, t_gpu));

@@ -18,7 +18,7 @@ fn main() {
     let (mut gpu_pts, mut cpu_pts) = (Vec::new(), Vec::new());
     for &p in &args.ranks {
         eprintln!("ranks={p}");
-        let r = run_case(NrelCase::SingleRefined, args.scale, p, args.steps, cfg)
+        let r = run_case(NrelCase::SingleRefined, args.scale, p, args.steps, cfg.clone())
             .extrapolated(1.0 / args.scale);
         let t_gpu = r.modeled_nli(&gpu);
         let t_cpu = r.modeled_nli(&cpu);

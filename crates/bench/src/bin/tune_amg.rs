@@ -35,12 +35,13 @@ fn main() {
             let n = s2.nrows() as u64;
             let dist = RowDist::block(n, rank.size());
             let a = ParCsr::from_serial(rank, dist.clone(), dist.clone(), &s2);
-            let amg = AmgPrecond::setup(rank, a.clone(), &cfg);
+            let amg = AmgPrecond::setup(rank, a.clone(), &cfg).expect("AMG setup");
             let h = amg.hierarchy();
             let b = ParVector::from_fn(rank, dist.clone(), |g| (g as f64 * 0.1).sin());
             let mut x = ParVector::zeros(rank, dist);
             let st = Gmres { restart: 60, max_iters: 200, tol: 1e-8, ortho: OrthoStrategy::OneReduce }
-                .solve(rank, &a, &b, &mut x, &amg);
+                .solve(rank, &a, &b, &mut x, &amg)
+                .expect("solve");
             (h.n_levels(), h.grid_complexity, h.operator_complexity, st.iters, st.converged)
         });
         let (l, gc, oc, it, conv) = out[0];

@@ -21,7 +21,7 @@ fn main() {
     };
 
     let variants: Vec<(&str, SolverConfig)> = vec![
-        ("agg2 mmext θ.25 t.1 ML", base),
+        ("agg2 mmext θ.25 t.1 ML", base.clone()),
         (
             "agg2 mmext θ.10 t.0 ML",
             SolverConfig {
@@ -30,7 +30,7 @@ fn main() {
                     trunc_factor: 0.0,
                     ..AmgConfig::pressure_default()
                 },
-                ..base
+                ..base.clone()
             },
         ),
         (
@@ -41,7 +41,7 @@ fn main() {
                     interp: InterpType::BamgDirect,
                     ..AmgConfig::pressure_default()
                 },
-                ..base
+                ..base.clone()
             },
         ),
         (
@@ -51,21 +51,21 @@ fn main() {
                     interp: InterpType::MmExtI,
                     ..AmgConfig::pressure_default()
                 },
-                ..base
+                ..base.clone()
             },
         ),
         (
             "agg2 mmext θ.25 t.1 RCB",
             SolverConfig {
                 partition: PartitionMethod::Rcb,
-                ..base
+                ..base.clone()
             },
         ),
         (
             "sgs_inner=1 ML",
             SolverConfig {
                 sgs_inner: 1,
-                ..base
+                ..base.clone()
             },
         ),
     ];
@@ -73,7 +73,7 @@ fn main() {
     let mut rows = Vec::new();
     for (name, cfg) in variants {
         eprintln!("running {name}...");
-        let r = run_case(NrelCase::SingleLow, args.scale, p, args.steps, cfg);
+        let r = run_case(NrelCase::SingleLow, args.scale, p, args.steps, cfg.clone());
         let nli = r.modeled_nli(&gpu);
         let totals: Vec<Trace> = r.traces.iter().map(|t| t.total()).collect();
         let msgs: u64 = totals.iter().map(|t| t.msgs).sum();

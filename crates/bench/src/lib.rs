@@ -163,7 +163,7 @@ pub fn run_case(
     let mesh_nodes = tm.total_nodes();
     let meshes = tm.meshes;
     let (outs, traces) = Comm::run_traced(nranks, move |rank| {
-        let mut sim = Simulation::new(rank, meshes.clone(), cfg);
+        let mut sim = Simulation::new(rank, meshes.clone(), cfg.clone());
         let mut step_walls = Vec::with_capacity(steps);
         let mut iters: BTreeMap<String, usize> = BTreeMap::new();
         for _ in 0..steps {
@@ -212,7 +212,7 @@ pub fn strong_scaling(
         .iter()
         .map(|&p| {
             eprintln!("  running {} on {p} ranks...", case.name());
-            run_case(case, scale, p, steps, cfg)
+            run_case(case, scale, p, steps, cfg.clone())
         })
         .collect()
 }

@@ -394,6 +394,17 @@ pub fn build_matrix(
     graph: &EquationGraph,
     vals: &LocalValues,
 ) -> ParCsr {
+    try_build_matrix(rank, dm, graph, vals).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible stage-3 assembly: exchange failures and injected coefficient
+/// corruption surface as [`resilience::SolveError`] instead of panicking.
+pub fn try_build_matrix(
+    rank: &Rank,
+    dm: &DofMap,
+    graph: &EquationGraph,
+    vals: &LocalValues,
+) -> Result<ParCsr, resilience::SolveError> {
     telemetry::counter(
         "assembly.matrix_entries",
         (graph.owned.len() + graph.shared.len()) as u64,
@@ -406,7 +417,7 @@ pub fn build_matrix(
     for (&(r, c), &v) in graph.shared.iter().zip(&vals.shared) {
         ij.add_value(r, c, v);
     }
-    ij.assemble(rank)
+    ij.try_assemble(rank)
 }
 
 /// Projection update after the pressure solve: `u ← u − (dt/ρ)∇(δp)` on

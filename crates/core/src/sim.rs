@@ -13,13 +13,15 @@ use std::time::Instant;
 
 use amg::{AmgConfig, AmgPrecond};
 use distmat::{ParCsr, ParVector};
-use krylov::{Gmres, OrthoStrategy, Sgs2};
+use krylov::{Gmres, JacobiPrecond, OrthoStrategy, Preconditioner, Sgs2};
 use parcomm::Rank;
+use resilience::faults::{FaultGuard, FaultPlan};
+use resilience::{guard, RecoveryAction, RecoveryPolicy, RecoveryRecord, SolveError};
 use windmesh::overset::assemble_overset;
 use windmesh::{Mesh, OversetAssembly, TurbineMeshes};
 
 use crate::assemble::{
-    build_matrix, correct_velocity, fill_continuity, fill_momentum, fill_scalar, PhysicsParams,
+    correct_velocity, fill_continuity, fill_momentum, fill_scalar, try_build_matrix, PhysicsParams,
 };
 use crate::dofmap::PartitionMethod;
 use crate::eqsys::{EqKind, MeshSystem};
@@ -28,7 +30,7 @@ use crate::state::{overset_exchange, State};
 use crate::timing::{Phase, Timings};
 
 /// Solver configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SolverConfig {
     /// Flow model parameters.
     pub physics: PhysicsParams,
@@ -60,6 +62,14 @@ pub struct SolverConfig {
     /// enabled when the `EXAWIND_TELEMETRY` environment variable is set
     /// (see the `telemetry` crate); with both off, recording is a no-op.
     pub telemetry: bool,
+    /// Fault-injection plan for resilience testing. `None` falls back to
+    /// the `EXAWIND_FAULTS` environment variable; with both unset no
+    /// injector is installed and every solve is byte-for-byte the clean
+    /// path.
+    pub faults: Option<FaultPlan>,
+    /// Escalation policy applied when a solve fails with a typed
+    /// [`SolveError`].
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for SolverConfig {
@@ -79,6 +89,8 @@ impl Default for SolverConfig {
             sgs_outer: 2,
             overset_margin: 0.18,
             telemetry: false,
+            faults: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -93,6 +105,25 @@ pub struct StepReport {
     pub gmres_iters: BTreeMap<String, usize>,
     /// Per-equation, per-phase wall-clock of this step.
     pub timings: Timings,
+    /// Recovery attempts walked this step (empty on a clean step).
+    pub recoveries: Vec<RecoveryRecord>,
+}
+
+/// Per-attempt modifications applied while walking the recovery ladder.
+/// The clean path uses `AttemptMods::default()`.
+#[derive(Clone, Copy, Debug)]
+struct AttemptMods {
+    /// Swap the configured preconditioner for the cheaper fallback
+    /// smoother (SGS2 → Jacobi-Richardson, AMG → SGS2).
+    fallback_smoother: bool,
+    /// Multiplier on the physics time step for this attempt.
+    dt_scale: f64,
+}
+
+impl Default for AttemptMods {
+    fn default() -> Self {
+        AttemptMods { fallback_smoother: false, dt_scale: 1.0 }
+    }
 }
 
 /// A running simulation on one rank.
@@ -112,6 +143,9 @@ pub struct Simulation {
     /// events without signature changes. Dropped by
     /// [`Simulation::finish_telemetry`].
     tel_guard: Option<telemetry::InstallGuard>,
+    /// Keeps the fault-injection plan installed as this rank thread's
+    /// injector for the lifetime of the simulation (None = no faults).
+    _fault_guard: Option<FaultGuard>,
 }
 
 impl Simulation {
@@ -141,6 +175,15 @@ impl Simulation {
             telemetry::Telemetry::from_env(me)
         };
         let tel_guard = tel.is_enabled().then(|| tel.install());
+        // Install the fault injector on this rank thread. Plans are
+        // replicated per rank (config or env), so occurrence counters
+        // advance identically on every rank — injected faults stay
+        // collectively consistent.
+        let fault_guard = cfg
+            .faults
+            .clone()
+            .or_else(FaultPlan::from_env)
+            .map(|p| p.install());
         Simulation {
             cfg,
             meshes,
@@ -151,6 +194,7 @@ impl Simulation {
             step_count: 0,
             telemetry: tel,
             tel_guard,
+            _fault_guard: fault_guard,
         }
     }
 
@@ -218,11 +262,24 @@ impl Simulation {
         t.time(eq, ph, || rank.with_phase(&label, f))
     }
 
-    /// Advance one time step. Collective. Returns the step report.
+    /// Advance one time step. Collective. Panics if a solve fails and the
+    /// recovery ladder is exhausted — use [`Simulation::try_step`] to
+    /// handle that case.
     pub fn step(&mut self, rank: &Rank) -> StepReport {
+        self.try_step(rank)
+            .unwrap_or_else(|e| panic!("time step failed beyond recovery: {e}"))
+    }
+
+    /// Advance one time step. Collective. A solve failure walks the
+    /// configured recovery ladder (fresh rebuild → fallback smoother →
+    /// timestep cut); only a failure that survives every rung is returned
+    /// as an error. All error branches derive from collectively consistent
+    /// conditions, so every rank returns the same result.
+    pub fn try_step(&mut self, rank: &Rank) -> Result<StepReport, SolveError> {
         let start = Instant::now();
         let mut t = Timings::new();
         let mut iters: BTreeMap<String, usize> = BTreeMap::new();
+        let mut recoveries: Vec<RecoveryRecord> = Vec::new();
         let me = rank.rank();
         let _step_span = telemetry::span("timestep");
 
@@ -251,11 +308,32 @@ impl Simulation {
                 overset_exchange(&mut self.states, &self.meshes, &self.overset);
             });
             for m in 0..self.meshes.len() {
-                let its = self.solve_momentum(rank, m, &mut t);
+                let its = self.solve_with_recovery(
+                    rank,
+                    m,
+                    &mut t,
+                    "momentum",
+                    Self::try_solve_momentum,
+                    &mut recoveries,
+                )?;
                 *iters.entry("momentum".into()).or_insert(0) += its;
-                let its = self.solve_continuity(rank, m, &mut t);
+                let its = self.solve_with_recovery(
+                    rank,
+                    m,
+                    &mut t,
+                    "continuity",
+                    Self::try_solve_continuity,
+                    &mut recoveries,
+                )?;
                 *iters.entry("continuity".into()).or_insert(0) += its;
-                let its = self.solve_scalar(rank, m, &mut t);
+                let its = self.solve_with_recovery(
+                    rank,
+                    m,
+                    &mut t,
+                    "scalar",
+                    Self::try_solve_scalar,
+                    &mut recoveries,
+                )?;
                 *iters.entry("scalar".into()).or_insert(0) += its;
             }
         }
@@ -276,11 +354,110 @@ impl Simulation {
         }
         self.step_count += 1;
         self.timings.merge(&t);
-        StepReport {
+        Ok(StepReport {
             nli_seconds: start.elapsed().as_secs_f64(),
             gmres_iters: iters,
             timings: t,
+            recoveries,
+        })
+    }
+
+    /// Run one equation solve, escalating through the recovery ladder on
+    /// typed failures. Each attempt re-runs the full
+    /// assemble → precondition → solve pipeline (a rebuild is therefore
+    /// implicit in every retry); later rungs additionally swap in the
+    /// fallback smoother and cut the attempt's time step. One `recovery`
+    /// telemetry event is emitted per attempt.
+    fn solve_with_recovery(
+        &mut self,
+        rank: &Rank,
+        m: usize,
+        t: &mut Timings,
+        eq: &str,
+        solve: fn(&mut Simulation, &Rank, usize, &mut Timings, &AttemptMods) -> Result<usize, SolveError>,
+        recoveries: &mut Vec<RecoveryRecord>,
+    ) -> Result<usize, SolveError> {
+        let mut err = match solve(self, rank, m, t, &AttemptMods::default()) {
+            Ok(n) => return Ok(n),
+            Err(e) => e,
+        };
+        let policy = self.cfg.recovery;
+        let ladder = policy.ladder();
+        let mut mods = AttemptMods::default();
+        for (i, action) in ladder.iter().enumerate() {
+            let attempt = i + 1;
+            match action {
+                // Every retry reassembles and rebuilds the preconditioner
+                // from scratch, which is exactly what this rung asks for.
+                RecoveryAction::Rebuild => {}
+                RecoveryAction::FallbackSmoother => mods.fallback_smoother = true,
+                RecoveryAction::CutTimestep => mods.dt_scale *= policy.dt_cut,
+            }
+            match solve(self, rank, m, t, &mods) {
+                Ok(n) => {
+                    recoveries.push(self.record_recovery(rank, eq, &err, *action, attempt, "recovered"));
+                    return Ok(n);
+                }
+                Err(e) => {
+                    let outcome = if attempt == ladder.len() { "failed" } else { "retry" };
+                    recoveries.push(self.record_recovery(rank, eq, &err, *action, attempt, outcome));
+                    err = e;
+                }
+            }
         }
+        Err(err)
+    }
+
+    fn record_recovery(
+        &mut self,
+        rank: &Rank,
+        eq: &str,
+        fault: &SolveError,
+        action: RecoveryAction,
+        attempt: usize,
+        outcome: &str,
+    ) -> RecoveryRecord {
+        let rec = RecoveryRecord {
+            eq: eq.to_string(),
+            step: self.step_count,
+            fault: fault.kind().to_string(),
+            detail: fault.to_string(),
+            action: action.label().to_string(),
+            attempt,
+            outcome: outcome.to_string(),
+        };
+        self.telemetry.record(telemetry::Event::Recovery {
+            rank: rank.rank(),
+            eq: rec.eq.clone(),
+            step: rec.step,
+            fault: rec.fault.clone(),
+            action: rec.action.clone(),
+            attempt: rec.attempt,
+            outcome: rec.outcome.clone(),
+        });
+        rec
+    }
+
+    /// Allreduced finite scan of an assembled system: every rank sees the
+    /// same global count of non-finite coefficients, so the error branch
+    /// is collectively consistent.
+    fn check_system_finite(
+        rank: &Rank,
+        a: &ParCsr,
+        rhs: &[&ParVector],
+    ) -> Result<(), SolveError> {
+        let mut local = guard::count_nonfinite(a.diag.vals()) + guard::count_nonfinite(a.offd.vals());
+        for b in rhs {
+            local += guard::count_nonfinite(&b.local);
+        }
+        let bad = rank.allreduce_sum(local);
+        if bad > 0 {
+            return Err(SolveError::NonFiniteCoefficient {
+                context: rank.phase_name(),
+                count: bad,
+            });
+        }
+        Ok(())
     }
 
     /// Scatter a distributed solution back into a replicated nodal field.
@@ -304,13 +481,20 @@ impl Simulation {
         }
     }
 
-    fn solve_momentum(&mut self, rank: &Rank, m: usize, t: &mut Timings) -> usize {
-        let cfg = self.cfg;
+    fn try_solve_momentum(
+        &mut self,
+        rank: &Rank,
+        m: usize,
+        t: &mut Timings,
+        mods: &AttemptMods,
+    ) -> Result<usize, SolveError> {
+        let cfg = self.cfg.clone();
         let eq = EqKind::Momentum.name();
         let sys = &mut self.systems[m];
         let mesh = &self.meshes[m];
         let state = &mut self.states[m];
-        let params = &cfg.physics;
+        let mut params = cfg.physics;
+        params.dt *= mods.dt_scale;
 
         // Stage 2: local assembly.
         let graphs = sys.graphs.as_mut().expect("graphs built");
@@ -322,7 +506,7 @@ impl Simulation {
                 &graphs.momentum,
                 &sys.tags,
                 state,
-                params,
+                &params,
                 &sys.owned_edges,
                 &sys.owned_nodes,
                 &mut graphs.mom_vals,
@@ -330,17 +514,28 @@ impl Simulation {
         });
         // Stage 3: global assembly (Algorithms 1 and 2).
         let (a, bs) = Self::phased(rank, t, eq, Phase::GlobalAssembly, || {
-            let a = build_matrix(rank, &sys.dm, &graphs.momentum, &graphs.mom_vals);
+            let a = try_build_matrix(rank, &sys.dm, &graphs.momentum, &graphs.mom_vals)?;
             let bs: Vec<ParVector> = rhs.into_iter().map(|r| r.assemble(rank)).collect();
-            (a, bs)
-        });
-        // Preconditioner setup: compact SGS2.
-        let sgs = Self::phased(rank, t, eq, Phase::PrecondSetup, || {
-            Sgs2::with_sweeps(&a, cfg.sgs_inner, cfg.sgs_outer)
-        });
+            Ok::<_, SolveError>((a, bs))
+        })?;
+        Self::check_system_finite(rank, &a, &bs.iter().collect::<Vec<_>>())?;
+        // Preconditioner setup: compact SGS2, or plain Jacobi-Richardson
+        // when the recovery ladder has demoted the smoother.
+        let precond: Box<dyn Preconditioner> =
+            Self::phased(rank, t, eq, Phase::PrecondSetup, || {
+                if mods.fallback_smoother {
+                    Box::new(JacobiPrecond::new(&a.diag.diag(), 1.0)) as Box<dyn Preconditioner>
+                } else {
+                    Box::new(Sgs2::with_sweeps(&a, cfg.sgs_inner, cfg.sgs_outer))
+                }
+            });
         // Solve the three components with the shared matrix/preconditioner.
         let gmres = Self::make_gmres(&cfg, cfg.momentum_tol);
         let mut total_iters = 0;
+        // Buffer the component solutions and commit only after all three
+        // solves succeed, so a mid-equation failure never leaves the
+        // velocity field partially updated going into a retry.
+        let mut components: Vec<Vec<f64>> = Vec::with_capacity(bs.len());
         Self::phased(rank, t, eq, Phase::Solve, || {
             for (c, b) in bs.iter().enumerate() {
                 let mut x = ParVector::from_local(
@@ -348,24 +543,34 @@ impl Simulation {
                     sys.dm.dist.clone(),
                     sys.owned_nodes.iter().map(|&n| state.vel[n][c]).collect(),
                 );
-                let stats = gmres.solve(rank, &a, b, &mut x, &sgs);
+                let stats = gmres.solve(rank, &a, b, &mut x, &*precond)?;
                 total_iters += stats.iters;
-                let full = Self::gather_nodal(rank, sys, &x);
-                for (node, g) in sys.dm.gid.iter().enumerate() {
-                    state.vel[node][c] = full[*g as usize];
-                }
+                components.push(Self::gather_nodal(rank, sys, &x));
             }
-        });
-        total_iters
+            Ok::<_, SolveError>(())
+        })?;
+        for (c, full) in components.iter().enumerate() {
+            for (node, g) in sys.dm.gid.iter().enumerate() {
+                state.vel[node][c] = full[*g as usize];
+            }
+        }
+        Ok(total_iters)
     }
 
-    fn solve_continuity(&mut self, rank: &Rank, m: usize, t: &mut Timings) -> usize {
-        let cfg = self.cfg;
+    fn try_solve_continuity(
+        &mut self,
+        rank: &Rank,
+        m: usize,
+        t: &mut Timings,
+        mods: &AttemptMods,
+    ) -> Result<usize, SolveError> {
+        let cfg = self.cfg.clone();
         let eq = EqKind::Continuity.name();
         let sys = &mut self.systems[m];
         let mesh = &self.meshes[m];
         let state = &mut self.states[m];
-        let params = &cfg.physics;
+        let mut params = cfg.physics;
+        params.dt *= mods.dt_scale;
 
         let graphs = sys.graphs.as_mut().expect("graphs built");
         let rhs = Self::phased(rank, t, eq, Phase::LocalAssembly, || {
@@ -376,45 +581,65 @@ impl Simulation {
                 &graphs.continuity,
                 &sys.tags,
                 state,
-                params,
+                &params,
                 &sys.owned_edges,
                 &sys.owned_nodes,
                 &mut graphs.con_vals,
             )
         });
         let (a, b): (ParCsr, ParVector) = Self::phased(rank, t, eq, Phase::GlobalAssembly, || {
-            let a = build_matrix(rank, &sys.dm, &graphs.continuity, &graphs.con_vals);
-            (a, rhs.assemble(rank))
-        });
-        let amg = Self::phased(rank, t, eq, Phase::PrecondSetup, || {
-            AmgPrecond::setup(rank, a.clone(), &cfg.amg)
-        });
+            let a = try_build_matrix(rank, &sys.dm, &graphs.continuity, &graphs.con_vals)?;
+            Ok::<_, SolveError>((a, rhs.assemble(rank)))
+        })?;
+        Self::check_system_finite(rank, &a, &[&b])?;
+        // Preconditioner setup: AMG, demoted to SGS2 by the recovery
+        // ladder (a stalled or corrupted hierarchy must not take the
+        // whole step down).
+        let precond: Box<dyn Preconditioner> =
+            Self::phased(rank, t, eq, Phase::PrecondSetup, || {
+                if mods.fallback_smoother {
+                    Ok(Box::new(Sgs2::with_sweeps(&a, cfg.sgs_inner, cfg.sgs_outer))
+                        as Box<dyn Preconditioner>)
+                } else {
+                    AmgPrecond::setup(rank, a.clone(), &cfg.amg)
+                        .map(|p| Box::new(p) as Box<dyn Preconditioner>)
+                }
+            })?;
         let gmres = Self::make_gmres(&cfg, cfg.pressure_tol);
         let mut iters = 0;
         Self::phased(rank, t, eq, Phase::Solve, || {
             let mut x = ParVector::zeros(rank, sys.dm.dist.clone());
-            let stats = gmres.solve(rank, &a, &b, &mut x, &amg);
+            let stats = gmres.solve(rank, &a, &b, &mut x, &*precond)?;
             iters = stats.iters;
             let full = Self::gather_nodal(rank, sys, &x);
             for (node, g) in sys.dm.gid.iter().enumerate() {
                 state.dp[node] = full[*g as usize];
             }
-        });
-        // Projection correction (physics, replicated).
+            Ok::<_, SolveError>(())
+        })?;
+        // Projection correction (physics, replicated). Only reached once
+        // the pressure solve has succeeded.
         Self::phased(rank, t, eq, Phase::GraphPhysics, || {
             let mom_dir = dirichlet_momentum(&sys.tags);
-            correct_velocity(mesh, &sys.tags, state, params, &mom_dir);
+            correct_velocity(mesh, &sys.tags, state, &params, &mom_dir);
         });
-        iters
+        Ok(iters)
     }
 
-    fn solve_scalar(&mut self, rank: &Rank, m: usize, t: &mut Timings) -> usize {
-        let cfg = self.cfg;
+    fn try_solve_scalar(
+        &mut self,
+        rank: &Rank,
+        m: usize,
+        t: &mut Timings,
+        mods: &AttemptMods,
+    ) -> Result<usize, SolveError> {
+        let cfg = self.cfg.clone();
         let eq = EqKind::Scalar.name();
         let sys = &mut self.systems[m];
         let mesh = &self.meshes[m];
         let state = &mut self.states[m];
-        let params = &cfg.physics;
+        let mut params = cfg.physics;
+        params.dt *= mods.dt_scale;
 
         let graphs = sys.graphs.as_mut().expect("graphs built");
         let rhs = Self::phased(rank, t, eq, Phase::LocalAssembly, || {
@@ -425,19 +650,25 @@ impl Simulation {
                 &graphs.scalar,
                 &sys.tags,
                 state,
-                params,
+                &params,
                 &sys.owned_edges,
                 &sys.owned_nodes,
                 &mut graphs.sca_vals,
             )
         });
         let (a, b) = Self::phased(rank, t, eq, Phase::GlobalAssembly, || {
-            let a = build_matrix(rank, &sys.dm, &graphs.scalar, &graphs.sca_vals);
-            (a, rhs.assemble(rank))
-        });
-        let sgs = Self::phased(rank, t, eq, Phase::PrecondSetup, || {
-            Sgs2::with_sweeps(&a, cfg.sgs_inner, cfg.sgs_outer)
-        });
+            let a = try_build_matrix(rank, &sys.dm, &graphs.scalar, &graphs.sca_vals)?;
+            Ok::<_, SolveError>((a, rhs.assemble(rank)))
+        })?;
+        Self::check_system_finite(rank, &a, &[&b])?;
+        let precond: Box<dyn Preconditioner> =
+            Self::phased(rank, t, eq, Phase::PrecondSetup, || {
+                if mods.fallback_smoother {
+                    Box::new(JacobiPrecond::new(&a.diag.diag(), 1.0)) as Box<dyn Preconditioner>
+                } else {
+                    Box::new(Sgs2::with_sweeps(&a, cfg.sgs_inner, cfg.sgs_outer))
+                }
+            });
         let gmres = Self::make_gmres(&cfg, cfg.momentum_tol);
         let mut iters = 0;
         Self::phased(rank, t, eq, Phase::Solve, || {
@@ -446,15 +677,16 @@ impl Simulation {
                 sys.dm.dist.clone(),
                 sys.owned_nodes.iter().map(|&n| state.nut[n]).collect(),
             );
-            let stats = gmres.solve(rank, &a, &b, &mut x, &sgs);
+            let stats = gmres.solve(rank, &a, &b, &mut x, &*precond)?;
             iters = stats.iters;
             let full = Self::gather_nodal(rank, sys, &x);
             for (node, g) in sys.dm.gid.iter().enumerate() {
                 // Clip: transported viscosity must stay non-negative.
                 state.nut[node] = full[*g as usize].max(0.0);
             }
-        });
-        iters
+            Ok::<_, SolveError>(())
+        })?;
+        Ok(iters)
     }
 }
 
@@ -480,7 +712,7 @@ mod tests {
         for p in [1, 2] {
             let out = Comm::run(p, |rank| {
                 let cfg = SolverConfig::default();
-                let mut sim = Simulation::new(rank, vec![small_box()], cfg);
+                let mut sim = Simulation::new(rank, vec![small_box()], cfg.clone());
                 let report = sim.step(rank);
                 let state = sim.state(0);
                 let max_dev = state

@@ -7,6 +7,8 @@
 //! exchanges of `f64` or `u64` values.
 
 use parcomm::{Rank, Tag};
+use resilience::faults::{self, FaultKind};
+use resilience::SolveError;
 
 use crate::dist::RowDist;
 use crate::parcsr::{build_comm_pkg, CommPkg};
@@ -51,31 +53,78 @@ impl Halo {
 
     /// Exchange `f64` values: returns the external values aligned with
     /// `col_map`. Collective among neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a corrupted exchange; see [`Halo::try_exchange_f64`]
+    /// for the fallible variant.
     pub fn exchange_f64(&self, rank: &Rank, local: &[f64]) -> Vec<f64> {
+        self.try_exchange_f64(rank, local).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Halo::exchange_f64`] with decode failures (timeout, payload
+    /// type, payload length) surfaced as a typed [`SolveError`]. Hosts
+    /// the `halo-nan` fault-injection hook.
+    pub fn try_exchange_f64(
+        &self,
+        rank: &Rank,
+        local: &[f64],
+    ) -> Result<Vec<f64>, SolveError> {
         let mut ext = vec![0.0; self.col_map.len()];
         for (dst, ids) in &self.pkg.sends {
             let buf: Vec<f64> = ids.iter().map(|&i| local[i]).collect();
             rank.send(*dst, self.tag, buf);
         }
         for (src, range) in &self.pkg.recvs {
-            let buf: Vec<f64> = rank.recv(*src, self.tag);
+            let buf: Vec<f64> = rank.try_recv(*src, self.tag)?;
+            if buf.len() != range.len() {
+                return Err(SolveError::HaloCorruption {
+                    context: rank.phase_name(),
+                    src: *src,
+                    detail: format!("expected {} values, got {}", range.len(), buf.len()),
+                });
+            }
             ext[range.clone()].copy_from_slice(&buf);
         }
-        ext
+        if !ext.is_empty() && faults::fire(FaultKind::HaloNan, || rank.phase_name()) {
+            ext[0] = f64::NAN;
+        }
+        Ok(ext)
     }
 
     /// Exchange `u64` values (states, coarse numberings). Collective.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a corrupted exchange; see [`Halo::try_exchange_u64`].
     pub fn exchange_u64(&self, rank: &Rank, local: &[u64]) -> Vec<u64> {
+        self.try_exchange_u64(rank, local).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Halo::exchange_u64`] with decode failures surfaced as a typed
+    /// [`SolveError`].
+    pub fn try_exchange_u64(
+        &self,
+        rank: &Rank,
+        local: &[u64],
+    ) -> Result<Vec<u64>, SolveError> {
         let mut ext = vec![0u64; self.col_map.len()];
         for (dst, ids) in &self.pkg.sends {
             let buf: Vec<u64> = ids.iter().map(|&i| local[i]).collect();
             rank.send(*dst, self.tag, buf);
         }
         for (src, range) in &self.pkg.recvs {
-            let buf: Vec<u64> = rank.recv(*src, self.tag);
+            let buf: Vec<u64> = rank.try_recv(*src, self.tag)?;
+            if buf.len() != range.len() {
+                return Err(SolveError::HaloCorruption {
+                    context: rank.phase_name(),
+                    src: *src,
+                    detail: format!("expected {} values, got {}", range.len(), buf.len()),
+                });
+            }
             ext[range.clone()].copy_from_slice(&buf);
         }
-        ext
+        Ok(ext)
     }
 }
 

@@ -13,6 +13,8 @@
 //! `HYPRE_IJMatrixSetValues2` / `AddToValues2` / `Assemble`.
 
 use parcomm::{KernelKind, Rank, Tag};
+use resilience::faults::{self, FaultKind};
+use resilience::SolveError;
 use sparse_kit::cost;
 use sparse_kit::prims;
 use sparse_kit::Coo;
@@ -69,7 +71,22 @@ impl IjMatrix {
 
     /// Algorithm 1: exchange off-rank entries, sort + reduce, split into
     /// diag/offd. Collective.
-    pub fn assemble(mut self, rank: &Rank) -> ParCsr {
+    ///
+    /// # Panics
+    ///
+    /// Panics on a corrupted exchange; see [`IjMatrix::try_assemble`]
+    /// for the fallible variant.
+    pub fn assemble(self, rank: &Rank) -> ParCsr {
+        self.try_assemble(rank).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`IjMatrix::assemble`] with decode failures (timeout, payload
+    /// type, receive-count mismatch) surfaced as a typed [`SolveError`].
+    /// Hosts the `assembly-nan` fault-injection hook: with a matching
+    /// spec armed, one owned COO value is corrupted to NaN before the
+    /// exchange — exactly the torn-triple corruption the hypre IJ
+    /// interface can see on real hardware.
+    pub fn try_assemble(mut self, rank: &Rank) -> Result<ParCsr, SolveError> {
         // Local pre-sort of both buffers (the Nalu-Wind local assembly
         // already guarantees this; duplicates from element contributions
         // combine here).
@@ -77,6 +94,12 @@ impl IjMatrix {
         rank.kernel(KernelKind::Sort, bytes, 0);
         self.owned.sort_and_combine();
         self.shared.sort_and_combine();
+
+        if faults::fire(FaultKind::AssemblyNan, || rank.phase_name()) {
+            if let Some(v) = self.owned.vals.first_mut() {
+                *v = f64::NAN;
+            }
+        }
 
         // Pre-compute nnz_recv (paper: MPI_Allreduce after the graph
         // computation) so receive buffers can be sized up front. One
@@ -122,13 +145,19 @@ impl IjMatrix {
             if src == self.rank_id || src_counts[self.rank_id] == 0 {
                 continue;
             }
-            let (rows, cols, vals): CooBuffers = rank.recv(src, tag_mat);
+            let (rows, cols, vals): CooBuffers = rank.try_recv(src, tag_mat)?;
             received += rows.len();
             for ((r0, c0), v0) in rows.into_iter().zip(cols).zip(vals) {
                 all.push(r0, c0, v0);
             }
         }
-        assert_eq!(received, nnz_recv, "assembly receive count mismatch");
+        if received != nnz_recv {
+            return Err(SolveError::Comm {
+                detail: format!(
+                    "assembly receive count mismatch: got {received}, expected {nnz_recv}"
+                ),
+            });
+        }
 
         // stable_sort_by_key + reduce_by_key over the stacked buffer.
         let (bytes, _) = cost::sort(all.len(), TRIPLE_BYTES);
@@ -141,7 +170,7 @@ impl IjMatrix {
         // splitting is a single pass).
         let (bytes, _) = cost::blas1(all.len(), 2);
         rank.kernel(KernelKind::Stream, bytes, 0);
-        ParCsr::from_global_coo(rank, self.row_dist, self.col_dist, &all)
+        Ok(ParCsr::from_global_coo(rank, self.row_dist, self.col_dist, &all))
     }
 
 }

@@ -1,6 +1,8 @@
 //! ParCSR matrices: diag/offd-split distributed CSR with halo exchange.
 
 use parcomm::{KernelKind, Rank, Tag};
+use resilience::faults::{self, FaultKind};
+use resilience::SolveError;
 use sparse_kit::cost;
 use sparse_kit::{Coo, Csr};
 
@@ -194,7 +196,25 @@ impl ParCsr {
 
     /// Exchange halo values: returns the external vector aligned with
     /// `col_map_offd`. Collective among neighbouring ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a corrupted exchange; see [`ParCsr::try_halo_exchange`]
+    /// for the fallible variant.
     pub fn halo_exchange(&self, rank: &Rank, x_local: &[f64]) -> Vec<f64> {
+        self.try_halo_exchange(rank, x_local).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`ParCsr::halo_exchange`] with decode failures (timeout, payload
+    /// type, payload length) surfaced as a typed [`SolveError`]. Hosts
+    /// the `halo-nan` fault-injection hook: with a matching spec armed,
+    /// the first external value is flipped to NaN after receive, exactly
+    /// as a corrupted wire payload would arrive.
+    pub fn try_halo_exchange(
+        &self,
+        rank: &Rank,
+        x_local: &[f64],
+    ) -> Result<Vec<f64>, SolveError> {
         assert_eq!(
             x_local.len(),
             self.col_dist.local_n(self.rank_id),
@@ -212,11 +232,20 @@ impl ParCsr {
             rank.send(*dst, self.halo_tag, buf);
         }
         for (src, range) in &self.comm_pkg.recvs {
-            let buf: Vec<f64> = rank.recv(*src, self.halo_tag);
-            assert_eq!(buf.len(), range.len(), "halo size mismatch from {src}");
+            let buf: Vec<f64> = rank.try_recv(*src, self.halo_tag)?;
+            if buf.len() != range.len() {
+                return Err(SolveError::HaloCorruption {
+                    context: rank.phase_name(),
+                    src: *src,
+                    detail: format!("expected {} values, got {}", range.len(), buf.len()),
+                });
+            }
             ext[range.clone()].copy_from_slice(&buf);
         }
-        ext
+        if !ext.is_empty() && faults::fire(FaultKind::HaloNan, || rank.phase_name()) {
+            ext[0] = f64::NAN;
+        }
+        Ok(ext)
     }
 
     /// y = A·x distributed: `y_local = diag·x_local + offd·x_ext`.

@@ -11,9 +11,14 @@
 
 use distmat::{ParCsr, ParVector};
 use parcomm::{KernelKind, Rank};
+use resilience::SolveError;
 use sparse_kit::cost;
 
 use crate::precond::Preconditioner;
+
+/// A restart cycle must shrink the residual by at least this factor or
+/// the solve is declared [stagnated](SolveError::GmresStagnation).
+const STAGNATION_FACTOR: f64 = 0.999;
 
 /// Orthogonalization strategy for the Arnoldi basis.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -67,6 +72,24 @@ pub struct GmresStats {
 impl Gmres {
     /// Solve A·x = b with right preconditioning, updating `x` in place.
     /// Collective.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast with a typed [`SolveError`] instead of burning
+    /// iterations on a poisoned recurrence:
+    ///
+    /// - [`SolveError::NonFiniteResidual`] — the residual recurrence went
+    ///   NaN/Inf (a single NaN in A, b, or a halo payload poisons the
+    ///   very first norm).
+    /// - [`SolveError::GmresBreakdown`] — a zero or non-finite Hessenberg
+    ///   pivot while the residual is still above tolerance (happy
+    ///   breakdown at tolerance still converges normally).
+    /// - [`SolveError::GmresStagnation`] — a full restart cycle shrank
+    ///   the residual by less than 0.1%.
+    ///
+    /// All triggering quantities come from allreduced reductions, so
+    /// every rank takes the same branch. Exhausting `max_iters` is *not*
+    /// an error: it returns `Ok` with `converged: false`, as before.
     pub fn solve(
         &self,
         rank: &Rank,
@@ -74,17 +97,29 @@ impl Gmres {
         b: &ParVector,
         x: &mut ParVector,
         m: &dyn Preconditioner,
-    ) -> GmresStats {
+    ) -> Result<GmresStats, SolveError> {
         let b_norm = b.norm2(rank);
         let b_norm = if b_norm == 0.0 { 1.0 } else { b_norm };
         let mut history = Vec::new();
         let mut total_iters = 0usize;
+        let mut prev_restart_rel: Option<f64> = None;
+        // Stagnation is only judged after a cycle that ran the full
+        // restart length: a cycle that broke early on the *recurrence*
+        // tolerance can leave a larger true residual (recurrence drift
+        // near machine precision) and legitimately recovers on restart.
+        let mut last_cycle_full = false;
 
         loop {
             // Arnoldi basis V and preconditioned basis Z (right precond).
             let mut r = a.residual(rank, b, x);
             let beta = r.norm2(rank);
             let rel = beta / b_norm;
+            if !rel.is_finite() {
+                return Err(SolveError::NonFiniteResidual {
+                    context: rank.phase_name(),
+                    iter: total_iters,
+                });
+            }
             if history.is_empty() {
                 history.push(rel);
             }
@@ -96,8 +131,19 @@ impl Gmres {
                     history,
                 };
                 self.emit_telemetry(rank, &stats);
-                return stats;
+                return Ok(stats);
             }
+            if last_cycle_full {
+                if let Some(prev) = prev_restart_rel {
+                    if rel >= STAGNATION_FACTOR * prev {
+                        return Err(SolveError::GmresStagnation {
+                            iters: total_iters,
+                            rel,
+                        });
+                    }
+                }
+            }
+            prev_restart_rel = Some(rel);
             r.scale(rank, 1.0 / beta);
             let mut v: Vec<ParVector> = vec![r];
             let mut z: Vec<ParVector> = Vec::new();
@@ -110,6 +156,7 @@ impl Gmres {
             g[0] = beta;
 
             let mut j = 0;
+            let mut broke_early = false;
             while j < self.restart && total_iters < self.max_iters {
                 let zj = m.apply(rank, &v[j]);
                 let mut w = a.spmv(rank, &zj);
@@ -120,6 +167,12 @@ impl Gmres {
                     OrthoStrategy::OneReduce => self.one_reduce(rank, &v, &mut w, j),
                 };
                 let hlast = hj[j + 1];
+                if !hlast.is_finite() {
+                    return Err(SolveError::GmresBreakdown {
+                        iter: total_iters,
+                        pivot: hlast,
+                    });
+                }
                 if hlast > 0.0 {
                     w.scale(rank, 1.0 / hlast);
                 }
@@ -149,10 +202,27 @@ impl Gmres {
                 j += 1;
                 let rel = g[j].abs() / b_norm;
                 history.push(rel);
-                if rel <= self.tol || hlast == 0.0 {
+                if !rel.is_finite() {
+                    return Err(SolveError::NonFiniteResidual {
+                        context: rank.phase_name(),
+                        iter: total_iters,
+                    });
+                }
+                if rel <= self.tol {
+                    broke_early = true;
                     break;
                 }
+                if hlast == 0.0 {
+                    // Krylov space exhausted with the residual still above
+                    // tolerance: a genuine (non-happy) breakdown.
+                    return Err(SolveError::GmresBreakdown {
+                        iter: total_iters,
+                        pivot: 0.0,
+                    });
+                }
             }
+
+            last_cycle_full = !broke_early;
 
             // Back substitution: y = H⁻¹ g.
             let mut y = vec![0.0; j];
@@ -301,7 +371,7 @@ mod tests {
                 "sgs2" => Box::new(Sgs2::new(&a)),
                 _ => Box::new(IdentityPrecond),
             };
-            let stats = gmres.solve(rank, &a, &b, &mut x, m.as_ref());
+            let stats = gmres.solve(rank, &a, &b, &mut x, m.as_ref()).expect("solve");
             // True forward error:
             let mut e = x.clone();
             e.axpy(rank, -1.0, &x_true);
@@ -366,7 +436,7 @@ mod tests {
                     ortho,
                 };
                 rank.with_phase("solve", || {
-                    gmres.solve(rank, &pa, &b, &mut x, &IdentityPrecond)
+                    gmres.solve(rank, &pa, &b, &mut x, &IdentityPrecond).unwrap()
                 });
             });
             colls.push(traces[0].phase("solve").collectives);
@@ -392,10 +462,60 @@ mod tests {
             let a = ParCsr::from_serial(rank, dist.clone(), dist.clone(), &laplacian(8));
             let b = ParVector::zeros(rank, dist.clone());
             let mut x = ParVector::zeros(rank, dist);
-            let stats = Gmres::default().solve(rank, &a, &b, &mut x, &IdentityPrecond);
+            let stats = Gmres::default()
+                .solve(rank, &a, &b, &mut x, &IdentityPrecond)
+                .unwrap();
             assert!(stats.converged);
             assert_eq!(stats.iters, 0);
             assert!(x.local.iter().all(|&v| v == 0.0));
+        });
+    }
+
+    #[test]
+    fn nan_rhs_fails_fast_with_nonfinite_residual() {
+        // A single NaN (on one rank only) poisons the allreduced norm on
+        // every rank: the solve must terminate at iteration 0 with a
+        // typed error instead of burning max_iters.
+        Comm::run(2, |rank| {
+            let dist = RowDist::block(16, 2);
+            let a = ParCsr::from_serial(rank, dist.clone(), dist.clone(), &laplacian(16));
+            let mut b = ParVector::from_fn(rank, dist.clone(), |_| 1.0);
+            if rank.rank() == 0 {
+                b.local[0] = f64::NAN;
+            }
+            let mut x = ParVector::zeros(rank, dist);
+            let err = Gmres::default()
+                .solve(rank, &a, &b, &mut x, &IdentityPrecond)
+                .unwrap_err();
+            match err {
+                SolveError::NonFiniteResidual { iter, .. } => assert_eq!(iter, 0),
+                other => panic!("expected NonFiniteResidual, got {other:?}"),
+            }
+        });
+    }
+
+    #[test]
+    fn stagnated_restart_cycle_is_a_typed_error() {
+        // GMRES(1) on a 2×2 rotation makes exactly zero progress per
+        // restart cycle: the second cycle must detect stagnation instead
+        // of looping to max_iters.
+        Comm::run(1, |rank| {
+            let a_serial = Csr::from_dense(&[vec![0.0, 1.0], vec![-1.0, 0.0]]);
+            let dist = RowDist::block(2, 1);
+            let a = ParCsr::from_serial(rank, dist.clone(), dist.clone(), &a_serial);
+            let b = ParVector::from_fn(rank, dist.clone(), |g| if g == 0 { 1.0 } else { 0.0 });
+            let mut x = ParVector::zeros(rank, dist);
+            let gmres = Gmres {
+                restart: 1,
+                max_iters: 100,
+                tol: 1e-10,
+                ortho: OrthoStrategy::ClassicalMgs,
+            };
+            let err = gmres.solve(rank, &a, &b, &mut x, &IdentityPrecond).unwrap_err();
+            assert!(
+                matches!(err, SolveError::GmresStagnation { .. }),
+                "expected GmresStagnation, got {err:?}"
+            );
         });
     }
 
@@ -414,7 +534,8 @@ mod tests {
                     tol: 1e-12,
                     ..Default::default()
                 }
-                .solve(rank, &pa, &b, &mut x, &IdentityPrecond);
+                .solve(rank, &pa, &b, &mut x, &IdentityPrecond)
+                .unwrap();
                 x.to_serial(rank)
             });
             solutions.push(out[0].clone());

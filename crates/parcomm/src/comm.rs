@@ -35,6 +35,33 @@ struct Envelope {
     payload: Box<dyn Any + Send>,
 }
 
+/// Typed failure of a point-to-point receive, for callers that prefer a
+/// recoverable error over the default deadlock/type-confusion panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// No matching message arrived within the deadlock timeout.
+    Timeout { rank: usize, src: usize, tag: Tag },
+    /// The matching message's payload had a different Rust type.
+    TypeMismatch { rank: usize, src: usize, tag: Tag },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout { rank, src, tag } => write!(
+                f,
+                "rank {rank}: recv(src={src}, tag={tag}) timed out — likely deadlock"
+            ),
+            CommError::TypeMismatch { rank, src, tag } => write!(
+                f,
+                "rank {rank}: message from {src} tag {tag} had unexpected payload type"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
 /// A group of simulated MPI ranks.
 ///
 /// [`Comm::run`] spawns one thread per rank, hands each a [`Rank`] handle,
@@ -171,12 +198,21 @@ impl Rank {
     /// # Panics
     ///
     /// Panics if the matching message's payload has a different type, or if
-    /// no message arrives within the deadlock timeout.
+    /// no message arrives within the deadlock timeout. Use
+    /// [`Rank::try_recv`] to surface those failures as a [`CommError`]
+    /// instead.
     pub fn recv<T: Message>(&self, src: usize, tag: Tag) -> T {
+        self.try_recv(src, tag).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Blocking receive that surfaces timeout and payload-type mismatch
+    /// as a typed [`CommError`] instead of panicking, so decode failures
+    /// can feed the solver's resilience layer.
+    pub fn try_recv<T: Message>(&self, src: usize, tag: Tag) -> Result<T, CommError> {
         self.recv_raw(src, tag)
     }
 
-    fn recv_raw<T: 'static>(&self, src: usize, tag: Tag) -> T {
+    fn recv_raw<T: 'static>(&self, src: usize, tag: Tag) -> Result<T, CommError> {
         // Check messages that arrived earlier but did not match then.
         // `remove` (not `swap_remove`!) keeps the queue in arrival order:
         // per-(src, tag) FIFO is what lets repeated exchanges on one tag
@@ -189,15 +225,9 @@ impl Rank {
             }
         }
         loop {
-            let env = self
-                .rx
-                .recv_timeout(recv_timeout())
-                .unwrap_or_else(|_| {
-                    panic!(
-                        "rank {}: recv(src={src}, tag={tag}) timed out — likely deadlock",
-                        self.rank
-                    )
-                });
+            let env = self.rx.recv_timeout(recv_timeout()).map_err(|_| {
+                CommError::Timeout { rank: self.rank, src, tag }
+            })?;
             if env.src == src && env.tag == tag {
                 return Self::downcast(env, self.rank);
             }
@@ -205,13 +235,13 @@ impl Rank {
         }
     }
 
-    fn downcast<T: 'static>(env: Envelope, rank: usize) -> T {
-        *env.payload.downcast::<T>().unwrap_or_else(|_| {
-            panic!(
-                "rank {rank}: message from {} tag {} had unexpected payload type",
-                env.src, env.tag
-            )
-        })
+    fn downcast<T: 'static>(env: Envelope, rank: usize) -> Result<T, CommError> {
+        let src = env.src;
+        let tag = env.tag;
+        env.payload
+            .downcast::<T>()
+            .map(|b| *b)
+            .map_err(|_| CommError::TypeMismatch { rank, src, tag })
     }
 
     /// Synchronize all ranks. Recorded as one collective.
@@ -249,7 +279,9 @@ impl Rank {
     }
 
     pub(crate) fn recv_internal<T: Message>(&self, src: usize, tag: Tag) -> T {
-        self.recv_raw(src, tag)
+        // Collective-internal traffic: a failure here is a runtime bug,
+        // not a recoverable solver condition — keep the panic.
+        self.recv_raw(src, tag).unwrap_or_else(|e| panic!("{e}"))
     }
 
     pub(crate) fn record_collective(&self, bytes: u64) {
@@ -412,6 +444,23 @@ mod tests {
             // After the barrier every rank must observe all increments.
             assert_eq!(counter.load(Ordering::SeqCst), 4);
         });
+    }
+
+    #[test]
+    fn try_recv_surfaces_type_mismatch_as_error() {
+        let out = Comm::run(2, |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 7, vec![1.0f64]);
+                None
+            } else {
+                // Sent Vec<f64>, received as Vec<u64>: typed error, no panic.
+                Some(rank.try_recv::<Vec<u64>>(0, 7))
+            }
+        });
+        match out[1].as_ref().unwrap() {
+            Err(CommError::TypeMismatch { rank: 1, src: 0, tag: 7 }) => {}
+            other => panic!("expected TypeMismatch, got {other:?}"),
+        }
     }
 
     #[test]

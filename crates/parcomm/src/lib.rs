@@ -27,6 +27,6 @@ mod comm;
 mod message;
 mod perf;
 
-pub use comm::{Comm, Rank, Tag};
+pub use comm::{Comm, CommError, Rank, Tag};
 pub use message::Message;
 pub use perf::{KernelKind, PerfRecorder, PhaseTrace, Trace};

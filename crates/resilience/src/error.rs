@@ -1,0 +1,125 @@
+//! The solver failure taxonomy.
+
+use std::fmt;
+
+/// Everything that can go wrong between assembly and a converged field.
+///
+/// Every variant carries enough context to log a useful telemetry
+/// `recovery` event; [`SolveError::kind`] is the stable string used in
+/// the event stream and the report's recovery table.
+///
+/// Errors are only raised from *collectively consistent* conditions
+/// (allreduced scans, collective norms, replicated sizes), so every
+/// rank of a communicator observes the same error at the same point —
+/// a prerequisite for the recovery ladder to retry collectively
+/// without deadlocking.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolveError {
+    /// A residual norm in the GMRES recurrence became NaN/Inf.
+    NonFiniteResidual {
+        /// Where it was detected (phase label or equation).
+        context: String,
+        /// Iteration at which the recurrence went non-finite.
+        iter: usize,
+    },
+    /// An assembled operator or right-hand side contains NaN/Inf.
+    NonFiniteCoefficient {
+        context: String,
+        /// Global count of non-finite entries (allreduced).
+        count: u64,
+    },
+    /// GMRES breakdown: a zero or non-finite Hessenberg pivot while the
+    /// residual is still above tolerance.
+    GmresBreakdown { iter: usize, pivot: f64 },
+    /// GMRES made no progress over a full restart cycle.
+    GmresStagnation { iters: usize, rel: f64 },
+    /// AMG coarsening stopped shrinking the grid while it is still far
+    /// above the coarse-solver threshold.
+    CoarseningStagnation { level: usize, rows: u64 },
+    /// A halo-exchange payload was structurally invalid (wrong length)
+    /// or carried non-finite values where they are forbidden.
+    HaloCorruption {
+        context: String,
+        src: usize,
+        detail: String,
+    },
+    /// A message failed to decode (type mismatch or timeout) on a path
+    /// that has been converted from a panic to a typed error.
+    Comm { detail: String },
+}
+
+impl SolveError {
+    /// Stable machine-readable kind, used as the `fault` field of
+    /// telemetry `recovery` events.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SolveError::NonFiniteResidual { .. } => "non_finite_residual",
+            SolveError::NonFiniteCoefficient { .. } => "non_finite_coefficient",
+            SolveError::GmresBreakdown { .. } => "gmres_breakdown",
+            SolveError::GmresStagnation { .. } => "gmres_stagnation",
+            SolveError::CoarseningStagnation { .. } => "coarsening_stagnation",
+            SolveError::HaloCorruption { .. } => "halo_corruption",
+            SolveError::Comm { .. } => "comm",
+        }
+    }
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::NonFiniteResidual { context, iter } => {
+                write!(f, "non-finite residual in {context} at iteration {iter}")
+            }
+            SolveError::NonFiniteCoefficient { context, count } => {
+                write!(f, "{count} non-finite coefficient(s) in {context}")
+            }
+            SolveError::GmresBreakdown { iter, pivot } => {
+                write!(f, "GMRES breakdown at iteration {iter} (pivot {pivot})")
+            }
+            SolveError::GmresStagnation { iters, rel } => {
+                write!(f, "GMRES stagnated after {iters} iterations at rel {rel:.3e}")
+            }
+            SolveError::CoarseningStagnation { level, rows } => {
+                write!(f, "AMG coarsening stagnated at level {level} ({rows} rows)")
+            }
+            SolveError::HaloCorruption { context, src, detail } => {
+                write!(f, "halo corruption in {context} from rank {src}: {detail}")
+            }
+            SolveError::Comm { detail } => write!(f, "communication error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl From<parcomm::CommError> for SolveError {
+    fn from(e: parcomm::CommError) -> Self {
+        SolveError::Comm { detail: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct_and_stable() {
+        let errs = [
+            SolveError::NonFiniteResidual { context: "c".into(), iter: 1 },
+            SolveError::NonFiniteCoefficient { context: "c".into(), count: 2 },
+            SolveError::GmresBreakdown { iter: 3, pivot: 0.0 },
+            SolveError::GmresStagnation { iters: 4, rel: 1.0 },
+            SolveError::CoarseningStagnation { level: 0, rows: 100 },
+            SolveError::HaloCorruption { context: "c".into(), src: 1, detail: "d".into() },
+            SolveError::Comm { detail: "d".into() },
+        ];
+        let kinds: Vec<&str> = errs.iter().map(|e| e.kind()).collect();
+        let mut dedup = kinds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), kinds.len());
+        for e in &errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a list of [`FaultSpec`]s parsed from the
+//! `EXAWIND_FAULTS` environment variable (or set programmatically via
+//! `SolverConfig::faults`). Each spec names a [`FaultKind`], a context
+//! substring matched against the rank's current phase label, and the
+//! occurrence window in which it fires.
+//!
+//! The plan is installed as a thread-local *injector* on each rank
+//! thread (mirroring the telemetry dispatcher): solver hooks call
+//! [`fire`] at well-defined points, and the injector counts matching
+//! hook invocations per spec. Because each simulated rank is one OS
+//! thread, the counters are per-rank and never touched by rayon
+//! workers — so whether a fault fires is a pure function of the solve
+//! sequence, bitwise reproducible across thread counts.
+//!
+//! With no injector installed, [`fire`] is a single thread-local read
+//! returning `false`; the context closure is never invoked, so the
+//! clean-run path does not even build the phase-label string.
+//!
+//! # Grammar
+//!
+//! ```text
+//! EXAWIND_FAULTS="spec(;spec)*"
+//! spec  = kind '@' ctx [ ':' at [ 'x' count ] ]
+//! kind  = 'assembly-nan' | 'halo-nan' | 'coarsen-stall'
+//! ctx   = substring matched against the phase label (e.g. "continuity")
+//! at    = 1-based index of the first matching occurrence to corrupt (default 1)
+//! count = number of consecutive occurrences to corrupt (default 1)
+//! ```
+//!
+//! Example: `assembly-nan@continuity:1` corrupts the first continuity
+//! assembly; `halo-nan@momentum:2x3` flips halo payloads to NaN on the
+//! 2nd, 3rd and 4th momentum halo exchanges.
+//!
+//! Occurrences are counted per matching hook invocation, so a broad
+//! context can hit more sites than expected: `assembly-nan@continuity`
+//! also counts the pattern-union assemblies inside AMG setup (phase
+//! `continuity/precond setup`), where a corrupted value is structurally
+//! harmless. Pin the context when targeting the fine system — e.g.
+//! `assembly-nan@continuity/global` matches only the global assembly of
+//! the continuity equation itself.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Environment variable holding the fault plan.
+pub const ENV_VAR: &str = "EXAWIND_FAULTS";
+
+/// What kind of corruption a spec injects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Corrupt an assembled COO/CSR coefficient to NaN at global assembly.
+    AssemblyNan,
+    /// Flip a halo-exchange payload entry to NaN after receive.
+    HaloNan,
+    /// Force AMG coarsening to stagnate (coarse grid stops shrinking).
+    CoarsenStall,
+}
+
+impl FaultKind {
+    /// The grammar keyword for this kind.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::AssemblyNan => "assembly-nan",
+            FaultKind::HaloNan => "halo-nan",
+            FaultKind::CoarsenStall => "coarsen-stall",
+        }
+    }
+
+    fn parse(s: &str) -> Result<FaultKind, String> {
+        match s {
+            "assembly-nan" => Ok(FaultKind::AssemblyNan),
+            "halo-nan" => Ok(FaultKind::HaloNan),
+            "coarsen-stall" => Ok(FaultKind::CoarsenStall),
+            other => Err(format!(
+                "unknown fault kind {other:?} (expected assembly-nan, halo-nan, or coarsen-stall)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One injection rule: fire `kind` on matching-context occurrences
+/// `at ..= at + count - 1` (1-based).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    pub kind: FaultKind,
+    /// Substring matched against the rank's current phase label.
+    pub ctx: String,
+    /// 1-based index of the first matching occurrence that fires.
+    pub at: u64,
+    /// Number of consecutive matching occurrences that fire.
+    pub count: u64,
+}
+
+impl FaultSpec {
+    fn parse(s: &str) -> Result<FaultSpec, String> {
+        let (kind_s, rest) = s
+            .split_once('@')
+            .ok_or_else(|| format!("fault spec {s:?} is missing '@ctx'"))?;
+        let kind = FaultKind::parse(kind_s.trim())?;
+        let (ctx, occ) = match rest.split_once(':') {
+            Some((c, o)) => (c, Some(o)),
+            None => (rest, None),
+        };
+        let ctx = ctx.trim();
+        if ctx.is_empty() {
+            return Err(format!("fault spec {s:?} has an empty context"));
+        }
+        let (at, count) = match occ {
+            None => (1, 1),
+            Some(o) => {
+                let (at_s, count_s) = match o.split_once('x') {
+                    Some((a, c)) => (a, Some(c)),
+                    None => (o, None),
+                };
+                let at: u64 = at_s
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("fault spec {s:?}: bad occurrence index {at_s:?}"))?;
+                if at == 0 {
+                    return Err(format!("fault spec {s:?}: occurrence index is 1-based"));
+                }
+                let count: u64 = match count_s {
+                    None => 1,
+                    Some(c) => c
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("fault spec {s:?}: bad count {c:?}"))?,
+                };
+                if count == 0 {
+                    return Err(format!("fault spec {s:?}: count must be positive"));
+                }
+                (at, count)
+            }
+        };
+        Ok(FaultSpec {
+            kind,
+            ctx: ctx.to_string(),
+            at,
+            count,
+        })
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}:{}", self.kind, self.ctx, self.at)?;
+        if self.count != 1 {
+            write!(f, "x{}", self.count)?;
+        }
+        Ok(())
+    }
+}
+
+/// A parsed, immutable fault plan. No-op until [installed](FaultPlan::install).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// Parse a `;`-separated plan string (see module grammar).
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let mut specs = Vec::new();
+        for part in s.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            specs.push(FaultSpec::parse(part)?);
+        }
+        Ok(FaultPlan { specs })
+    }
+
+    /// The plan from [`ENV_VAR`], if set and non-empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed plan string: a typo'd fault plan silently
+    /// doing nothing would defeat the point of injecting faults.
+    pub fn from_env() -> Option<FaultPlan> {
+        match std::env::var(ENV_VAR) {
+            Ok(v) if !v.is_empty() => Some(
+                FaultPlan::parse(&v).unwrap_or_else(|e| panic!("{ENV_VAR}: {e}")),
+            ),
+            _ => None,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Install this plan as the thread-local injector for the current
+    /// (rank) thread; restored when the guard drops. Per-spec occurrence
+    /// counters start at zero on every install.
+    pub fn install(&self) -> FaultGuard {
+        let inj = Rc::new(RefCell::new(Injector {
+            rules: self
+                .specs
+                .iter()
+                .map(|s| Rule {
+                    spec: s.clone(),
+                    hits: 0,
+                    fired: 0,
+                })
+                .collect(),
+        }));
+        let prev = CURRENT.with(|c| c.replace(Some(inj)));
+        FaultGuard { prev: Some(prev) }
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.specs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(";")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+struct Rule {
+    spec: FaultSpec,
+    /// Matching hook invocations seen so far.
+    hits: u64,
+    /// Times this rule actually fired.
+    fired: u64,
+}
+
+struct Injector {
+    rules: Vec<Rule>,
+}
+
+/// Restores the previously installed injector on drop.
+pub struct FaultGuard {
+    prev: Option<Option<Rc<RefCell<Injector>>>>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            CURRENT.with(|c| c.replace(prev));
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Rc<RefCell<Injector>>>> = const { RefCell::new(None) };
+}
+
+/// True when a fault plan is installed on this thread.
+pub fn armed() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Fault hook: should a fault of `kind` fire at this point?
+///
+/// `ctx` is evaluated lazily (typically `|| rank.phase_name()`) and only
+/// when an injector is installed; with no plan armed this is one
+/// thread-local read. A spec matches when its kind equals `kind` and its
+/// context string is a substring of `ctx()`; every match advances that
+/// spec's occurrence counter, and the hook fires when the counter lands
+/// in the spec's `at..at+count` window.
+pub fn fire(kind: FaultKind, ctx: impl FnOnce() -> String) -> bool {
+    CURRENT.with(|c| {
+        let borrow = c.borrow();
+        let Some(inj) = borrow.as_ref() else {
+            return false;
+        };
+        let inj = Rc::clone(inj);
+        drop(borrow);
+        let ctx = ctx();
+        let mut inj = inj.borrow_mut();
+        let mut hit = false;
+        for rule in &mut inj.rules {
+            if rule.spec.kind == kind && ctx.contains(&rule.spec.ctx) {
+                rule.hits += 1;
+                if rule.hits >= rule.spec.at && rule.hits < rule.spec.at + rule.spec.count {
+                    rule.fired += 1;
+                    hit = true;
+                }
+            }
+        }
+        hit
+    })
+}
+
+/// Total faults fired by the injector installed on this thread (0 when
+/// none is armed). Used by tests to assert a plan actually triggered.
+pub fn fired_count() -> u64 {
+    CURRENT.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map_or(0, |inj| inj.borrow().rules.iter().map(|r| r.fired).sum())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_grammar() {
+        let plan =
+            FaultPlan::parse("assembly-nan@continuity:1; halo-nan@momentum:2x3;coarsen-stall@p")
+                .unwrap();
+        assert_eq!(
+            plan.specs,
+            vec![
+                FaultSpec {
+                    kind: FaultKind::AssemblyNan,
+                    ctx: "continuity".into(),
+                    at: 1,
+                    count: 1
+                },
+                FaultSpec {
+                    kind: FaultKind::HaloNan,
+                    ctx: "momentum".into(),
+                    at: 2,
+                    count: 3
+                },
+                FaultSpec {
+                    kind: FaultKind::CoarsenStall,
+                    ctx: "p".into(),
+                    at: 1,
+                    count: 1
+                },
+            ]
+        );
+        // Round-trips through Display.
+        assert_eq!(
+            FaultPlan::parse(&plan.to_string()).unwrap(),
+            plan
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "assembly-nan",          // no ctx
+            "bad-kind@x:1",          // unknown kind
+            "halo-nan@:1",           // empty ctx
+            "halo-nan@x:0",          // 0 is not a valid 1-based index
+            "halo-nan@x:1x0",        // zero count
+            "halo-nan@x:notanumber", // bad index
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn unarmed_fire_is_false_and_lazy() {
+        assert!(!armed());
+        let fired = fire(FaultKind::AssemblyNan, || {
+            panic!("ctx closure must not run when unarmed")
+        });
+        assert!(!fired);
+    }
+
+    #[test]
+    fn occurrence_windows_and_context_matching() {
+        let plan = FaultPlan::parse("halo-nan@continuity:2x2").unwrap();
+        let _g = plan.install();
+        // Non-matching context never advances the counter.
+        assert!(!fire(FaultKind::HaloNan, || "momentum/halo".into()));
+        assert!(!fire(FaultKind::HaloNan, || "continuity/halo".into())); // hit 1
+        assert!(fire(FaultKind::HaloNan, || "continuity/halo".into())); // hit 2 → fires
+        assert!(fire(FaultKind::HaloNan, || "continuity/halo".into())); // hit 3 → fires
+        assert!(!fire(FaultKind::HaloNan, || "continuity/halo".into())); // hit 4 → window over
+        // Kind mismatch never fires.
+        assert!(!fire(FaultKind::AssemblyNan, || "continuity/halo".into()));
+        assert_eq!(fired_count(), 2);
+    }
+
+    #[test]
+    fn install_guard_restores_previous_injector() {
+        let outer = FaultPlan::parse("coarsen-stall@amg:1").unwrap();
+        let g1 = outer.install();
+        assert!(fire(FaultKind::CoarsenStall, || "amg".into()));
+        {
+            let inner = FaultPlan::parse("coarsen-stall@amg:1").unwrap();
+            let _g2 = inner.install();
+            // Fresh counters: fires again under the inner plan.
+            assert!(fire(FaultKind::CoarsenStall, || "amg".into()));
+        }
+        // Outer plan restored, its window already consumed.
+        assert!(!fire(FaultKind::CoarsenStall, || "amg".into()));
+        drop(g1);
+        assert!(!armed());
+    }
+
+    #[test]
+    fn empty_plan_is_armed_but_never_fires() {
+        let plan = FaultPlan::parse("").unwrap();
+        assert!(plan.is_empty());
+        let _g = plan.install();
+        assert!(armed());
+        assert!(!fire(FaultKind::AssemblyNan, || "x".into()));
+    }
+}

@@ -11,6 +11,7 @@
 //! | `phase_perf` | `parcomm::PhaseTrace`     | machine-model inputs      |
 //! | `amg`        | `amg::AmgHierarchy::setup`| Tables 2–4 per-level rows |
 //! | `gmres`      | `krylov::Gmres::solve`    | convergence trajectories  |
+//! | `recovery`   | `nalu_core` Picard driver | solver-fault escalations  |
 //! | `counter`    | subsystem counters        | —                         |
 //! | `hist`       | log₂ histograms           | —                         |
 //! | `bench`      | criterion-shim records    | BENCH_*.json baselines    |
@@ -87,6 +88,17 @@ pub enum Event {
         converged: bool,
         history: Vec<f64>,
     },
+    /// One recovery attempt: a solve failed with a typed fault and the
+    /// Picard driver walked the escalation ladder.
+    Recovery {
+        rank: usize,
+        eq: String,
+        step: usize,
+        fault: String,
+        action: String,
+        attempt: usize,
+        outcome: String,
+    },
     /// A named monotonic counter (aggregated per rank at finish).
     Counter { rank: usize, name: String, value: u64 },
     /// A named log₂ histogram (aggregated per rank at finish).
@@ -120,6 +132,7 @@ impl Event {
             Event::PhasePerf { .. } => "phase_perf",
             Event::AmgSetup { .. } => "amg",
             Event::Gmres { .. } => "gmres",
+            Event::Recovery { .. } => "recovery",
             Event::Counter { .. } => "counter",
             Event::Hist { .. } => "hist",
             Event::Bench { .. } => "bench",
@@ -240,6 +253,24 @@ impl Event {
                     "history",
                     Json::Arr(history.iter().map(|&r| Json::Float(r)).collect()),
                 ),
+            ]),
+            Event::Recovery {
+                rank,
+                eq,
+                step,
+                fault,
+                action,
+                attempt,
+                outcome,
+            } => Json::obj(vec![
+                ("type", tag),
+                ("rank", Json::Int(*rank as i128)),
+                ("eq", Json::Str(eq.clone())),
+                ("step", Json::Int(*step as i128)),
+                ("fault", Json::Str(fault.clone())),
+                ("action", Json::Str(action.clone())),
+                ("attempt", Json::Int(*attempt as i128)),
+                ("outcome", Json::Str(outcome.clone())),
             ]),
             Event::Counter { rank, name, value } => Json::obj(vec![
                 ("type", tag),
@@ -425,6 +456,15 @@ impl Event {
                     history,
                 })
             }
+            "recovery" => Ok(Event::Recovery {
+                rank: usize_field("rank")?,
+                eq: str_field("eq")?,
+                step: usize_field("step")?,
+                fault: str_field("fault")?,
+                action: str_field("action")?,
+                attempt: usize_field("attempt")?,
+                outcome: str_field("outcome")?,
+            }),
             "counter" => Ok(Event::Counter {
                 rank: usize_field("rank")?,
                 name: str_field("name")?,
@@ -520,6 +560,15 @@ impl Event {
                 final_rel: 3.2e-7,
                 converged: true,
                 history: vec![1.0, 0.25, 1e-3, 3.2e-7],
+            },
+            Event::Recovery {
+                rank: 0,
+                eq: "continuity".into(),
+                step: 4,
+                fault: "non_finite_residual".into(),
+                action: "rebuild".into(),
+                attempt: 1,
+                outcome: "recovered".into(),
             },
             Event::Counter {
                 rank: 0,

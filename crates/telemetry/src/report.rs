@@ -39,6 +39,22 @@ pub struct AmgSummary {
     pub operator_complexity: f64,
 }
 
+/// Aggregated recovery attempts for one `(equation, fault)` pair.
+#[derive(Clone, Debug, Default)]
+pub struct RecoverySummary {
+    /// Ladder attempts walked (rank-0 events only; attempts are
+    /// collective).
+    pub attempts: u64,
+    /// Attempts that ended the episode successfully.
+    pub recovered: u64,
+    /// Attempts that exhausted the ladder.
+    pub failed: u64,
+    /// Escalation actions in event order, e.g. `rebuild -> cut_timestep`.
+    pub actions: Vec<String>,
+    /// Outcome of the most recent attempt.
+    pub last_outcome: String,
+}
+
 /// Per-path span aggregate.
 #[derive(Clone, Debug, Default)]
 pub struct SpanSummary {
@@ -66,6 +82,8 @@ pub struct Report {
     pub amg: BTreeMap<String, AmgSummary>,
     pub gmres: BTreeMap<String, GmresSummary>,
     pub spans: BTreeMap<String, SpanSummary>,
+    /// Recovery escalations keyed by `(equation, fault kind)`.
+    pub recoveries: BTreeMap<(String, String), RecoverySummary>,
     /// Counters summed over ranks.
     pub counters: BTreeMap<String, u64>,
     /// Histograms merged over ranks.
@@ -149,6 +167,25 @@ impl Report {
                     s.converged += *converged as u64;
                     s.last_final_rel = *final_rel;
                     s.last_history = history.clone();
+                }
+                Event::Recovery { rank, eq, fault, action, outcome, .. } => {
+                    max_rank = max_rank.max(*rank);
+                    // Recovery is collective; every rank reports the same
+                    // ladder walk, so count it once via rank 0.
+                    if *rank != 0 {
+                        continue;
+                    }
+                    let s = r.recoveries.entry((eq.clone(), fault.clone())).or_default();
+                    s.attempts += 1;
+                    match outcome.as_str() {
+                        "recovered" => s.recovered += 1,
+                        "failed" => s.failed += 1,
+                        _ => {}
+                    }
+                    if s.actions.last() != Some(action) {
+                        s.actions.push(action.clone());
+                    }
+                    s.last_outcome = outcome.clone();
                 }
                 Event::Counter { rank, name, value } => {
                     max_rank = max_rank.max(*rank);
@@ -311,6 +348,27 @@ impl Report {
             }
         }
 
+        // --- Recovery escalations ----------------------------------------
+        if !self.recoveries.is_empty() {
+            let _ = writeln!(out, "\n-- solver recoveries (fault -> attempts -> outcome) --");
+            let _ = writeln!(
+                out,
+                "{:<12} {:<22} {:>8} {:<32} {:>10}",
+                "equation", "fault", "attempts", "escalation", "outcome"
+            );
+            for ((eq, fault), s) in &self.recoveries {
+                let _ = writeln!(
+                    out,
+                    "{:<12} {:<22} {:>8} {:<32} {:>10}",
+                    eq,
+                    fault,
+                    s.attempts,
+                    s.actions.join(" -> "),
+                    s.last_outcome
+                );
+            }
+        }
+
         // --- Span tree ----------------------------------------------------
         if !self.spans.is_empty() {
             let _ = writeln!(out, "\n-- span tree (seconds summed over ranks) --");
@@ -431,6 +489,24 @@ impl Report {
                 ])
             })
             .collect();
+        let recoveries: Vec<Json> = self
+            .recoveries
+            .iter()
+            .map(|((eq, fault), s)| {
+                Json::obj(vec![
+                    ("equation", Json::Str(eq.clone())),
+                    ("fault", Json::Str(fault.clone())),
+                    ("attempts", Json::Int(s.attempts as i128)),
+                    ("recovered", Json::Int(s.recovered as i128)),
+                    ("failed", Json::Int(s.failed as i128)),
+                    (
+                        "escalation",
+                        Json::Arr(s.actions.iter().map(|a| Json::Str(a.clone())).collect()),
+                    ),
+                    ("last_outcome", Json::Str(s.last_outcome.clone())),
+                ])
+            })
+            .collect();
         Json::obj(vec![
             ("ranks", Json::Int(self.ranks as i128)),
             ("threads", Json::Int(self.threads as i128)),
@@ -438,6 +514,7 @@ impl Report {
             ("equations", Json::Arr(eq_objs)),
             ("amg", Json::Arr(amg)),
             ("gmres", Json::Arr(gmres)),
+            ("recoveries", Json::Arr(recoveries)),
         ])
     }
 }
@@ -541,6 +618,41 @@ mod tests {
         assert!(s.contains("momentum"), "{s}");
         let json = r.to_json().to_string();
         assert!(json.contains("\"operator_complexity\""), "{json}");
+    }
+
+    #[test]
+    fn recovery_events_aggregate_into_escalation_table() {
+        let mut evs = sample_events();
+        // Both ranks report the same collective ladder walk; only rank 0
+        // counts.
+        for rank in 0..2usize {
+            for (attempt, action, outcome) in
+                [(1, "rebuild", "retry"), (2, "fallback_smoother", "recovered")]
+            {
+                evs.push(Event::Recovery {
+                    rank,
+                    eq: "continuity".into(),
+                    step: 3,
+                    fault: "non_finite_residual".into(),
+                    action: action.into(),
+                    attempt,
+                    outcome: outcome.into(),
+                });
+            }
+        }
+        let r = Report::from_events(&evs);
+        let key = ("continuity".to_string(), "non_finite_residual".to_string());
+        let s = &r.recoveries[&key];
+        assert_eq!(s.attempts, 2);
+        assert_eq!(s.recovered, 1);
+        assert_eq!(s.failed, 0);
+        assert_eq!(s.actions, vec!["rebuild", "fallback_smoother"]);
+        assert_eq!(s.last_outcome, "recovered");
+        let ascii = r.render_ascii();
+        assert!(ascii.contains("solver recoveries"), "{ascii}");
+        assert!(ascii.contains("rebuild -> fallback_smoother"), "{ascii}");
+        let json = r.to_json().to_string();
+        assert!(json.contains("\"recoveries\""), "{json}");
     }
 
     #[test]

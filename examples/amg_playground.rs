@@ -100,7 +100,7 @@ fn main() {
                 dist.clone(),
                 &a_serial,
             );
-            let amg = AmgPrecond::setup(rank, a.clone(), &cfg);
+            let amg = AmgPrecond::setup(rank, a.clone(), &cfg).expect("AMG setup");
             let h = amg.hierarchy();
             let b = ParVector::from_fn(rank, dist.clone(), |g| ((g % 13) as f64) - 6.0);
             let mut x = ParVector::zeros(rank, dist);
@@ -110,7 +110,8 @@ fn main() {
                 tol: 1e-8,
                 ortho: OrthoStrategy::OneReduce,
             }
-            .solve(rank, &a, &b, &mut x, &amg);
+            .solve(rank, &a, &b, &mut x, &amg)
+            .expect("solve");
             (
                 h.n_levels(),
                 h.grid_complexity,

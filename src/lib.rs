@@ -13,6 +13,7 @@
 //! - [`nalu_core`] — the incompressible-flow solver
 //! - [`machine`] — Summit/Eagle performance models
 //! - [`telemetry`] — span tracing, solver metrics, phase reports
+//! - [`resilience`] — solver-fault taxonomy, recovery ladder, fault injection
 
 pub use amg;
 pub use distmat;
@@ -21,6 +22,7 @@ pub use machine;
 pub use meshpart;
 pub use nalu_core;
 pub use parcomm;
+pub use resilience;
 pub use sparse_kit;
 pub use telemetry;
 pub use windmesh;

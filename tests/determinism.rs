@@ -87,7 +87,7 @@ fn setup_signatures(threads: usize) -> Vec<SetupSignature> {
                 })
                 .collect();
 
-            let h = AmgHierarchy::setup(rank, a_p, &AmgConfig::pressure_default());
+            let h = AmgHierarchy::setup(rank, a_p, &AmgConfig::pressure_default()).unwrap();
             let mut level_vals = Vec::new();
             let mut interp_vals = Vec::new();
             for lvl in &h.levels {
@@ -196,5 +196,83 @@ fn telemetry_does_not_perturb_solution_bits() {
             baseline, with_tel,
             "telemetry perturbed the solution at {threads} threads"
         );
+    }
+}
+
+/// A rank's recovery walk: (eq, fault, action, attempt, outcome) per attempt.
+type RecoveryWalk = Vec<(String, String, String, usize, String)>;
+
+/// One step with a fault injected at a fixed (equation, occurrence);
+/// returns per-rank field bits and the recovery walk.
+fn faulted_step_signature(threads: usize) -> Vec<(Vec<u64>, RecoveryWalk)> {
+    use exawind::resilience::FaultPlan;
+    let tm = generate(NrelCase::SingleLow, 1e-4);
+    let meshes = tm.meshes;
+    Comm::run(2, move |rank| {
+        let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        pool.install(|| {
+            let cfg = SolverConfig {
+                picard_iters: 2,
+                // "continuity/global" pins the context to the fine-system
+                // global assembly (plain "continuity" would also count the
+                // harmless pattern-union assemblies inside AMG setup);
+                // occurrence 2 is the near-body mesh on the first Picard
+                // sweep.
+                faults: Some(FaultPlan::parse("assembly-nan@continuity/global:2").unwrap()),
+                ..SolverConfig::default()
+            };
+            let mut sim = Simulation::new(rank, meshes.clone(), cfg);
+            let report = sim.step(rank);
+            let walk: RecoveryWalk = report
+                .recoveries
+                .iter()
+                .map(|r| {
+                    (
+                        r.eq.clone(),
+                        r.fault.clone(),
+                        r.action.clone(),
+                        r.attempt,
+                        r.outcome.clone(),
+                    )
+                })
+                .collect();
+            let mut bits = Vec::new();
+            for m in 0..sim.n_meshes() {
+                let st = sim.state(m);
+                bits.extend(st.vel.iter().flat_map(|v| v.iter().map(|x| x.to_bits())));
+                bits.extend(st.p.iter().map(|x| x.to_bits()));
+                bits.extend(st.nut.iter().map(|x| x.to_bits()));
+            }
+            (bits, walk)
+        })
+    })
+}
+
+/// Fault injection and recovery are counted on the rank thread, never on
+/// rayon workers: an injected fault at a fixed (equation, occurrence)
+/// must produce a bitwise-identical recovery sequence and converged
+/// fields whatever the thread count.
+#[test]
+fn injected_fault_recovery_bitwise_identical_across_thread_counts() {
+    let baseline = faulted_step_signature(1);
+    for (bits, walk) in &baseline {
+        assert!(
+            !walk.is_empty(),
+            "the injected fault must actually trigger a recovery"
+        );
+        assert!(bits.iter().all(|b| f64::from_bits(*b).is_finite()));
+    }
+    for threads in [8] {
+        let other = faulted_step_signature(threads);
+        for (r, ((bb, bw), (ob, ow))) in baseline.iter().zip(&other).enumerate() {
+            assert_eq!(
+                bw, ow,
+                "recovery sequence differs on rank {r} at {threads} threads"
+            );
+            assert_eq!(
+                bb, ob,
+                "recovered fields differ on rank {r} at {threads} threads"
+            );
+        }
     }
 }

@@ -1,0 +1,228 @@
+//! End-to-end fault injection and recovery.
+//!
+//! Each test installs a seeded [`FaultPlan`] through `SolverConfig::faults`
+//! (the `EXAWIND_FAULTS` path uses the same parser and is covered by the
+//! CI smoke step), injects a corruption into a specific solve, and checks
+//! that the Picard driver detects it as a typed [`SolveError`], walks the
+//! escalation ladder deterministically, emits `recovery` telemetry
+//! events, and converges to the same answer as a clean run.
+
+use exawind::nalu_core::{Simulation, SolveError, SolverConfig};
+use exawind::parcomm::Comm;
+use exawind::resilience::FaultPlan;
+use exawind::telemetry::Event;
+use exawind::windmesh::generate::{box_mesh, uniform_spacing, BoxBc};
+use exawind::windmesh::Mesh;
+
+/// Empty wind-tunnel box; uniform inflow is an exact steady solution.
+fn small_box() -> Mesh {
+    box_mesh(
+        uniform_spacing(0.0, 4.0, 6),
+        uniform_spacing(0.0, 2.0, 4),
+        uniform_spacing(0.0, 2.0, 4),
+        BoxBc::wind_tunnel(),
+    )
+}
+
+/// Larger box whose pressure system (288 rows) is big enough that a
+/// forced coarsening stall is fatal rather than tolerable (the stall
+/// tolerance factor allows stalls within 4x of `max_coarse_size`).
+fn bigger_box() -> Mesh {
+    box_mesh(
+        uniform_spacing(0.0, 4.0, 8),
+        uniform_spacing(0.0, 2.0, 6),
+        uniform_spacing(0.0, 2.0, 6),
+        BoxBc::wind_tunnel(),
+    )
+}
+
+fn cfg_with_faults(plan: Option<&str>) -> SolverConfig {
+    SolverConfig {
+        picard_iters: 2,
+        telemetry: true,
+        faults: plan.map(|p| FaultPlan::parse(p).expect("plan parses")),
+        ..SolverConfig::default()
+    }
+}
+
+/// One step on 2 ranks; returns per-rank (field bits, recovery records,
+/// recovery telemetry events).
+fn run_step(
+    mesh: Mesh,
+    plan: Option<&'static str>,
+) -> Vec<(Vec<u64>, Vec<exawind::nalu_core::RecoveryRecord>, Vec<Event>)> {
+    Comm::run(2, move |rank| {
+        let mut sim = Simulation::new(rank, vec![mesh.clone()], cfg_with_faults(plan));
+        let report = sim.step(rank);
+        let events: Vec<Event> = sim
+            .finish_telemetry(rank)
+            .into_iter()
+            .filter(|e| matches!(e, Event::Recovery { .. }))
+            .collect();
+        let st = sim.state(0);
+        let mut bits: Vec<u64> = Vec::new();
+        bits.extend(st.vel.iter().flat_map(|v| v.iter().map(|x| x.to_bits())));
+        bits.extend(st.p.iter().map(|x| x.to_bits()));
+        bits.extend(st.nut.iter().map(|x| x.to_bits()));
+        (bits, report.recoveries, events)
+    })
+}
+
+#[test]
+fn clean_run_records_no_recoveries() {
+    for (bits, recs, events) in run_step(small_box(), None) {
+        assert!(recs.is_empty(), "clean run walked the ladder: {recs:?}");
+        assert!(events.is_empty());
+        assert!(bits.iter().all(|b| f64::from_bits(*b).is_finite()));
+    }
+}
+
+/// An armed-but-empty plan must not perturb a single bit: the injector
+/// hooks run but never fire.
+#[test]
+fn armed_empty_plan_is_bitwise_clean() {
+    let clean = run_step(small_box(), None);
+    let armed = run_step(small_box(), Some(""));
+    for ((cb, _, _), (ab, _, recs)) in clean.iter().zip(&armed) {
+        assert!(recs.is_empty());
+        assert_eq!(cb, ab, "empty fault plan changed the solution");
+    }
+}
+
+/// The headline scenario: a NaN injected into the continuity assembly is
+/// caught by the pre-solve finite scan, the first ladder rung (a fresh
+/// rebuild) clears it, and the converged fields are bitwise identical to
+/// the clean run.
+#[test]
+fn injected_continuity_nan_recovers_bitwise() {
+    let clean = run_step(small_box(), None);
+    let faulted = run_step(small_box(), Some("assembly-nan@continuity:1"));
+    for (r, ((cb, _, _), (fb, recs, events))) in clean.iter().zip(&faulted).enumerate() {
+        assert_eq!(recs.len(), 1, "rank {r}: expected one recovery, got {recs:?}");
+        let rec = &recs[0];
+        assert_eq!(rec.eq, "continuity");
+        assert_eq!(rec.fault, "non_finite_coefficient");
+        assert_eq!(rec.action, "rebuild");
+        assert_eq!(rec.attempt, 1);
+        assert_eq!(rec.outcome, "recovered");
+        // The telemetry stream mirrors the record.
+        assert_eq!(events.len(), 1, "rank {r}: {events:?}");
+        match &events[0] {
+            Event::Recovery { eq, fault, action, outcome, .. } => {
+                assert_eq!(eq, "continuity");
+                assert_eq!(fault, "non_finite_coefficient");
+                assert_eq!(action, "rebuild");
+                assert_eq!(outcome, "recovered");
+            }
+            other => panic!("{other:?}"),
+        }
+        // A one-shot fault plus a fresh rebuild reproduces the clean
+        // solve exactly — same tolerance, same bits.
+        assert_eq!(cb, fb, "rank {r}: recovered fields differ from clean run");
+    }
+}
+
+/// A halo payload flipped to NaN mid-solve surfaces as a non-finite
+/// residual inside GMRES and is cleared by the rebuild retry.
+#[test]
+fn injected_halo_nan_recovers_bitwise() {
+    let clean = run_step(small_box(), None);
+    let faulted = run_step(small_box(), Some("halo-nan@continuity/solve:1"));
+    for ((cb, _, _), (fb, recs, _)) in clean.iter().zip(&faulted) {
+        assert_eq!(recs.len(), 1, "expected one recovery, got {recs:?}");
+        assert_eq!(recs[0].eq, "continuity");
+        assert_eq!(recs[0].fault, "non_finite_residual");
+        assert_eq!(recs[0].outcome, "recovered");
+        assert_eq!(cb, fb, "recovered fields differ from clean run");
+    }
+}
+
+/// A persistently stalling AMG coarsener cannot be fixed by rebuilding —
+/// the driver must escalate past the rebuild rung and recover on the
+/// fallback smoother (SGS2 replaces the degenerate hierarchy).
+#[test]
+fn persistent_coarsen_stall_escalates_to_fallback_smoother() {
+    let out = run_step(bigger_box(), Some("coarsen-stall@continuity:1x999"));
+    for (bits, recs, _) in &out {
+        assert!(
+            recs.len() >= 2,
+            "expected escalation past the rebuild rung, got {recs:?}"
+        );
+        assert_eq!(recs[0].fault, "coarsening_stagnation");
+        assert_eq!(recs[0].action, "rebuild");
+        assert_eq!(recs[0].outcome, "retry");
+        let last = recs.last().unwrap();
+        assert_eq!(last.action, "fallback_smoother");
+        assert_eq!(last.outcome, "recovered");
+        assert!(bits.iter().all(|b| f64::from_bits(*b).is_finite()));
+    }
+    // Recovery decisions are collective: both ranks report the same walk.
+    let sig =
+        |recs: &[exawind::nalu_core::RecoveryRecord]| -> Vec<(String, String, String, usize)> {
+            recs.iter()
+                .map(|r| (r.eq.clone(), r.fault.clone(), r.action.clone(), r.attempt))
+                .collect()
+        };
+    assert_eq!(sig(&out[0].1), sig(&out[1].1));
+}
+
+/// A fault that corrupts every assembly attempt exhausts the ladder: the
+/// step fails with a typed error (no panic, no deadlock) on every rank,
+/// and the attempts are reported as retry/retry/failed.
+#[test]
+fn unrecoverable_fault_exhausts_ladder_with_typed_error() {
+    let mesh = small_box();
+    let out = Comm::run(2, move |rank| {
+        let mut sim = Simulation::new(
+            rank,
+            vec![mesh.clone()],
+            cfg_with_faults(Some("assembly-nan@continuity:1x999")),
+        );
+        let res = sim.try_step(rank);
+        let events: Vec<Event> = sim
+            .finish_telemetry(rank)
+            .into_iter()
+            .filter(|e| matches!(e, Event::Recovery { .. }))
+            .collect();
+        (res.map(|_| ()), events)
+    });
+    for (res, events) in out {
+        match res {
+            Err(SolveError::NonFiniteCoefficient { .. }) => {}
+            other => panic!("expected NonFiniteCoefficient, got {other:?}"),
+        }
+        let outcomes: Vec<&str> = events
+            .iter()
+            .map(|e| match e {
+                Event::Recovery { outcome, .. } => outcome.as_str(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(outcomes, vec!["retry", "retry", "failed"]);
+    }
+}
+
+/// Recovery can be switched off: the first typed error then aborts the
+/// step immediately with no ladder walk.
+#[test]
+fn disabled_recovery_fails_fast() {
+    let mesh = small_box();
+    let out = Comm::run(2, move |rank| {
+        let cfg = SolverConfig {
+            recovery: exawind::nalu_core::RecoveryPolicy {
+                enabled: false,
+                ..Default::default()
+            },
+            ..cfg_with_faults(Some("assembly-nan@continuity:1"))
+        };
+        let mut sim = Simulation::new(rank, vec![mesh.clone()], cfg);
+        let res = sim.try_step(rank);
+        (res.map(|_| ()), sim.finish_telemetry(rank).len())
+    });
+    for (res, _) in out {
+        assert!(
+            matches!(res, Err(SolveError::NonFiniteCoefficient { .. })),
+            "{res:?}"
+        );
+    }
+}
