@@ -15,6 +15,8 @@ fault_out=$(mktemp /tmp/exawind_faulted.XXXXXX.jsonl)
 trap 'rm -f "$tel_out" "$fault_out"' EXIT
 EXAWIND_TELEMETRY="$tel_out" cargo run --release --example quickstart
 cargo run --release -p telemetry --bin validate_telemetry -- "$tel_out"
+grep -q '"type": *"kernel_perf"' "$tel_out" \
+  || { echo "telemetry smoke: no kernel_perf event in $tel_out" >&2; exit 1; }
 
 # Fault-injection smoke: a NaN injected into the first continuity
 # assembly must be caught by the recovery ladder (exit 0, not a panic),
@@ -24,3 +26,20 @@ EXAWIND_FAULTS="assembly-nan@continuity/global:1" \
 cargo run --release -p telemetry --bin validate_telemetry -- "$fault_out"
 grep -q '"type": *"recovery"' "$fault_out" \
   || { echo "fault-injection smoke: no recovery event in $fault_out" >&2; exit 1; }
+
+# Perf-smoke: two back-to-back recordings onto a scratch copy of the
+# committed trajectory must pass the regression gate. The tolerance is
+# generous — shared single-core CI containers jitter by integer factors;
+# this gate exists to catch order-of-magnitude regressions, the unit
+# tests in crates/bench/src/perf.rs pin the exact gating semantics.
+# EXAWIND_STREAM_GBS pins the roofline baseline so no STREAM measurement
+# runs (or gets cached) inside CI.
+perf_traj=$(mktemp /tmp/exawind_trajectory.XXXXXX.jsonl)
+trap 'rm -f "$tel_out" "$fault_out" "$perf_traj"' EXIT
+cp results/trajectory.jsonl "$perf_traj"
+export EXAWIND_STREAM_GBS=10
+cargo run --release -p exawind-bench --bin exawind-perf -- record --out "$perf_traj"
+cargo run --release -p exawind-bench --bin exawind-perf -- record --out "$perf_traj"
+cargo run --release -p telemetry --bin validate_telemetry -- "$perf_traj"
+cargo run --release -p exawind-bench --bin exawind-perf -- \
+  diff --against "$perf_traj" --tol 25.0

@@ -18,6 +18,7 @@ use resilience::SolveError;
 use sparse_kit::cost;
 use sparse_kit::prims;
 use sparse_kit::Coo;
+use telemetry::perfmodel;
 
 use crate::dist::RowDist;
 use crate::parcsr::ParCsr;
@@ -90,10 +91,17 @@ impl IjMatrix {
         // Local pre-sort of both buffers (the Nalu-Wind local assembly
         // already guarantees this; duplicates from element contributions
         // combine here).
-        let (bytes, _) = cost::sort(self.owned.len() + self.shared.len(), TRIPLE_BYTES);
+        let presorted = self.owned.len() + self.shared.len();
+        let (bytes, _) = cost::sort(presorted, TRIPLE_BYTES);
         rank.kernel(KernelKind::Sort, bytes, 0);
-        self.owned.sort_and_combine();
-        self.shared.sort_and_combine();
+        {
+            let _k = telemetry::kernel(
+                "assembly_sort_reduce",
+                perfmodel::assembly_sort_reduce(presorted, TRIPLE_BYTES),
+            );
+            self.owned.sort_and_combine();
+            self.shared.sort_and_combine();
+        }
 
         if faults::fire(FaultKind::AssemblyNan, || rank.phase_name()) {
             if let Some(v) = self.owned.vals.first_mut() {
@@ -164,7 +172,13 @@ impl IjMatrix {
         rank.kernel(KernelKind::Sort, bytes, 0);
         let (bytes, flops) = cost::reduce(all.len(), TRIPLE_BYTES);
         rank.kernel(KernelKind::Sort, bytes, flops);
-        all.sort_and_combine();
+        {
+            let _k = telemetry::kernel(
+                "assembly_sort_reduce",
+                perfmodel::assembly_sort_reduce(all.len(), TRIPLE_BYTES),
+            );
+            all.sort_and_combine();
+        }
 
         // Split into diag/offd and build the ParCSR (records nothing:
         // splitting is a single pass).
@@ -254,8 +268,14 @@ impl IjVector {
         // this noticeably faster than sorting the whole stacked vector).
         let (bytes, _) = cost::sort(recv_ids.len(), 16);
         rank.kernel(KernelKind::Sort, bytes, 0);
-        prims::stable_sort_by_key(&mut recv_ids, &mut recv_vals);
-        let (ids, vals) = prims::reduce_by_key(&recv_ids, &recv_vals);
+        let (ids, vals) = {
+            let _k = telemetry::kernel(
+                "assembly_sort_reduce",
+                perfmodel::assembly_sort_reduce(recv_ids.len(), 16),
+            );
+            prims::stable_sort_by_key(&mut recv_ids, &mut recv_vals);
+            prims::reduce_by_key(&recv_ids, &recv_vals)
+        };
 
         // RHS[i_new] += RHS_new[i_new].
         let (bytes, flops) = cost::blas1(ids.len(), 2);

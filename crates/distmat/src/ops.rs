@@ -7,6 +7,7 @@ use parcomm::{KernelKind, Rank};
 use sparse_kit::cost;
 use sparse_kit::spgemm::spgemm_flops;
 use sparse_kit::Coo;
+use telemetry::perfmodel;
 
 use crate::dist::RowDist;
 use crate::ij::{CooBuffers, IjMatrix};
@@ -125,6 +126,13 @@ pub fn par_spgemm(rank: &Rank, a: &ParCsr, b: &ParCsr) -> ParCsr {
 
     let mut coo = Coo::new();
     let row_start = a.row_dist().start(me);
+    // Expansion (products computed) is known from the inputs; nnz(C) only
+    // after the multiply, so the model is finalized post-loop.
+    let expansion = spgemm_flops(&a.diag, &b.diag);
+    let mut kguard = telemetry::kernel(
+        "spgemm",
+        perfmodel::spgemm(a.local_rows(), a.local_nnz(), expansion, 0),
+    );
     let mut acc: HashMap<u64, f64> = HashMap::new();
     for li in 0..a.local_rows() {
         acc.clear();
@@ -155,10 +163,16 @@ pub fn par_spgemm(rank: &Rank, a: &ParCsr, b: &ParCsr) -> ParCsr {
             coo.push(gi, j, v);
         }
     }
+    kguard.set_model(perfmodel::spgemm(
+        a.local_rows(),
+        a.local_nnz(),
+        expansion,
+        coo.len(),
+    ));
+    drop(kguard);
     let (bytes, flops) = (
         (coo.len() as u64) * 16,
-        2 * (spgemm_flops(&a.diag, &b.diag)
-            + coo.len() as u64),
+        2 * (expansion + coo.len() as u64),
     );
     rank.kernel(KernelKind::SpGemm, bytes, flops);
     ParCsr::from_global_coo(rank, a.row_dist().clone(), b.col_dist().clone(), &coo)

@@ -5,6 +5,7 @@ use resilience::faults::{self, FaultKind};
 use resilience::SolveError;
 use sparse_kit::cost;
 use sparse_kit::{Coo, Csr};
+use telemetry::perfmodel;
 
 use crate::dist::RowDist;
 use crate::vector::ParVector;
@@ -221,16 +222,23 @@ impl ParCsr {
             "x length does not match column distribution"
         );
         let mut ext = vec![0.0; self.col_map_offd.len()];
-        // Pack kernel.
+        // Pack kernel: gather boundary values into per-destination buffers.
         let packed_total = self.comm_pkg.n_send();
         if packed_total > 0 {
             let (b, f) = cost::blas1(packed_total, 2);
             rank.kernel(KernelKind::Stream, b, f);
         }
-        for (dst, ids) in &self.comm_pkg.sends {
-            let buf: Vec<f64> = ids.iter().map(|&i| x_local[i]).collect();
-            rank.send(*dst, self.halo_tag, buf);
+        {
+            let _k = telemetry::kernel("halo_pack", perfmodel::halo_pack(packed_total));
+            for (dst, ids) in &self.comm_pkg.sends {
+                let buf: Vec<f64> = ids.iter().map(|&i| x_local[i]).collect();
+                rank.send(*dst, self.halo_tag, buf);
+            }
         }
+        // Receive first (the blocking wait is communication, not unpack
+        // work), then copy in a separately timed unpack kernel.
+        let mut received: Vec<(std::ops::Range<usize>, Vec<f64>)> =
+            Vec::with_capacity(self.comm_pkg.recvs.len());
         for (src, range) in &self.comm_pkg.recvs {
             let buf: Vec<f64> = rank.try_recv(*src, self.halo_tag)?;
             if buf.len() != range.len() {
@@ -240,7 +248,13 @@ impl ParCsr {
                     detail: format!("expected {} values, got {}", range.len(), buf.len()),
                 });
             }
-            ext[range.clone()].copy_from_slice(&buf);
+            received.push((range.clone(), buf));
+        }
+        {
+            let _k = telemetry::kernel("halo_unpack", perfmodel::halo_unpack(ext.len()));
+            for (range, buf) in received {
+                ext[range].copy_from_slice(&buf);
+            }
         }
         if !ext.is_empty() && faults::fire(FaultKind::HaloNan, || rank.phase_name()) {
             ext[0] = f64::NAN;
@@ -264,6 +278,10 @@ impl ParCsr {
             "x distribution does not match columns"
         );
         let ext = self.halo_exchange(rank, &x.local);
+        let _k = telemetry::kernel(
+            "spmv_csr",
+            perfmodel::csr_spmv(self.local_rows(), self.local_nnz()),
+        );
         let (b, f) = cost::spmv(&self.diag);
         rank.kernel(KernelKind::SpMV, b, f);
         self.diag.spmv_into(&x.local, &mut y.local);

@@ -21,6 +21,7 @@ use parcomm::{KernelKind, Rank};
 use sparse_kit::cost;
 use sparse_kit::dense;
 use sparse_kit::Csr;
+use telemetry::perfmodel;
 
 use crate::precond::Preconditioner;
 
@@ -54,6 +55,11 @@ impl LocalSplit {
 
 /// Local residual r = b − A_diag·x − A_offd·x_ext.
 fn local_residual(a: &ParCsr, b: &[f64], x: &[f64], ext: &[f64], out: &mut [f64]) {
+    let _k = telemetry::kernel(
+        "spmv_csr",
+        perfmodel::csr_spmv(a.local_rows(), a.local_nnz())
+            .plus(perfmodel::blas1(b.len(), 2, 1)),
+    );
     a.diag.spmv_into(x, out);
     if a.offd.nnz() > 0 {
         a.offd.spmv_add_into(ext, out);
@@ -163,6 +169,7 @@ impl TwoStageGs {
         dense::diag_scale(&self.split.inv_diag, r, &mut g);
         let mut lg = vec![0.0; n];
         for _ in 0..self.inner {
+            let _k = telemetry::kernel("jr_sweep", perfmodel::jr_sweep(n, self.split.l.nnz()));
             let (bytes, flops) = cost::spmv(&self.split.l);
             rank.kernel(KernelKind::SpMV, bytes, flops);
             self.split.l.spmv_into(&g, &mut lg);
@@ -239,25 +246,37 @@ impl Sgs2 {
         // Forward stage: y ≈ (L+D)⁻¹ r (JR inner sweeps, element-wise
         // parallel — see DESIGN.md, "Threading model").
         let mut y = vec![0.0; n];
-        dense::diag_scale(&self.split.inv_diag, r, &mut y);
         let mut tmp = vec![0.0; n];
-        for _ in 0..self.inner {
-            let (bytes, flops) = cost::spmv(&self.split.l);
-            rank.kernel(KernelKind::SpMV, bytes, flops);
-            self.split.l.spmv_into(&y, &mut tmp);
-            dense::jacobi_update(r, &tmp, &self.split.inv_diag, &mut y);
+        {
+            let _k = telemetry::kernel(
+                "sgs2_forward",
+                perfmodel::sgs2_stage(n, self.split.l.nnz(), self.inner),
+            );
+            dense::diag_scale(&self.split.inv_diag, r, &mut y);
+            for _ in 0..self.inner {
+                let (bytes, flops) = cost::spmv(&self.split.l);
+                rank.kernel(KernelKind::SpMV, bytes, flops);
+                self.split.l.spmv_into(&y, &mut tmp);
+                dense::jacobi_update(r, &tmp, &self.split.inv_diag, &mut y);
+            }
         }
         // Rescale: t = D y.
         let mut t = vec![0.0; n];
         dense::diag_scale(&self.split.diag, &y, &mut t);
         // Backward stage: z ≈ (D+U)⁻¹ t.
         let mut z = vec![0.0; n];
-        dense::diag_scale(&self.split.inv_diag, &t, &mut z);
-        for _ in 0..self.inner {
-            let (bytes, flops) = cost::spmv(&self.split.u);
-            rank.kernel(KernelKind::SpMV, bytes, flops);
-            self.split.u.spmv_into(&z, &mut tmp);
-            dense::jacobi_update(&t, &tmp, &self.split.inv_diag, &mut z);
+        {
+            let _k = telemetry::kernel(
+                "sgs2_backward",
+                perfmodel::sgs2_stage(n, self.split.u.nnz(), self.inner),
+            );
+            dense::diag_scale(&self.split.inv_diag, &t, &mut z);
+            for _ in 0..self.inner {
+                let (bytes, flops) = cost::spmv(&self.split.u);
+                rank.kernel(KernelKind::SpMV, bytes, flops);
+                self.split.u.spmv_into(&z, &mut tmp);
+                dense::jacobi_update(&t, &tmp, &self.split.inv_diag, &mut z);
+            }
         }
         z
     }

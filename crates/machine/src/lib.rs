@@ -22,6 +22,10 @@
 
 use parcomm::{PhaseTrace, Trace};
 
+pub mod stream;
+
+pub use stream::{host_baseline, measure_stream_gbs, HostBaseline};
+
 /// Cost model of one rank's execution environment plus its interconnect.
 #[derive(Clone, Debug)]
 pub struct MachineModel {

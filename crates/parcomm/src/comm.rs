@@ -321,6 +321,14 @@ impl Rank {
     /// This rank's accumulated perf trace as telemetry events, one
     /// [`telemetry::Event::PhasePerf`] per phase label in sorted order
     /// (so the export is deterministic regardless of execution order).
+    ///
+    /// **Label contract** (checked by `telemetry::validate_stream` and
+    /// the `validate_telemetry` bin): a label containing `/` is a
+    /// `Phase::trace_label`-style span reference (`continuity/solve`)
+    /// and must correspond to a span this rank opened *and closed* —
+    /// i.e. emit these events only for phases entered under a matching
+    /// `telemetry::span`. Bare labels (the default `other` phase, ad-hoc
+    /// `with_phase` scopes) carry no span reference and are exempt.
     pub fn telemetry_events(&self) -> Vec<telemetry::Event> {
         let trace = self.trace_snapshot();
         trace

@@ -2,9 +2,13 @@
 //!
 //! Usage: `validate_telemetry <run.jsonl> [--report]`
 //!
-//! Parses every line against the event schema, prints a one-line summary
-//! (and optionally the full ASCII report), and exits non-zero if any line
-//! is malformed. `ci.sh` runs this against the quickstart export.
+//! Parses every line against the event schema, then runs the semantic
+//! cross-event checks of [`telemetry::validate_stream`] (`phase_perf`
+//! labels must reference spans the same rank actually closed,
+//! `kernel_perf` rates must be sane), prints a one-line summary (and
+//! optionally the full ASCII report), and exits non-zero if any line is
+//! malformed or any semantic check fails. `ci.sh` runs this against the
+//! quickstart export.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -42,13 +46,20 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Err(semantic) = telemetry::validate_stream(&events) {
+        for e in &semantic {
+            eprintln!("{path}: {e}");
+        }
+        errors += semantic.len();
+    }
+
     let mut by_type: BTreeMap<&'static str, usize> = BTreeMap::new();
     for ev in &events {
         *by_type.entry(ev.type_tag()).or_insert(0) += 1;
     }
     let breakdown: Vec<String> = by_type.iter().map(|(t, n)| format!("{t}={n}")).collect();
     println!(
-        "{path}: {} events ({}), {} malformed line(s)",
+        "{path}: {} events ({}), {} error(s)",
         events.len(),
         breakdown.join(" "),
         errors

@@ -12,17 +12,20 @@
 //! | `amg`        | `amg::AmgHierarchy::setup`| Tables 2–4 per-level rows |
 //! | `gmres`      | `krylov::Gmres::solve`    | convergence trajectories  |
 //! | `recovery`   | `nalu_core` Picard driver | solver-fault escalations  |
+//! | `kernel_perf`| [`crate::Telemetry::kernel`] scopes | achieved GB/s / GFLOP/s roofline rows |
 //! | `counter`    | subsystem counters        | —                         |
 //! | `hist`       | log₂ histograms           | —                         |
-//! | `bench`      | criterion-shim records    | BENCH_*.json baselines    |
+//! | `bench`      | criterion-shim + `exawind-perf record` | `results/trajectory.jsonl` baselines |
 //!
 //! Every event type round-trips exactly through [`Event::to_line`] /
 //! [`Event::parse_line`] (integers exact, floats bit-identical).
 
 use crate::json::Json;
 
-/// Schema version stamped into `run` events.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Schema version stamped into `run` events. Version 2 added the
+/// `kernel_perf` event type (purely additive; version-1 streams still
+/// parse).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One row of an AMG hierarchy: global rows and nonzeros of a level
 /// operator.
@@ -99,6 +102,22 @@ pub enum Event {
         attempt: usize,
         outcome: String,
     },
+    /// Aggregate of one hot kernel on one rank: call count, wall-clock,
+    /// modeled bytes/flops/DOFs (see [`crate::perfmodel`]) and the
+    /// achieved throughputs they imply. Flushed per rank at
+    /// [`crate::Telemetry::finish`], sorted by kernel name.
+    KernelPerf {
+        rank: usize,
+        kernel: String,
+        calls: u64,
+        secs: f64,
+        bytes: u64,
+        flops: u64,
+        dofs: u64,
+        gb_per_s: f64,
+        gflop_per_s: f64,
+        mdof_per_s: f64,
+    },
     /// A named monotonic counter (aggregated per rank at finish).
     Counter { rank: usize, name: String, value: u64 },
     /// A named log₂ histogram (aggregated per rank at finish).
@@ -133,6 +152,7 @@ impl Event {
             Event::AmgSetup { .. } => "amg",
             Event::Gmres { .. } => "gmres",
             Event::Recovery { .. } => "recovery",
+            Event::KernelPerf { .. } => "kernel_perf",
             Event::Counter { .. } => "counter",
             Event::Hist { .. } => "hist",
             Event::Bench { .. } => "bench",
@@ -271,6 +291,30 @@ impl Event {
                 ("action", Json::Str(action.clone())),
                 ("attempt", Json::Int(*attempt as i128)),
                 ("outcome", Json::Str(outcome.clone())),
+            ]),
+            Event::KernelPerf {
+                rank,
+                kernel,
+                calls,
+                secs,
+                bytes,
+                flops,
+                dofs,
+                gb_per_s,
+                gflop_per_s,
+                mdof_per_s,
+            } => Json::obj(vec![
+                ("type", tag),
+                ("rank", Json::Int(*rank as i128)),
+                ("kernel", Json::Str(kernel.clone())),
+                ("calls", Json::Int(*calls as i128)),
+                ("secs", Json::Float(*secs)),
+                ("bytes", Json::Int(*bytes as i128)),
+                ("flops", Json::Int(*flops as i128)),
+                ("dofs", Json::Int(*dofs as i128)),
+                ("gb_per_s", Json::Float(*gb_per_s)),
+                ("gflop_per_s", Json::Float(*gflop_per_s)),
+                ("mdof_per_s", Json::Float(*mdof_per_s)),
             ]),
             Event::Counter { rank, name, value } => Json::obj(vec![
                 ("type", tag),
@@ -465,6 +509,18 @@ impl Event {
                 attempt: usize_field("attempt")?,
                 outcome: str_field("outcome")?,
             }),
+            "kernel_perf" => Ok(Event::KernelPerf {
+                rank: usize_field("rank")?,
+                kernel: str_field("kernel")?,
+                calls: u64_field("calls")?,
+                secs: f64_field("secs")?,
+                bytes: u64_field("bytes")?,
+                flops: u64_field("flops")?,
+                dofs: u64_field("dofs")?,
+                gb_per_s: f64_field("gb_per_s")?,
+                gflop_per_s: f64_field("gflop_per_s")?,
+                mdof_per_s: f64_field("mdof_per_s")?,
+            }),
             "counter" => Ok(Event::Counter {
                 rank: usize_field("rank")?,
                 name: str_field("name")?,
@@ -569,6 +625,18 @@ impl Event {
                 action: "rebuild".into(),
                 attempt: 1,
                 outcome: "recovered".into(),
+            },
+            Event::KernelPerf {
+                rank: 1,
+                kernel: "spmv_csr".into(),
+                calls: 240,
+                secs: 0.0125,
+                bytes: 1_200_000_000,
+                flops: 96_000_000,
+                dofs: 4_000_000,
+                gb_per_s: 96.0,
+                gflop_per_s: 7.68,
+                mdof_per_s: 320.0,
             },
             Event::Counter {
                 rank: 0,

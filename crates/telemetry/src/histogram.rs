@@ -82,6 +82,31 @@ impl LogHistogram {
         }
     }
 
+    /// Nearest-rank `q`-quantile (`0.0 ..= 1.0`) resolved at bucket
+    /// granularity: the **exclusive upper edge** `2^(e+1)` of the bucket
+    /// holding the `⌈q·count⌉`-th observation — an upper bound on the
+    /// true quantile, exact to within one power of two. Observations in
+    /// the underflow bucket (non-positive / non-finite) bound to `0.0`.
+    /// Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&e, &c) in &self.buckets {
+            seen += c;
+            if seen >= target {
+                if e == UNDERFLOW_BUCKET {
+                    return Some(0.0);
+                }
+                return Some((e as f64 + 1.0).exp2());
+            }
+        }
+        None
+    }
+
     /// `(bucket_exponent, count)` pairs in ascending exponent order.
     /// Bucket `e` covers `[2^e, 2^(e+1))`; [`UNDERFLOW_BUCKET`] collects
     /// non-positive values.
@@ -152,6 +177,47 @@ mod tests {
     fn subnormals_get_negative_exponents() {
         let e = bucket_of(f64::MIN_POSITIVE / 4.0);
         assert!(e < -1023, "subnormal exponent {e}");
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_upper_edges() {
+        let mut h = LogHistogram::new();
+        // 100 observations: 50 in bucket 0 ([1,2)), 45 in bucket 3
+        // ([8,16)), 5 in bucket 10 ([1024,2048)).
+        for _ in 0..50 {
+            h.record(1.5);
+        }
+        for _ in 0..45 {
+            h.record(9.0);
+        }
+        for _ in 0..5 {
+            h.record(1500.0);
+        }
+        // p50: 50th observation is the last of bucket 0 → upper edge 2.
+        assert_eq!(h.quantile(0.50), Some(2.0));
+        // p95: 95th observation is the last of bucket 3 → upper edge 16.
+        assert_eq!(h.quantile(0.95), Some(16.0));
+        // p99: 99th observation lands in bucket 10 → upper edge 2048.
+        assert_eq!(h.quantile(0.99), Some(2048.0));
+        // Extremes clamp to the first/last occupied bucket.
+        assert_eq!(h.quantile(0.0), Some(2.0));
+        assert_eq!(h.quantile(1.0), Some(2048.0));
+    }
+
+    #[test]
+    fn quantile_handles_underflow_and_empty() {
+        assert_eq!(LogHistogram::new().quantile(0.5), None);
+        let mut h = LogHistogram::new();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(4.0);
+        // Two of three observations are non-positive: p50 is bounded by 0.
+        assert_eq!(h.quantile(0.5), Some(0.0));
+        assert_eq!(h.quantile(1.0), Some(8.0));
+        // Quantiles survive an export/import round trip (buckets only).
+        let back = LogHistogram::from_parts(h.count(), h.total(), h.buckets());
+        assert_eq!(back.quantile(0.5), Some(0.0));
+        assert_eq!(back.quantile(1.0), Some(8.0));
     }
 
     #[test]

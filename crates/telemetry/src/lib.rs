@@ -34,11 +34,13 @@
 pub mod event;
 pub mod histogram;
 pub mod json;
+pub mod perfmodel;
 pub mod report;
 
 pub use event::{AmgLevelRow, Event, SCHEMA_VERSION};
 pub use histogram::{LogHistogram, UNDERFLOW_BUCKET};
 pub use json::Json;
+pub use perfmodel::KernelModel;
 pub use report::Report;
 
 use std::cell::RefCell;
@@ -68,12 +70,23 @@ struct OpenSpan {
     start: Instant,
 }
 
+/// Accumulated cost of one hot kernel on one rank.
+#[derive(Clone, Copy, Debug, Default)]
+struct KernelStats {
+    calls: u64,
+    secs: f64,
+    bytes: u64,
+    flops: u64,
+    dofs: u64,
+}
+
 struct Recorder {
     rank: usize,
     stack: Vec<OpenSpan>,
     events: Vec<Event>,
     counters: BTreeMap<String, u64>,
     hists: BTreeMap<String, LogHistogram>,
+    kernels: BTreeMap<&'static str, KernelStats>,
 }
 
 impl Recorder {
@@ -105,6 +118,7 @@ impl Telemetry {
                 events: Vec::new(),
                 counters: BTreeMap::new(),
                 hists: BTreeMap::new(),
+                kernels: BTreeMap::new(),
             }))),
         }
     }
@@ -178,6 +192,21 @@ impl Telemetry {
         }
     }
 
+    /// Time one invocation of a hot kernel priced by `model` (see
+    /// [`perfmodel`]). The wall clock runs until the guard drops;
+    /// invocations aggregate per kernel name and flush as one
+    /// [`Event::KernelPerf`] per kernel at [`Telemetry::finish`], with
+    /// achieved GB/s, GFLOP/s and MDOF/s computed from the accumulated
+    /// model. Disabled handles never read the clock.
+    pub fn kernel(&self, name: &'static str, model: KernelModel) -> KernelGuard {
+        KernelGuard {
+            inner: self.inner.clone(),
+            name,
+            start: self.inner.as_ref().map(|_| Instant::now()),
+            model,
+        }
+    }
+
     /// Drain the recorder: flush counters and histograms (sorted by
     /// name, so the tail of the stream is deterministic) and return all
     /// events. Errors if any span is still open — the span-nesting
@@ -205,6 +234,21 @@ impl Telemetry {
                 buckets: h.buckets(),
             });
         }
+        for (name, k) in std::mem::take(&mut rec.kernels) {
+            let rate = |units: f64| if k.secs > 0.0 { units / k.secs } else { 0.0 };
+            events.push(Event::KernelPerf {
+                rank,
+                kernel: name.to_string(),
+                calls: k.calls,
+                secs: k.secs,
+                bytes: k.bytes,
+                flops: k.flops,
+                dofs: k.dofs,
+                gb_per_s: rate(k.bytes as f64 / 1e9),
+                gflop_per_s: rate(k.flops as f64 / 1e9),
+                mdof_per_s: rate(k.dofs as f64 / 1e6),
+            });
+        }
         Ok(events)
     }
 
@@ -223,6 +267,39 @@ impl Drop for InstallGuard {
     fn drop(&mut self) {
         if let Some(prev) = self.prev.take() {
             CURRENT.with(|c| c.replace(prev));
+        }
+    }
+}
+
+/// Times one kernel invocation; accumulates into the recorder's
+/// per-kernel stats on drop. Created by [`Telemetry::kernel`] / the free
+/// fn [`kernel`].
+pub struct KernelGuard {
+    inner: Option<Rc<RefCell<Recorder>>>,
+    name: &'static str,
+    start: Option<Instant>,
+    model: KernelModel,
+}
+
+impl KernelGuard {
+    /// Replace the cost model — for kernels whose output size (and hence
+    /// traffic) is only known after they run, e.g. SpGEMM's `nnz(C)`.
+    pub fn set_model(&mut self, model: KernelModel) {
+        self.model = model;
+    }
+}
+
+impl Drop for KernelGuard {
+    fn drop(&mut self) {
+        if let (Some(rec), Some(start)) = (self.inner.take(), self.start.take()) {
+            let secs = start.elapsed().as_secs_f64();
+            let mut rec = rec.borrow_mut();
+            let k = rec.kernels.entry(self.name).or_default();
+            k.calls += 1;
+            k.secs += secs;
+            k.bytes += self.model.bytes;
+            k.flops += self.model.flops;
+            k.dofs += self.model.dofs;
         }
     }
 }
@@ -295,6 +372,11 @@ pub fn observe(name: &str, value: f64) {
 /// Record a structured event on the current dispatcher.
 pub fn record(ev: Event) {
     CURRENT.with(|c| c.borrow().record(ev));
+}
+
+/// Time a kernel invocation on the current dispatcher.
+pub fn kernel(name: &'static str, model: KernelModel) -> KernelGuard {
+    CURRENT.with(|c| c.borrow().kernel(name, model))
 }
 
 // ---------------------------------------------------------------------------
@@ -401,6 +483,74 @@ pub fn read_jsonl_str(s: &str) -> Result<Vec<Event>, String> {
 pub fn read_jsonl(path: &str) -> Result<Vec<Event>, String> {
     let s = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     read_jsonl_str(&s)
+}
+
+/// Semantic (cross-event) validation of a parsed stream, beyond the
+/// per-line schema check of [`read_jsonl_str`]:
+///
+/// - every `phase_perf` whose label names a span (contains `/`, i.e. a
+///   `Phase::trace_label` like `continuity/solve`) must reference a span
+///   that the *same rank* actually opened and closed — the label must
+///   equal a recorded span path or be a `/`-suffix of one. Bare labels
+///   (parcomm's default `other` phase) carry no span reference and pass.
+/// - every `kernel_perf` must be sane: at least one call, finite
+///   non-negative seconds and rates.
+///
+/// Returns all violations, not just the first.
+pub fn validate_stream(events: &[Event]) -> Result<(), Vec<String>> {
+    use std::collections::BTreeSet;
+    let mut span_paths: BTreeSet<(usize, &str)> = BTreeSet::new();
+    for ev in events {
+        if let Event::Span { rank, path, .. } = ev {
+            span_paths.insert((*rank, path.as_str()));
+        }
+    }
+    let mut errors = Vec::new();
+    for ev in events {
+        match ev {
+            Event::PhasePerf { rank, label, .. } if label.contains('/') => {
+                let suffix = format!("/{label}");
+                let known = span_paths.iter().any(|&(r, p)| {
+                    r == *rank && (p == label || p.ends_with(&suffix))
+                });
+                if !known {
+                    errors.push(format!(
+                        "phase_perf rank {rank} label {label:?} references a span \
+                         never opened (or never closed) on that rank"
+                    ));
+                }
+            }
+            Event::KernelPerf {
+                rank,
+                kernel,
+                calls,
+                secs,
+                gb_per_s,
+                gflop_per_s,
+                mdof_per_s,
+                ..
+            } => {
+                let mut bad = |what: &str| {
+                    errors.push(format!("kernel_perf rank {rank} kernel {kernel:?}: {what}"))
+                };
+                if *calls == 0 {
+                    bad("zero calls");
+                }
+                if !secs.is_finite() || *secs < 0.0 {
+                    bad("non-finite or negative secs");
+                }
+                for (name, r) in
+                    [("gb_per_s", gb_per_s), ("gflop_per_s", gflop_per_s), ("mdof_per_s", mdof_per_s)]
+                {
+                    if !r.is_finite() || *r < 0.0 {
+                        bad(&format!("non-finite or negative {name}"));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if errors.is_empty() { Ok(()) } else { Err(errors) }
 }
 
 #[cfg(test)]
@@ -512,6 +662,102 @@ mod tests {
             e,
             Event::Counter { name, value: 7, .. } if name == "via_free_fn"
         )));
+    }
+
+    #[test]
+    fn kernel_guards_aggregate_per_name() {
+        let t = Telemetry::enabled(2);
+        for _ in 0..3 {
+            let _g = t.kernel("spmv_csr", perfmodel::csr_spmv(3, 9));
+        }
+        {
+            // Late-bound model (SpGEMM pattern): the guard records what
+            // set_model last installed, not the construction-time model.
+            let mut g = t.kernel("spgemm", KernelModel::default());
+            g.set_model(KernelModel { bytes: 100, flops: 10, dofs: 4 });
+        }
+        let events = t.finish();
+        let kernels: Vec<&Event> = events
+            .iter()
+            .filter(|e| matches!(e, Event::KernelPerf { .. }))
+            .collect();
+        assert_eq!(kernels.len(), 2);
+        // BTreeMap flush order: spgemm < spmv_csr.
+        match kernels[0] {
+            Event::KernelPerf { kernel, calls, bytes, flops, dofs, .. } => {
+                assert_eq!(kernel, "spgemm");
+                assert_eq!((*calls, *bytes, *flops, *dofs), (1, 100, 10, 4));
+            }
+            other => panic!("{other:?}"),
+        }
+        match kernels[1] {
+            Event::KernelPerf { rank, kernel, calls, bytes, flops, dofs, secs, gb_per_s, .. } => {
+                assert_eq!(*rank, 2);
+                assert_eq!(kernel, "spmv_csr");
+                assert_eq!(*calls, 3);
+                let one = perfmodel::csr_spmv(3, 9);
+                assert_eq!(*bytes, 3 * one.bytes);
+                assert_eq!(*flops, 3 * one.flops);
+                assert_eq!(*dofs, 3 * one.dofs);
+                assert!(*secs >= 0.0 && secs.is_finite());
+                assert!(*gb_per_s >= 0.0 && gb_per_s.is_finite());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_kernel_guard_records_nothing() {
+        let t = Telemetry::disabled();
+        {
+            let _g = t.kernel("spmv_csr", perfmodel::csr_spmv(10, 50));
+        }
+        assert!(t.finish().is_empty());
+    }
+
+    #[test]
+    fn validate_stream_checks_phase_perf_span_references() {
+        let span = Event::Span {
+            rank: 0,
+            path: "timestep/picard/continuity/solve".into(),
+            depth: 3,
+            secs: 0.1,
+        };
+        let perf = |rank: usize, label: &str| Event::PhasePerf {
+            rank,
+            label: label.into(),
+            kernel_launches: 1,
+            kernel_bytes: 8,
+            kernel_flops: 2,
+            msgs: 0,
+            msg_bytes: 0,
+            collectives: 0,
+            collective_bytes: 0,
+        };
+        // Suffix match against the recorded span path: ok.
+        assert!(validate_stream(&[span.clone(), perf(0, "continuity/solve")]).is_ok());
+        // Bare label (parcomm's default "other" phase): no span reference.
+        assert!(validate_stream(&[perf(0, "other")]).is_ok());
+        // Unknown span: rejected.
+        let errs = validate_stream(&[span.clone(), perf(0, "momentum/solve")]).unwrap_err();
+        assert!(errs[0].contains("momentum/solve"), "{errs:?}");
+        // Right label, wrong rank: the span was never closed on rank 1.
+        assert!(validate_stream(&[span, perf(1, "continuity/solve")]).is_err());
+    }
+
+    #[test]
+    fn validate_stream_checks_kernel_perf_sanity() {
+        let mut ev = Event::examples()
+            .into_iter()
+            .find(|e| matches!(e, Event::KernelPerf { .. }))
+            .expect("examples include kernel_perf");
+        assert!(validate_stream(std::slice::from_ref(&ev)).is_ok());
+        if let Event::KernelPerf { calls, gb_per_s, .. } = &mut ev {
+            *calls = 0;
+            *gb_per_s = f64::NAN;
+        }
+        let errs = validate_stream(&[ev]).unwrap_err();
+        assert_eq!(errs.len(), 2, "{errs:?}");
     }
 
     #[test]

@@ -63,6 +63,33 @@ pub struct SpanSummary {
     pub total_secs: f64,
 }
 
+/// One hot kernel aggregated over ranks: calls/traffic/work summed,
+/// seconds summed over ranks (rank-seconds). Achieved rates are
+/// therefore *mean per-rank* throughput — the number to hold against the
+/// single-core STREAM baseline.
+#[derive(Clone, Debug, Default)]
+pub struct KernelSummary {
+    pub calls: u64,
+    pub secs: f64,
+    pub bytes: u64,
+    pub flops: u64,
+    pub dofs: u64,
+}
+
+impl KernelSummary {
+    pub fn gb_per_s(&self) -> f64 {
+        if self.secs > 0.0 { self.bytes as f64 / self.secs / 1e9 } else { 0.0 }
+    }
+
+    pub fn gflop_per_s(&self) -> f64 {
+        if self.secs > 0.0 { self.flops as f64 / self.secs / 1e9 } else { 0.0 }
+    }
+
+    pub fn mdof_per_s(&self) -> f64 {
+        if self.secs > 0.0 { self.dofs as f64 / self.secs / 1e6 } else { 0.0 }
+    }
+}
+
 /// The aggregated view of a telemetry event stream.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
@@ -88,6 +115,12 @@ pub struct Report {
     pub counters: BTreeMap<String, u64>,
     /// Histograms merged over ranks.
     pub hists: BTreeMap<String, LogHistogram>,
+    /// Hot-kernel throughput summed over ranks (`kernel_perf` events).
+    pub kernels: BTreeMap<String, KernelSummary>,
+    /// Measured machine bandwidth (GB/s) for the roofline column; set by
+    /// the caller from `machine::host_baseline()` — this crate sits below
+    /// `machine` in the dependency graph and cannot measure it itself.
+    pub bw_baseline_gbs: Option<f64>,
 }
 
 /// Equation system of a span path like
@@ -200,6 +233,15 @@ impl Report {
                 }
                 Event::PhasePerf { rank, .. } => {
                     max_rank = max_rank.max(*rank);
+                }
+                Event::KernelPerf { rank, kernel, calls, secs, bytes, flops, dofs, .. } => {
+                    max_rank = max_rank.max(*rank);
+                    let k = r.kernels.entry(kernel.clone()).or_default();
+                    k.calls += calls;
+                    k.secs += secs;
+                    k.bytes += bytes;
+                    k.flops += flops;
+                    k.dofs += dofs;
                 }
                 Event::Bench { .. } => {}
             }
@@ -385,6 +427,49 @@ impl Report {
             }
         }
 
+        // --- Kernel throughput (roofline view) ---------------------------
+        if !self.kernels.is_empty() {
+            match self.bw_baseline_gbs {
+                Some(bw) => {
+                    let _ = writeln!(
+                        out,
+                        "\n-- kernel throughput, per-rank mean (STREAM baseline {bw:.1} GB/s; cf. paper Figs. 6-9) --"
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "\n-- kernel throughput, per-rank mean (no machine baseline; cf. paper Figs. 6-9) --"
+                    );
+                }
+            }
+            let mut header = format!(
+                "{:<20} {:>9} {:>10} {:>9} {:>8} {:>9} {:>9}",
+                "kernel", "calls", "secs", "GB", "GB/s", "GFLOP/s", "MDOF/s"
+            );
+            if self.bw_baseline_gbs.is_some() {
+                let _ = write!(header, " {:>6}", "%bw");
+            }
+            let _ = writeln!(out, "{header}");
+            for (name, k) in &self.kernels {
+                let mut row = format!(
+                    "{:<20} {:>9} {:>10.4} {:>9.3} {:>8.2} {:>9.2} {:>9.2}",
+                    name,
+                    k.calls,
+                    k.secs,
+                    k.bytes as f64 / 1e9,
+                    k.gb_per_s(),
+                    k.gflop_per_s(),
+                    k.mdof_per_s()
+                );
+                if let Some(bw) = self.bw_baseline_gbs {
+                    let pct = if bw > 0.0 { 100.0 * k.gb_per_s() / bw } else { 0.0 };
+                    let _ = write!(row, " {pct:>5.1}%");
+                }
+                let _ = writeln!(out, "{row}");
+            }
+        }
+
         // --- Counters + histograms ---------------------------------------
         if !self.counters.is_empty() {
             let _ = writeln!(out, "\n-- counters (summed over ranks) --");
@@ -507,6 +592,23 @@ impl Report {
                 ])
             })
             .collect();
+        let kernels: Vec<Json> = self
+            .kernels
+            .iter()
+            .map(|(name, k)| {
+                Json::obj(vec![
+                    ("kernel", Json::Str(name.clone())),
+                    ("calls", Json::Int(k.calls as i128)),
+                    ("secs", Json::Float(k.secs)),
+                    ("bytes", Json::Int(k.bytes as i128)),
+                    ("flops", Json::Int(k.flops as i128)),
+                    ("dofs", Json::Int(k.dofs as i128)),
+                    ("gb_per_s", Json::Float(k.gb_per_s())),
+                    ("gflop_per_s", Json::Float(k.gflop_per_s())),
+                    ("mdof_per_s", Json::Float(k.mdof_per_s())),
+                ])
+            })
+            .collect();
         Json::obj(vec![
             ("ranks", Json::Int(self.ranks as i128)),
             ("threads", Json::Int(self.threads as i128)),
@@ -515,6 +617,11 @@ impl Report {
             ("amg", Json::Arr(amg)),
             ("gmres", Json::Arr(gmres)),
             ("recoveries", Json::Arr(recoveries)),
+            ("kernels", Json::Arr(kernels)),
+            (
+                "bw_baseline_gbs",
+                self.bw_baseline_gbs.map_or(Json::Null, Json::Float),
+            ),
         ])
     }
 }
@@ -653,6 +760,45 @@ mod tests {
         assert!(ascii.contains("rebuild -> fallback_smoother"), "{ascii}");
         let json = r.to_json().to_string();
         assert!(json.contains("\"recoveries\""), "{json}");
+    }
+
+    #[test]
+    fn kernel_table_sums_ranks_and_shows_baseline_pct() {
+        let mut evs = sample_events();
+        for rank in 0..2usize {
+            evs.push(Event::KernelPerf {
+                rank,
+                kernel: "spmv_csr".into(),
+                calls: 10,
+                secs: 0.5,
+                bytes: 5_000_000_000,
+                flops: 400_000_000,
+                dofs: 2_000_000,
+                gb_per_s: 10.0,
+                gflop_per_s: 0.8,
+                mdof_per_s: 4.0,
+            });
+        }
+        let mut r = Report::from_events(&evs);
+        let k = &r.kernels["spmv_csr"];
+        assert_eq!(k.calls, 20);
+        assert_eq!(k.bytes, 10_000_000_000);
+        // 10 GB over 1 rank-second → 10 GB/s mean per-rank bandwidth.
+        assert!((k.gb_per_s() - 10.0).abs() < 1e-9);
+        // Without a baseline: table renders, no %bw column.
+        let plain = r.render_ascii();
+        assert!(plain.contains("kernel throughput"), "{plain}");
+        assert!(plain.contains("spmv_csr"), "{plain}");
+        assert!(!plain.contains("%bw"), "{plain}");
+        // With a 40 GB/s measured baseline: 10/40 = 25%.
+        r.bw_baseline_gbs = Some(40.0);
+        let with_bw = r.render_ascii();
+        assert!(with_bw.contains("%bw"), "{with_bw}");
+        assert!(with_bw.contains("STREAM baseline 40.0 GB/s"), "{with_bw}");
+        assert!(with_bw.contains("25.0%"), "{with_bw}");
+        let json = r.to_json().to_string();
+        assert!(json.contains("\"kernels\""), "{json}");
+        assert!(json.contains("\"bw_baseline_gbs\""), "{json}");
     }
 
     #[test]

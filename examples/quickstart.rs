@@ -103,6 +103,8 @@ fn main() {
         telemetry::write_jsonl(&path, &events)
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         println!("\ntelemetry: {} events written to {path}", events.len());
-        print!("{}", telemetry::Report::from_events(&events).render_ascii());
+        let mut report = telemetry::Report::from_events(&events);
+        report.bw_baseline_gbs = Some(machine::host_baseline().stream_gbs);
+        print!("{}", report.render_ascii());
     }
 }

@@ -22,7 +22,8 @@ fn every_event_type_round_trips_through_jsonl() {
     let tags: BTreeSet<&str> = examples.iter().map(|e| e.type_tag()).collect();
     // The fixture must cover the whole schema.
     for tag in [
-        "run", "span", "phase_time", "phase_perf", "amg", "gmres", "counter", "hist", "bench",
+        "run", "span", "phase_time", "phase_perf", "kernel_perf", "amg", "gmres", "counter",
+        "hist", "bench",
     ] {
         assert!(tags.contains(tag), "examples() missing event type {tag}");
     }
@@ -170,11 +171,41 @@ fn simulation_stream_is_schema_valid_and_report_complete() {
     assert!(report.counters.keys().any(|k| k.starts_with("smoother.")));
     assert!(report.hists["gmres.iters"].count() > 0);
 
+    // Kernel-level perf accounting: every hot kernel the sim path hits
+    // must show up with non-trivial analytic byte/flop totals.
+    for kernel in [
+        "spmv_csr",
+        "jr_sweep",
+        "sgs2_forward",
+        "sgs2_backward",
+        "assembly_sort_reduce",
+        "halo_pack",
+        "halo_unpack",
+        "spgemm",
+    ] {
+        let k = report
+            .kernels
+            .get(kernel)
+            .unwrap_or_else(|| panic!("kernel_perf missing for {kernel}"));
+        assert!(k.calls > 0 && k.bytes > 0, "{kernel}: {k:?}");
+    }
+    assert!(report.kernels["spmv_csr"].flops > 0);
+
+    // Semantic validation: phase_perf labels must reference real spans,
+    // kernel_perf rows must be sane.
+    telemetry::validate_stream(&events)
+        .unwrap_or_else(|errs| panic!("stream fails validation: {errs:?}"));
+
     // The rendered report carries the headline numbers.
+    let mut report = report;
+    report.bw_baseline_gbs = Some(100.0);
     let text = report.render_ascii();
     assert!(text.contains("Figs. 6/7"), "{text}");
     assert!(text.contains("AMG hierarchy for continuity"), "{text}");
     assert!(text.contains("GMRES solves"), "{text}");
+    assert!(text.contains("kernel throughput"), "{text}");
+    assert!(text.contains("spmv_csr"), "{text}");
+    assert!(text.contains("%bw"), "{text}");
 }
 
 /// Structural signature of a stream: everything except wall-clock
@@ -190,6 +221,11 @@ fn structure(events: &[Event]) -> Vec<String> {
                 format!("phase_time r{rank} s{step} {eq}/{phase}")
             }
             Event::Run { ranks, .. } => format!("run {ranks}"),
+            // Byte/flop/DOF totals come from the analytic model and must
+            // be exact; wall-clock seconds and derived rates vary.
+            Event::KernelPerf { rank, kernel, calls, bytes, flops, dofs, .. } => {
+                format!("kernel_perf r{rank} {kernel} c{calls} b{bytes} f{flops} d{dofs}")
+            }
             // Perf counts, AMG shapes, GMRES iteration counts and
             // residual bits must all be exactly reproducible.
             other => other.to_line(),
