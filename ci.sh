@@ -27,6 +27,24 @@ cargo run --release -p telemetry --bin validate_telemetry -- "$fault_out"
 grep -q '"type": *"recovery"' "$fault_out" \
   || { echo "fault-injection smoke: no recovery event in $fault_out" >&2; exit 1; }
 
+# Multi-process transport smoke: exawind-launch spawns two real worker
+# processes that rendezvous over TCP sockets; rank 0's telemetry stream
+# must validate and carry the completed-run event tagged with the socket
+# transport. (Cross-transport bitwise identity is pinned by
+# tests/transport.rs; this proves the launcher path works end to end.)
+mp_dir=$(mktemp -d /tmp/exawind_mp.XXXXXX)
+trap 'rm -f "$tel_out" "$fault_out"; rm -rf "$mp_dir"' EXIT
+cargo build --release --bin exawind-launch --bin exawind-worker
+./target/release/exawind-launch -n 2 -- \
+  ./target/release/exawind-worker --out "$mp_dir/fields" --telemetry "$mp_dir/tel"
+cargo run --release -p telemetry --bin validate_telemetry -- "$mp_dir/tel.rank0.jsonl"
+grep -q '"type":"run"' "$mp_dir/tel.rank0.jsonl" \
+  || { echo "transport smoke: no run event in $mp_dir/tel.rank0.jsonl" >&2; exit 1; }
+grep -q '"transport":"socket"' "$mp_dir/tel.rank0.jsonl" \
+  || { echo "transport smoke: run event not tagged with socket transport" >&2; exit 1; }
+test -s "$mp_dir/fields.rank0.bits" && test -s "$mp_dir/fields.rank1.bits" \
+  || { echo "transport smoke: missing per-rank field artifacts" >&2; exit 1; }
+
 # Perf-smoke: two back-to-back recordings onto a scratch copy of the
 # committed trajectory must pass the regression gate. The tolerance is
 # generous — shared single-core CI containers jitter by integer factors;
@@ -35,7 +53,7 @@ grep -q '"type": *"recovery"' "$fault_out" \
 # EXAWIND_STREAM_GBS pins the roofline baseline so no STREAM measurement
 # runs (or gets cached) inside CI.
 perf_traj=$(mktemp /tmp/exawind_trajectory.XXXXXX.jsonl)
-trap 'rm -f "$tel_out" "$fault_out" "$perf_traj"' EXIT
+trap 'rm -f "$tel_out" "$fault_out" "$perf_traj"; rm -rf "$mp_dir"' EXIT
 cp results/trajectory.jsonl "$perf_traj"
 export EXAWIND_STREAM_GBS=10
 cargo run --release -p exawind-bench --bin exawind-perf -- record --out "$perf_traj"

@@ -314,6 +314,7 @@ mod tests {
         Event::Run {
             ranks: 2,
             threads,
+            transport: "inproc".into(),
             git_commit: Some("abc".into()),
         }
     }

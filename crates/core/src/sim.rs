@@ -14,7 +14,7 @@ use std::time::Instant;
 use amg::{AmgConfig, AmgPrecond};
 use distmat::{ParCsr, ParVector};
 use krylov::{Gmres, JacobiPrecond, OrthoStrategy, Preconditioner, Sgs2};
-use parcomm::Rank;
+use parcomm::{Rank, TransportKind};
 use resilience::faults::{FaultGuard, FaultPlan};
 use resilience::{guard, RecoveryAction, RecoveryPolicy, RecoveryRecord, SolveError};
 use windmesh::overset::assemble_overset;
@@ -70,6 +70,13 @@ pub struct SolverConfig {
     /// Escalation policy applied when a solve fails with a typed
     /// [`SolveError`].
     pub recovery: RecoveryPolicy,
+    /// Transport backend the driver should run the communicator on
+    /// (defaults to the `EXAWIND_TRANSPORT` environment selection).
+    /// Consumed *outside* the rank closure — pass it to
+    /// [`parcomm::Comm::run_with`]; the solver itself is
+    /// transport-agnostic and produces bitwise-identical results on
+    /// every backend.
+    pub transport: TransportKind,
 }
 
 impl Default for SolverConfig {
@@ -91,6 +98,7 @@ impl Default for SolverConfig {
             telemetry: false,
             faults: None,
             recovery: RecoveryPolicy::default(),
+            transport: TransportKind::from_env(),
         }
     }
 }

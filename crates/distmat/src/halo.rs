@@ -64,12 +64,18 @@ impl Halo {
 
     /// [`Halo::exchange_f64`] with decode failures (timeout, payload
     /// type, payload length) surfaced as a typed [`SolveError`]. Hosts
-    /// the `halo-nan` fault-injection hook.
+    /// the `halo-nan` and `socket-drop` fault-injection hooks.
     pub fn try_exchange_f64(
         &self,
         rank: &Rank,
         local: &[f64],
     ) -> Result<Vec<f64>, SolveError> {
+        // socket-drop fires before any send (see `FaultKind::SocketDrop`).
+        if faults::fire(FaultKind::SocketDrop, || rank.phase_name()) {
+            return Err(SolveError::Comm {
+                detail: format!("injected socket drop in {}", rank.phase_name()),
+            });
+        }
         let mut ext = vec![0.0; self.col_map.len()];
         for (dst, ids) in &self.pkg.sends {
             let buf: Vec<f64> = ids.iter().map(|&i| local[i]).collect();
@@ -108,6 +114,11 @@ impl Halo {
         rank: &Rank,
         local: &[u64],
     ) -> Result<Vec<u64>, SolveError> {
+        if faults::fire(FaultKind::SocketDrop, || rank.phase_name()) {
+            return Err(SolveError::Comm {
+                detail: format!("injected socket drop in {}", rank.phase_name()),
+            });
+        }
         let mut ext = vec![0u64; self.col_map.len()];
         for (dst, ids) in &self.pkg.sends {
             let buf: Vec<u64> = ids.iter().map(|&i| local[i]).collect();

@@ -108,6 +108,14 @@ impl IjMatrix {
                 *v = f64::NAN;
             }
         }
+        // socket-drop aborts the whole assembly exchange before any
+        // message is in flight (see `FaultKind::SocketDrop`): a retry
+        // after recovery re-runs a complete, clean exchange.
+        if faults::fire(FaultKind::SocketDrop, || rank.phase_name()) {
+            return Err(SolveError::Comm {
+                detail: format!("injected socket drop in {}", rank.phase_name()),
+            });
+        }
 
         // Pre-compute nnz_recv (paper: MPI_Allreduce after the graph
         // computation) so receive buffers can be sized up front. One

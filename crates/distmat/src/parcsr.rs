@@ -208,9 +208,11 @@ impl ParCsr {
 
     /// [`ParCsr::halo_exchange`] with decode failures (timeout, payload
     /// type, payload length) surfaced as a typed [`SolveError`]. Hosts
-    /// the `halo-nan` fault-injection hook: with a matching spec armed,
+    /// the `halo-nan` fault-injection hook (with a matching spec armed,
     /// the first external value is flipped to NaN after receive, exactly
-    /// as a corrupted wire payload would arrive.
+    /// as a corrupted wire payload would arrive) and the `socket-drop`
+    /// hook (the whole exchange aborts before any send, as a vanished
+    /// peer would make it).
     pub fn try_halo_exchange(
         &self,
         rank: &Rank,
@@ -221,6 +223,11 @@ impl ParCsr {
             self.col_dist.local_n(self.rank_id),
             "x length does not match column distribution"
         );
+        if faults::fire(FaultKind::SocketDrop, || rank.phase_name()) {
+            return Err(SolveError::Comm {
+                detail: format!("injected socket drop in {}", rank.phase_name()),
+            });
+        }
         let mut ext = vec![0.0; self.col_map_offd.len()];
         // Pack kernel: gather boundary values into per-destination buffers.
         let packed_total = self.comm_pkg.n_send();

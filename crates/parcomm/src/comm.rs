@@ -1,24 +1,32 @@
 //! The communicator and per-rank handle.
+//!
+//! `Rank` owns everything transport-*independent*: typed send/receive,
+//! per-(src, tag) FIFO matching with a pending queue, tag allocation,
+//! and perf recording. The actual movement of bytes is delegated to a
+//! [`Transport`] backend — in-process channels by default, TCP sockets
+//! when `EXAWIND_TRANSPORT=socket` (see `transport.rs`/`socket.rs`).
 
-use std::any::Any;
 use std::cell::{Cell, RefCell};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
-use std::sync::mpsc::{channel, Receiver, Sender};
-
-use crate::message::Message;
+use crate::message::{encode_payload, Message};
 use crate::perf::{KernelKind, PerfRecorder, PhaseTrace};
+use crate::socket;
+use crate::transport::{
+    Envelope, Payload, RecvEvent, RecvTimeout, Transport, TransportKind, WireFrame,
+};
 
 /// Message tag. User tags must be below [`Tag::MAX`]` >> 8`; the top of the
 /// tag space is reserved for internal collective traffic.
 pub type Tag = u32;
 
-const INTERNAL_TAG_BASE: Tag = 1 << 24;
+pub(crate) const INTERNAL_TAG_BASE: Tag = 1 << 24;
 
 /// How long a blocking receive waits before declaring a deadlock.
 /// Override with the `PARCOMM_TIMEOUT_SECS` environment variable.
-fn recv_timeout() -> Duration {
+pub(crate) fn recv_timeout() -> Duration {
     static SECS: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
     let secs = SECS.get_or_init(|| {
         std::env::var("PARCOMM_TIMEOUT_SECS")
@@ -29,12 +37,6 @@ fn recv_timeout() -> Duration {
     Duration::from_secs(*secs)
 }
 
-struct Envelope {
-    src: usize,
-    tag: Tag,
-    payload: Box<dyn Any + Send>,
-}
-
 /// Typed failure of a point-to-point receive, for callers that prefer a
 /// recoverable error over the default deadlock/type-confusion panic.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -43,6 +45,17 @@ pub enum CommError {
     Timeout { rank: usize, src: usize, tag: Tag },
     /// The matching message's payload had a different Rust type.
     TypeMismatch { rank: usize, src: usize, tag: Tag },
+    /// The matching message's bytes failed to decode as the expected
+    /// type (socket transport: truncated or corrupt payload).
+    Decode {
+        rank: usize,
+        src: usize,
+        tag: Tag,
+        detail: String,
+    },
+    /// The peer's endpoint vanished (process death, dropped connection)
+    /// before a matching message arrived.
+    Disconnected { rank: usize, peer: usize },
 }
 
 impl std::fmt::Display for CommError {
@@ -56,6 +69,14 @@ impl std::fmt::Display for CommError {
                 f,
                 "rank {rank}: message from {src} tag {tag} had unexpected payload type"
             ),
+            CommError::Decode { rank, src, tag, detail } => write!(
+                f,
+                "rank {rank}: message from {src} tag {tag} failed to decode: {detail}"
+            ),
+            CommError::Disconnected { rank, peer } => write!(
+                f,
+                "rank {rank}: peer rank {peer} disconnected mid-exchange"
+            ),
         }
     }
 }
@@ -65,11 +86,19 @@ impl std::error::Error for CommError {}
 /// A group of simulated MPI ranks.
 ///
 /// [`Comm::run`] spawns one thread per rank, hands each a [`Rank`] handle,
-/// and collects the per-rank results in rank order.
+/// and collects the per-rank results in rank order. The transport behind
+/// the ranks comes from `EXAWIND_TRANSPORT` (see [`TransportKind`]);
+/// [`Comm::run_with`] pins it programmatically.
 pub struct Comm;
 
 impl Comm {
-    /// Run `f` on `size` ranks and return each rank's result, indexed by rank.
+    /// Run `f` on `size` ranks over the environment-selected transport
+    /// and return each rank's result, indexed by rank.
+    ///
+    /// Inside a multi-process socket worker (`EXAWIND_RANK` set, as
+    /// arranged by `exawind-launch`) only this process's rank runs
+    /// locally and the returned vector holds that single result — see
+    /// [`Comm::worker_rank`].
     ///
     /// # Panics
     ///
@@ -79,7 +108,46 @@ impl Comm {
         R: Send,
         F: Fn(&Rank) -> R + Sync,
     {
+        Self::run_with(TransportKind::from_env(), size, f)
+    }
+
+    /// [`Comm::run`] over an explicit transport backend.
+    pub fn run_with<R, F>(kind: TransportKind, size: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Rank) -> R + Sync,
+    {
         assert!(size > 0, "communicator must have at least one rank");
+        match kind {
+            TransportKind::Inproc => Self::run_inproc(size, f),
+            TransportKind::Socket => match socket::WorkerEnv::detect() {
+                Some(env) => vec![socket::run_worker(env, size, f)],
+                None => socket::run_threads(size, f),
+            },
+        }
+    }
+
+    /// In a multi-process socket worker, the rank this process hosts.
+    /// `None` under in-process transports (all ranks local).
+    pub fn worker_rank() -> Option<usize> {
+        socket::WorkerEnv::detect().map(|e| e.rank)
+    }
+
+    /// Rank count for a driver program: `EXAWIND_SIZE` (exported by
+    /// `exawind-launch`) when set, else `default`. Lets the same binary
+    /// run unmodified under the launcher at any rank count.
+    pub fn env_size(default: usize) -> usize {
+        std::env::var(socket::SIZE_ENV)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn run_inproc<R, F>(size: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Rank) -> R + Sync,
+    {
         let mut txs = Vec::with_capacity(size);
         let mut rxs = Vec::with_capacity(size);
         for _ in 0..size {
@@ -98,18 +166,16 @@ impl Comm {
                 let barrier = Arc::clone(&barrier);
                 let f = &f;
                 handles.push(scope.spawn(move || {
-                    let rank = Rank {
+                    let rank = Rank::new(Box::new(InprocTransport {
                         rank: id,
                         size,
                         txs,
                         rx,
-                        pending: RefCell::new(Vec::new()),
                         barrier,
-                        coll_seq: Cell::new(0),
-                        user_tag_seq: Cell::new(0),
-                        perf: RefCell::new(PerfRecorder::new()),
-                    };
-                    f(&rank)
+                    }));
+                    let out = f(&rank);
+                    rank.finalize();
+                    out
                 }));
             }
             for (id, handle) in handles.into_iter().enumerate() {
@@ -134,8 +200,8 @@ impl Comm {
             let trace = rank.perf.borrow().snapshot();
             (r, trace)
         });
-        let mut results = Vec::with_capacity(size);
-        let mut traces = Vec::with_capacity(size);
+        let mut results = Vec::with_capacity(pairs.len());
+        let mut traces = Vec::with_capacity(pairs.len());
         for (r, t) in pairs {
             results.push(r);
             traces.push(t);
@@ -144,29 +210,92 @@ impl Comm {
     }
 }
 
-/// Handle to one simulated MPI rank. Not `Sync`: each rank thread owns its
-/// handle exclusively, exactly like an MPI process owns its communicator.
-pub struct Rank {
+/// The in-process backend: payloads move as `Box<dyn Any>` over std mpsc
+/// channels, ranks synchronize on a shared [`Barrier`]. No bytes are
+/// ever serialized.
+struct InprocTransport {
     rank: usize,
     size: usize,
     txs: Arc<Vec<Sender<Envelope>>>,
     rx: Receiver<Envelope>,
-    pending: RefCell<Vec<Envelope>>,
     barrier: Arc<Barrier>,
+}
+
+impl Transport for InprocTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn is_wire(&self) -> bool {
+        false
+    }
+
+    fn send(&self, dst: usize, tag: Tag, payload: Payload) {
+        let env = Envelope { src: self.rank, tag, payload };
+        // Receivers only disappear if the destination rank has panicked;
+        // propagating a panic of our own is the clearest failure mode.
+        self.txs[dst]
+            .send(env)
+            .unwrap_or_else(|_| panic!("rank {}: send to dead rank {dst}", self.rank));
+    }
+
+    fn recv_next(&self, timeout: Duration) -> Result<RecvEvent, RecvTimeout> {
+        // A disconnected channel cannot happen while this rank holds its
+        // own sender (it does, in `txs`); map it to a timeout for safety.
+        self.rx
+            .recv_timeout(timeout)
+            .map(RecvEvent::Msg)
+            .map_err(|_| RecvTimeout)
+    }
+
+    fn barrier(&self) {
+        self.barrier.wait();
+    }
+}
+
+/// Handle to one simulated MPI rank. Not `Sync`: each rank thread owns its
+/// handle exclusively, exactly like an MPI process owns its communicator.
+pub struct Rank {
+    transport: Box<dyn Transport>,
+    pending: RefCell<Vec<Envelope>>,
+    /// Peers whose `PeerGone` event has been consumed. Because a
+    /// transport queues everything a peer sent *before* its gone-event,
+    /// a peer in this set can never produce a new match: later receives
+    /// from it fail fast instead of waiting out the deadlock timeout.
+    dead: RefCell<Vec<usize>>,
     coll_seq: Cell<Tag>,
     user_tag_seq: Cell<Tag>,
     perf: RefCell<PerfRecorder>,
 }
 
 impl Rank {
+    pub(crate) fn new(transport: Box<dyn Transport>) -> Rank {
+        Rank {
+            transport,
+            pending: RefCell::new(Vec::new()),
+            dead: RefCell::new(Vec::new()),
+            coll_seq: Cell::new(0),
+            user_tag_seq: Cell::new(0),
+            perf: RefCell::new(PerfRecorder::new()),
+        }
+    }
+
+    pub(crate) fn finalize(&self) {
+        self.transport.finalize();
+    }
+
     /// This rank's id in `0..size`.
     pub fn rank(&self) -> usize {
-        self.rank
+        self.transport.rank()
     }
 
     /// Number of ranks in the communicator.
     pub fn size(&self) -> usize {
-        self.size
+        self.transport.size()
     }
 
     /// Send a typed message to `dst`. Self-sends are allowed and are not
@@ -177,42 +306,44 @@ impl Rank {
     }
 
     fn send_raw<T: Message>(&self, dst: usize, tag: Tag, msg: T, record: bool) {
-        assert!(dst < self.size, "send to rank {dst} out of range 0..{}", self.size);
-        if record && dst != self.rank {
+        let me = self.rank();
+        assert!(dst < self.size(), "send to rank {dst} out of range 0..{}", self.size());
+        if record && dst != me {
             self.perf.borrow_mut().message(msg.wire_bytes() as u64);
         }
-        let env = Envelope {
-            src: self.rank,
-            tag,
-            payload: Box::new(msg),
+        // Self-sends never cross an address space: keep them local (and
+        // unserialized) on every transport.
+        let payload = if self.transport.is_wire() && dst != me {
+            Payload::Wire(WireFrame {
+                type_id: T::wire_id(),
+                bytes: encode_payload(&msg),
+            })
+        } else {
+            Payload::Local(Box::new(msg))
         };
-        // Receivers only disappear if the destination rank has panicked;
-        // propagating a panic of our own is the clearest failure mode.
-        self.txs[dst]
-            .send(env)
-            .unwrap_or_else(|_| panic!("rank {}: send to dead rank {dst}", self.rank));
+        self.transport.send(dst, tag, payload);
     }
 
     /// Blocking receive of a typed message from `src` with matching `tag`.
     ///
     /// # Panics
     ///
-    /// Panics if the matching message's payload has a different type, or if
-    /// no message arrives within the deadlock timeout. Use
-    /// [`Rank::try_recv`] to surface those failures as a [`CommError`]
-    /// instead.
+    /// Panics if the matching message's payload has a different type or
+    /// fails to decode, if the peer disconnects, or if no message arrives
+    /// within the deadlock timeout. Use [`Rank::try_recv`] to surface
+    /// those failures as a [`CommError`] instead.
     pub fn recv<T: Message>(&self, src: usize, tag: Tag) -> T {
         self.try_recv(src, tag).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Blocking receive that surfaces timeout and payload-type mismatch
-    /// as a typed [`CommError`] instead of panicking, so decode failures
+    /// Blocking receive that surfaces timeout, decode, and disconnect
+    /// failures as a typed [`CommError`] instead of panicking, so they
     /// can feed the solver's resilience layer.
     pub fn try_recv<T: Message>(&self, src: usize, tag: Tag) -> Result<T, CommError> {
         self.recv_raw(src, tag)
     }
 
-    fn recv_raw<T: 'static>(&self, src: usize, tag: Tag) -> Result<T, CommError> {
+    fn recv_raw<T: Message>(&self, src: usize, tag: Tag) -> Result<T, CommError> {
         // Check messages that arrived earlier but did not match then.
         // `remove` (not `swap_remove`!) keeps the queue in arrival order:
         // per-(src, tag) FIFO is what lets repeated exchanges on one tag
@@ -221,38 +352,73 @@ impl Rank {
             let mut pending = self.pending.borrow_mut();
             if let Some(pos) = pending.iter().position(|e| e.src == src && e.tag == tag) {
                 let env = pending.remove(pos);
-                return Self::downcast(env, self.rank);
+                drop(pending);
+                return self.extract(env);
             }
         }
+        // A peer already known dead cannot produce new messages; fail
+        // fast instead of waiting out the timeout. (Everything it sent
+        // before dying was drained into `pending` above.)
+        if self.dead.borrow().contains(&src) {
+            return Err(CommError::Disconnected { rank: self.rank(), peer: src });
+        }
         loop {
-            let env = self.rx.recv_timeout(recv_timeout()).map_err(|_| {
-                CommError::Timeout { rank: self.rank, src, tag }
-            })?;
-            if env.src == src && env.tag == tag {
-                return Self::downcast(env, self.rank);
+            match self.transport.recv_next(recv_timeout()) {
+                Err(RecvTimeout) => {
+                    return Err(CommError::Timeout { rank: self.rank(), src, tag });
+                }
+                Ok(RecvEvent::PeerGone(peer)) => {
+                    // Everything the peer sent was queued before this
+                    // event, so a match can no longer arrive.
+                    self.dead.borrow_mut().push(peer);
+                    if peer == src {
+                        return Err(CommError::Disconnected { rank: self.rank(), peer });
+                    }
+                }
+                Ok(RecvEvent::Msg(env)) => {
+                    if env.src == src && env.tag == tag {
+                        return self.extract(env);
+                    }
+                    self.pending.borrow_mut().push(env);
+                }
             }
-            self.pending.borrow_mut().push(env);
         }
     }
 
-    fn downcast<T: 'static>(env: Envelope, rank: usize) -> Result<T, CommError> {
-        let src = env.src;
-        let tag = env.tag;
-        env.payload
-            .downcast::<T>()
-            .map(|b| *b)
-            .map_err(|_| CommError::TypeMismatch { rank, src, tag })
+    /// Unwrap an envelope into the expected payload type: downcast for
+    /// in-process payloads, type-id check + bit-exact decode for wire
+    /// payloads.
+    fn extract<T: Message>(&self, env: Envelope) -> Result<T, CommError> {
+        let rank = self.rank();
+        let (src, tag) = (env.src, env.tag);
+        match env.payload {
+            Payload::Local(b) => b
+                .downcast::<T>()
+                .map(|b| *b)
+                .map_err(|_| CommError::TypeMismatch { rank, src, tag }),
+            Payload::Wire(frame) => {
+                if frame.type_id != T::wire_id() {
+                    return Err(CommError::TypeMismatch { rank, src, tag });
+                }
+                crate::message::decode_payload(&frame.bytes).map_err(|e| CommError::Decode {
+                    rank,
+                    src,
+                    tag,
+                    detail: e.detail,
+                })
+            }
+        }
     }
 
     /// Synchronize all ranks. Recorded as one collective.
     pub fn barrier(&self) {
         self.perf.borrow_mut().collective(0);
-        self.barrier.wait();
+        self.transport.barrier();
     }
 
     #[allow(dead_code)]
     pub(crate) fn barrier_internal(&self) {
-        self.barrier.wait();
+        self.transport.barrier();
     }
 
     pub(crate) fn next_internal_tag(&self) -> Tag {
@@ -337,7 +503,7 @@ impl Rank {
             .map(|label| {
                 let t = trace.phase(&label);
                 telemetry::Event::PhasePerf {
-                    rank: self.rank,
+                    rank: self.rank(),
                     label,
                     kernel_launches: t.kernel_launches,
                     kernel_bytes: t.kernel_bytes,
@@ -356,22 +522,33 @@ impl Rank {
 mod tests {
     use super::*;
 
+    /// Every core Rank test runs over both backends: the transport must
+    /// be invisible to correctly written programs.
+    fn both_transports(f: impl Fn(TransportKind)) {
+        f(TransportKind::Inproc);
+        f(TransportKind::Socket);
+    }
+
     #[test]
     fn single_rank_runs() {
-        let out = Comm::run(1, |rank| rank.rank() + rank.size());
-        assert_eq!(out, vec![1]);
+        both_transports(|k| {
+            let out = Comm::run_with(k, 1, |rank| rank.rank() + rank.size());
+            assert_eq!(out, vec![1]);
+        });
     }
 
     #[test]
     fn ring_pass() {
-        let n = 5;
-        let out = Comm::run(n, |rank| {
-            let next = (rank.rank() + 1) % n;
-            let prev = (rank.rank() + n - 1) % n;
-            rank.send(next, 7, rank.rank() as u64);
-            rank.recv::<u64>(prev, 7)
+        both_transports(|k| {
+            let n = 5;
+            let out = Comm::run_with(k, n, |rank| {
+                let next = (rank.rank() + 1) % n;
+                let prev = (rank.rank() + n - 1) % n;
+                rank.send(next, 7, rank.rank() as u64);
+                rank.recv::<u64>(prev, 7)
+            });
+            assert_eq!(out, vec![4, 0, 1, 2, 3]);
         });
-        assert_eq!(out, vec![4, 0, 1, 2, 3]);
     }
 
     #[test]
@@ -380,51 +557,57 @@ mod tests {
         // decoy; rank 1 first receives the decoy (forcing all three into
         // the pending queue), then must get the three in send order.
         // A swap_remove-based pending queue returns them out of order.
-        let out = Comm::run(2, |rank| {
-            if rank.rank() == 0 {
-                rank.send(1, 7, vec![1u64]);
-                rank.send(1, 7, vec![2u64, 2]);
-                rank.send(1, 7, vec![3u64, 3, 3]);
-                rank.send(1, 9, 99u64); // decoy, received first
-                Vec::new()
-            } else {
-                let _decoy: u64 = rank.recv(0, 9);
-                let a: Vec<u64> = rank.recv(0, 7);
-                let b: Vec<u64> = rank.recv(0, 7);
-                let c: Vec<u64> = rank.recv(0, 7);
-                vec![a.len(), b.len(), c.len()]
-            }
+        both_transports(|k| {
+            let out = Comm::run_with(k, 2, |rank| {
+                if rank.rank() == 0 {
+                    rank.send(1, 7, vec![1u64]);
+                    rank.send(1, 7, vec![2u64, 2]);
+                    rank.send(1, 7, vec![3u64, 3, 3]);
+                    rank.send(1, 9, 99u64); // decoy, received first
+                    Vec::new()
+                } else {
+                    let _decoy: u64 = rank.recv(0, 9);
+                    let a: Vec<u64> = rank.recv(0, 7);
+                    let b: Vec<u64> = rank.recv(0, 7);
+                    let c: Vec<u64> = rank.recv(0, 7);
+                    vec![a.len(), b.len(), c.len()]
+                }
+            });
+            assert_eq!(out[1], vec![1, 2, 3]);
         });
-        assert_eq!(out[1], vec![1, 2, 3]);
     }
 
     #[test]
     fn out_of_order_tags_are_matched() {
-        let out = Comm::run(2, |rank| {
-            if rank.rank() == 0 {
-                rank.send(1, 1, 10u64);
-                rank.send(1, 2, 20u64);
-                0
-            } else {
-                // Receive in the opposite order from the sends.
-                let b = rank.recv::<u64>(0, 2);
-                let a = rank.recv::<u64>(0, 1);
-                (b * 100 + a) as usize
-            }
+        both_transports(|k| {
+            let out = Comm::run_with(k, 2, |rank| {
+                if rank.rank() == 0 {
+                    rank.send(1, 1, 10u64);
+                    rank.send(1, 2, 20u64);
+                    0
+                } else {
+                    // Receive in the opposite order from the sends.
+                    let b = rank.recv::<u64>(0, 2);
+                    let a = rank.recv::<u64>(0, 1);
+                    (b * 100 + a) as usize
+                }
+            });
+            assert_eq!(out[1], 2010);
         });
-        assert_eq!(out[1], 2010);
     }
 
     #[test]
     fn self_send_is_delivered_and_not_counted() {
-        let out = Comm::run(1, |rank| {
-            rank.send(0, 3, vec![1.0f64, 2.0]);
-            let v = rank.recv::<Vec<f64>>(0, 3);
-            let trace = rank.trace_snapshot();
-            (v, trace.total().msgs)
+        both_transports(|k| {
+            let out = Comm::run_with(k, 1, |rank| {
+                rank.send(0, 3, vec![1.0f64, 2.0]);
+                let v = rank.recv::<Vec<f64>>(0, 3);
+                let trace = rank.trace_snapshot();
+                (v, trace.total().msgs)
+            });
+            assert_eq!(out[0].0, vec![1.0, 2.0]);
+            assert_eq!(out[0].1, 0);
         });
-        assert_eq!(out[0].0, vec![1.0, 2.0]);
-        assert_eq!(out[0].1, 0);
     }
 
     #[test]
@@ -445,30 +628,50 @@ mod tests {
     #[test]
     fn barrier_synchronizes() {
         use std::sync::atomic::{AtomicUsize, Ordering};
-        let counter = AtomicUsize::new(0);
-        Comm::run(4, |rank| {
-            counter.fetch_add(1, Ordering::SeqCst);
-            rank.barrier();
-            // After the barrier every rank must observe all increments.
-            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        both_transports(|k| {
+            let counter = AtomicUsize::new(0);
+            Comm::run_with(k, 4, |rank| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                rank.barrier();
+                // After the barrier every rank must observe all increments.
+                assert_eq!(counter.load(Ordering::SeqCst), 4);
+            });
+        });
+    }
+
+    #[test]
+    fn repeated_barriers_stay_aligned() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        both_transports(|k| {
+            let counter = AtomicUsize::new(0);
+            Comm::run_with(k, 3, |rank| {
+                for round in 1..=5 {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    rank.barrier();
+                    assert!(counter.load(Ordering::SeqCst) >= round * 3);
+                    rank.barrier();
+                }
+            });
         });
     }
 
     #[test]
     fn try_recv_surfaces_type_mismatch_as_error() {
-        let out = Comm::run(2, |rank| {
-            if rank.rank() == 0 {
-                rank.send(1, 7, vec![1.0f64]);
-                None
-            } else {
-                // Sent Vec<f64>, received as Vec<u64>: typed error, no panic.
-                Some(rank.try_recv::<Vec<u64>>(0, 7))
+        both_transports(|k| {
+            let out = Comm::run_with(k, 2, |rank| {
+                if rank.rank() == 0 {
+                    rank.send(1, 7, vec![1.0f64]);
+                    None
+                } else {
+                    // Sent Vec<f64>, received as Vec<u64>: typed error, no panic.
+                    Some(rank.try_recv::<Vec<u64>>(0, 7))
+                }
+            });
+            match out[1].as_ref().unwrap() {
+                Err(CommError::TypeMismatch { rank: 1, src: 0, tag: 7 }) => {}
+                other => panic!("expected TypeMismatch, got {other:?}"),
             }
         });
-        match out[1].as_ref().unwrap() {
-            Err(CommError::TypeMismatch { rank: 1, src: 0, tag: 7 }) => {}
-            other => panic!("expected TypeMismatch, got {other:?}"),
-        }
     }
 
     #[test]

@@ -1,16 +1,21 @@
-//! In-process message-passing runtime that stands in for MPI.
+//! Message-passing runtime that stands in for MPI.
 //!
 //! The SC'21 ExaWind paper runs Nalu-Wind/hypre on thousands of MPI ranks.
 //! This crate reproduces the *programming model* those algorithms are
 //! written against — ranks, point-to-point messages, and collectives —
-//! inside a single process: each rank is an OS thread, and messages are
-//! typed values moved over std mpsc channels.
+//! over a pluggable [`Transport`](TransportKind):
 //!
-//! Because the payloads never leave the process no serialization happens,
-//! but every send records the number of bytes an MPI implementation would
-//! have moved, so the communication *volume* seen by the `machine`
-//! performance model is identical to a real distributed run at the same
-//! rank count.
+//! * **inproc** (default): each rank is an OS thread and messages are
+//!   typed values moved over std mpsc channels. No serialization happens,
+//!   but every send records the number of bytes an MPI implementation
+//!   would have moved, so the communication *volume* seen by the
+//!   `machine` performance model is identical to a real distributed run
+//!   at the same rank count.
+//! * **socket** (`EXAWIND_TRANSPORT=socket`): ranks are connected by a
+//!   full mesh of TCP streams carrying length-prefixed frames with a
+//!   bit-exact payload codec, either as threads over loopback or as one
+//!   OS process per rank under the `exawind-launch` launcher. The same
+//!   program produces bitwise-identical results on both backends.
 //!
 //! # Example
 //!
@@ -26,7 +31,14 @@ mod collectives;
 mod comm;
 mod message;
 mod perf;
+mod socket;
+mod transport;
 
 pub use comm::{Comm, CommError, Rank, Tag};
-pub use message::Message;
+pub use message::{decode_payload, encode_payload, Message, WireCursor, WireError};
 pub use perf::{KernelKind, PerfRecorder, PhaseTrace, Trace};
+pub use socket::{HOSTFILE_ENV, RANK_ENV, RENDEZVOUS_ENV, SIZE_ENV};
+pub use transport::{
+    read_frame, send_frame, write_frame, Frame, FrameError, FrameKind, TransportKind,
+    MAX_FRAME_BYTES, TRANSPORT_ENV,
+};

@@ -1,49 +1,337 @@
-//! Typed message payloads with MPI-equivalent byte accounting.
+//! Typed message payloads: MPI-equivalent byte accounting plus the
+//! bit-exact wire codec used by out-of-process transports.
+//!
+//! Inside one process payloads move as `Box<dyn Any>` and are never
+//! serialized. The socket transport instead moves every payload through
+//! [`Message::encode`]/[`Message::decode`]: a fixed little-endian layout
+//! whose floating-point values travel as raw IEEE-754 bit patterns
+//! (`to_bits`/`from_bits`), so a value round-trips *bitwise* — the same
+//! discipline as `telemetry::json`'s hand-rolled number formatting, and
+//! the property that lets the determinism suite demand identical results
+//! from the in-process and socket backends.
+//!
+//! Each payload type also has a structural signature (e.g.
+//! `(vec<u64>,vec<f64>)`) hashed to a 32-bit [`Message::wire_id`] that
+//! travels in the frame header; a receiver expecting a different type
+//! rejects the frame as a type mismatch instead of mis-decoding it,
+//! mirroring the `Any::downcast` failure of the in-process path.
+
+/// Decode failure: the payload bytes do not describe a value of the
+/// expected type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Human-readable description of the malformation.
+    pub detail: String,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.detail)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Bounds-checked reader over an encoded payload.
+pub struct WireCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireCursor<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireCursor { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed (checked after a decode:
+    /// trailing garbage is a malformed frame, not a success).
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError {
+                detail: format!(
+                    "payload truncated: wanted {n} bytes at offset {}, {} left",
+                    self.pos,
+                    self.remaining()
+                ),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn read_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn read_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn read_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A `u64` length prefix, sanity-bounded by the bytes actually left
+    /// (`elem_bytes` > 0): a corrupt length fails immediately instead of
+    /// attempting a huge allocation.
+    pub fn read_len(&mut self, elem_bytes: usize) -> Result<usize, WireError> {
+        let n = self.read_u64()? as usize;
+        if elem_bytes > 0 && n > self.remaining() / elem_bytes {
+            return Err(WireError {
+                detail: format!(
+                    "length prefix {n} exceeds the {} payload bytes remaining",
+                    self.remaining()
+                ),
+            });
+        }
+        Ok(n)
+    }
+}
+
+/// 32-bit FNV-1a over a type signature. Stable across platforms and
+/// compilations (unlike `TypeId`), which is what a wire protocol needs.
+pub(crate) fn fnv32(s: &str) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for b in s.bytes() {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
 
 /// A value that can travel between ranks.
 ///
-/// Payloads move as `Box<dyn Any>` inside the process, but [`Message::wire_bytes`]
-/// reports the number of bytes a real MPI implementation would put on the
-/// wire for the same payload; the communication cost model is driven by it.
+/// Payloads move as `Box<dyn Any>` inside the process, but every message
+/// also carries an MPI-equivalent byte count ([`Message::wire_bytes`],
+/// which drives the communication cost model) and a bit-exact binary
+/// codec ([`Message::encode`]/[`Message::decode`]) used when the
+/// transport crosses an address-space boundary.
 pub trait Message: Send + 'static {
-    /// Bytes an MPI send of this value would move.
+    /// Bytes an MPI send of this value would move. This is the *cost
+    /// model* size (raw element bytes), not the framed wire size.
     fn wire_bytes(&self) -> usize;
+
+    /// Append this type's structural signature (e.g. `vec<f64>`).
+    fn wire_sig(out: &mut String)
+    where
+        Self: Sized;
+
+    /// Stable 32-bit id of the structural signature; travels in the
+    /// frame header for cross-process type checking.
+    fn wire_id() -> u32
+    where
+        Self: Sized,
+    {
+        let mut s = String::new();
+        Self::wire_sig(&mut s);
+        fnv32(&s)
+    }
+
+    /// Append the little-endian encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decode a value previously produced by [`Message::encode`].
+    fn decode(cur: &mut WireCursor<'_>) -> Result<Self, WireError>
+    where
+        Self: Sized;
 }
 
+/// Fixed-width scalars. `usize`/`isize` travel as 8 bytes so the wire
+/// format does not depend on the host word size.
 macro_rules! scalar_message {
-    ($($t:ty),* $(,)?) => {$(
+    ($($t:ty => $sig:literal, $wide:ty);* $(;)?) => {$(
         impl Message for $t {
             fn wire_bytes(&self) -> usize {
                 std::mem::size_of::<$t>()
+            }
+            fn wire_sig(out: &mut String) {
+                out.push_str($sig);
+            }
+            #[allow(clippy::unnecessary_cast)]
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&(*self as $wide).to_le_bytes());
+            }
+            #[allow(clippy::unnecessary_cast)]
+            fn decode(cur: &mut WireCursor<'_>) -> Result<Self, WireError> {
+                let raw = <$wide>::from_le_bytes(
+                    cur.take(std::mem::size_of::<$wide>())?.try_into().unwrap(),
+                );
+                Ok(raw as $t)
             }
         }
     )*};
 }
 
-scalar_message!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, ());
+scalar_message! {
+    u8 => "u8", u8;
+    u16 => "u16", u16;
+    u32 => "u32", u32;
+    u64 => "u64", u64;
+    usize => "usize", u64;
+    i8 => "i8", i8;
+    i16 => "i16", i16;
+    i32 => "i32", i32;
+    i64 => "i64", i64;
+    isize => "isize", i64;
+}
 
-impl<T: Copy + Send + 'static> Message for Vec<T> {
+impl Message for f64 {
     fn wire_bytes(&self) -> usize {
-        std::mem::size_of::<T>() * self.len()
+        8
+    }
+    fn wire_sig(out: &mut String) {
+        out.push_str("f64");
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        // Raw bit pattern: NaN payloads and signed zeros round-trip.
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn decode(cur: &mut WireCursor<'_>) -> Result<Self, WireError> {
+        Ok(f64::from_bits(cur.read_u64()?))
     }
 }
 
-impl<A: Message, B: Message> Message for (A, B) {
+impl Message for f32 {
     fn wire_bytes(&self) -> usize {
-        self.0.wire_bytes() + self.1.wire_bytes()
+        4
+    }
+    fn wire_sig(out: &mut String) {
+        out.push_str("f32");
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn decode(cur: &mut WireCursor<'_>) -> Result<Self, WireError> {
+        Ok(f32::from_bits(cur.read_u32()?))
     }
 }
 
-impl<A: Message, B: Message, C: Message> Message for (A, B, C) {
+impl Message for bool {
     fn wire_bytes(&self) -> usize {
-        self.0.wire_bytes() + self.1.wire_bytes() + self.2.wire_bytes()
+        1
+    }
+    fn wire_sig(out: &mut String) {
+        out.push_str("bool");
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(cur: &mut WireCursor<'_>) -> Result<Self, WireError> {
+        match cur.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError { detail: format!("invalid bool byte {b:#04x}") }),
+        }
     }
 }
 
-impl<A: Message, B: Message, C: Message, D: Message> Message for (A, B, C, D) {
+impl Message for () {
     fn wire_bytes(&self) -> usize {
-        self.0.wire_bytes() + self.1.wire_bytes() + self.2.wire_bytes() + self.3.wire_bytes()
+        0
     }
+    fn wire_sig(out: &mut String) {
+        out.push_str("unit");
+    }
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode(_cur: &mut WireCursor<'_>) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+/// Vectors of wire-codable elements: `u64` length prefix + elements.
+///
+/// This replaces the old `impl<T: Copy> Message for Vec<T>` — a payload
+/// must now name an element type the codec understands, so every message
+/// that works in-process also works across the socket transport.
+impl<T: Message> Message for Vec<T> {
+    fn wire_bytes(&self) -> usize {
+        self.iter().map(|v| v.wire_bytes()).sum()
+    }
+    fn wire_sig(out: &mut String) {
+        out.push_str("vec<");
+        T::wire_sig(out);
+        out.push('>');
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(cur: &mut WireCursor<'_>) -> Result<Self, WireError> {
+        // Sanity-bound the allocation by the minimum element size (1
+        // byte); zero-size elements (`()`) fall back to an unbounded
+        // count, which is harmless since they allocate nothing.
+        let elem = std::mem::size_of::<T>().min(1);
+        let n = cur.read_len(elem)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(cur)?);
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! tuple_message {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Message),+> Message for ($($t,)+) {
+            fn wire_bytes(&self) -> usize {
+                0 $(+ self.$n.wire_bytes())+
+            }
+            fn wire_sig(out: &mut String) {
+                out.push('(');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    $t::wire_sig(out);
+                )+
+                let _ = first;
+                out.push(')');
+            }
+            fn encode(&self, out: &mut Vec<u8>) {
+                $(self.$n.encode(out);)+
+            }
+            fn decode(cur: &mut WireCursor<'_>) -> Result<Self, WireError> {
+                Ok(($($t::decode(cur)?,)+))
+            }
+        }
+    )+};
+}
+
+tuple_message! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Encode `msg` into a fresh buffer (header-less payload bytes).
+pub fn encode_payload<T: Message>(msg: &T) -> Vec<u8> {
+    let mut out = Vec::with_capacity(msg.wire_bytes() + 8);
+    msg.encode(&mut out);
+    out
+}
+
+/// Decode a full payload buffer, rejecting trailing bytes.
+pub fn decode_payload<T: Message>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut cur = WireCursor::new(bytes);
+    let v = T::decode(&mut cur)?;
+    if !cur.is_empty() {
+        return Err(WireError {
+            detail: format!("{} trailing bytes after payload", cur.remaining()),
+        });
+    }
+    Ok(v)
 }
 
 #[cfg(test)]
@@ -72,5 +360,76 @@ mod tests {
         assert_eq!(msg3.wire_bytes(), 24);
         let msg4 = (1u64, 2u64, vec![0u8; 3], 4.0f64);
         assert_eq!(msg4.wire_bytes(), 8 + 8 + 3 + 8);
+    }
+
+    fn round_trip<T: Message + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = encode_payload(&v);
+        let back: T = decode_payload(&bytes).expect("decodes");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(0u8);
+        round_trip(u64::MAX);
+        round_trip(-7i64);
+        round_trip(usize::MAX);
+        round_trip(1.5f32);
+        round_trip(true);
+        round_trip(());
+    }
+
+    #[test]
+    fn f64_round_trips_bitwise() {
+        for v in [0.0, -0.0, 1.0 / 3.0, f64::NAN, f64::INFINITY, f64::MIN_POSITIVE] {
+            let bytes = encode_payload(&v);
+            let back: f64 = decode_payload(&bytes).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn composite_round_trips() {
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(Vec::<f64>::new());
+        round_trip((vec![1u64], vec![2u64], vec![3.0f64]));
+        round_trip((1u64, 2u64, vec![0u8; 3], 4.0f64));
+    }
+
+    #[test]
+    fn wire_ids_distinguish_types() {
+        let ids = [
+            <u64 as Message>::wire_id(),
+            <usize as Message>::wire_id(),
+            <f64 as Message>::wire_id(),
+            <Vec<u64> as Message>::wire_id(),
+            <Vec<f64> as Message>::wire_id(),
+            <(Vec<u64>, Vec<f64>) as Message>::wire_id(),
+            <(Vec<u64>, Vec<u64>, Vec<f64>) as Message>::wire_id(),
+        ];
+        let mut dedup = ids.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len(), "wire id collision in {ids:?}");
+    }
+
+    #[test]
+    fn truncated_and_trailing_bytes_are_rejected() {
+        let bytes = encode_payload(&vec![1.0f64, 2.0]);
+        // Truncate mid-element.
+        assert!(decode_payload::<Vec<f64>>(&bytes[..bytes.len() - 3]).is_err());
+        // Trailing garbage.
+        let mut extra = bytes.clone();
+        extra.push(0xAB);
+        assert!(decode_payload::<Vec<f64>>(&extra).is_err());
+        // Corrupt length prefix far beyond the remaining bytes.
+        let mut huge = bytes;
+        huge[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_payload::<Vec<f64>>(&huge).is_err());
+    }
+
+    #[test]
+    fn invalid_bool_is_rejected() {
+        assert!(decode_payload::<bool>(&[2]).is_err());
     }
 }

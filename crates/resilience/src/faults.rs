@@ -23,7 +23,7 @@
 //! ```text
 //! EXAWIND_FAULTS="spec(;spec)*"
 //! spec  = kind '@' ctx [ ':' at [ 'x' count ] ]
-//! kind  = 'assembly-nan' | 'halo-nan' | 'coarsen-stall'
+//! kind  = 'assembly-nan' | 'halo-nan' | 'coarsen-stall' | 'socket-drop'
 //! ctx   = substring matched against the phase label (e.g. "continuity")
 //! at    = 1-based index of the first matching occurrence to corrupt (default 1)
 //! count = number of consecutive occurrences to corrupt (default 1)
@@ -57,6 +57,12 @@ pub enum FaultKind {
     HaloNan,
     /// Force AMG coarsening to stagnate (coarse grid stops shrinking).
     CoarsenStall,
+    /// Abort a communication exchange as if the peer's socket dropped
+    /// mid-solve. Fires *before* any message of the exchange is sent, so
+    /// a retry after recovery re-runs a complete, clean exchange (no
+    /// stale in-flight messages to mis-match); the counters are
+    /// replicated per rank, so every rank aborts the same exchange.
+    SocketDrop,
 }
 
 impl FaultKind {
@@ -66,6 +72,7 @@ impl FaultKind {
             FaultKind::AssemblyNan => "assembly-nan",
             FaultKind::HaloNan => "halo-nan",
             FaultKind::CoarsenStall => "coarsen-stall",
+            FaultKind::SocketDrop => "socket-drop",
         }
     }
 
@@ -74,8 +81,10 @@ impl FaultKind {
             "assembly-nan" => Ok(FaultKind::AssemblyNan),
             "halo-nan" => Ok(FaultKind::HaloNan),
             "coarsen-stall" => Ok(FaultKind::CoarsenStall),
+            "socket-drop" => Ok(FaultKind::SocketDrop),
             other => Err(format!(
-                "unknown fault kind {other:?} (expected assembly-nan, halo-nan, or coarsen-stall)"
+                "unknown fault kind {other:?} (expected assembly-nan, halo-nan, \
+                 coarsen-stall, or socket-drop)"
             )),
         }
     }
@@ -343,6 +352,16 @@ mod tests {
         assert_eq!(
             FaultPlan::parse(&plan.to_string()).unwrap(),
             plan
+        );
+        let drop_plan = FaultPlan::parse("socket-drop@continuity/global:2").unwrap();
+        assert_eq!(
+            drop_plan.specs,
+            vec![FaultSpec {
+                kind: FaultKind::SocketDrop,
+                ctx: "continuity/global".into(),
+                at: 2,
+                count: 1
+            }]
         );
     }
 

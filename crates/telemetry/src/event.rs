@@ -43,6 +43,8 @@ pub enum Event {
     Run {
         ranks: usize,
         threads: usize,
+        /// Transport backend label (`inproc` | `socket`).
+        transport: String,
         git_commit: Option<String>,
     },
     /// A closed span: `path` is the `/`-joined stack of open span names.
@@ -166,6 +168,7 @@ impl Event {
             Event::Run {
                 ranks,
                 threads,
+                transport,
                 git_commit,
             } => {
                 let mut pairs = vec![
@@ -173,6 +176,7 @@ impl Event {
                     ("schema", Json::Int(SCHEMA_VERSION as i128)),
                     ("ranks", Json::Int(*ranks as i128)),
                     ("threads", Json::Int(*threads as i128)),
+                    ("transport", Json::Str(transport.clone())),
                 ];
                 if let Some(c) = git_commit {
                     pairs.push(("git_commit", Json::Str(c.clone())));
@@ -422,6 +426,12 @@ impl Event {
             "run" => Ok(Event::Run {
                 ranks: usize_field("ranks")?,
                 threads: usize_field("threads")?,
+                // Absent in pre-transport streams: those were inproc runs.
+                transport: obj
+                    .get("transport")
+                    .and_then(Json::as_str)
+                    .unwrap_or("inproc")
+                    .to_string(),
                 git_commit: obj.get("git_commit").and_then(Json::as_str).map(str::to_string),
             }),
             "span" => Ok(Event::Span {
@@ -573,6 +583,7 @@ impl Event {
             Event::Run {
                 ranks: 4,
                 threads: 8,
+                transport: "inproc".into(),
                 git_commit: Some("deadbeef".into()),
             },
             Event::Span {

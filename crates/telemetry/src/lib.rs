@@ -392,12 +392,18 @@ pub fn merge_ranks(logs: Vec<Vec<Event>>) -> Vec<Event> {
 }
 
 /// Run metadata for an exported stream: rank count, worker thread count
-/// (`RAYON_NUM_THREADS` or hardware parallelism), and the git commit if
+/// (`RAYON_NUM_THREADS` or hardware parallelism), the transport backend
+/// (`EXAWIND_TRANSPORT`, read as a string so this crate stays below
+/// `parcomm` in the dependency graph), and the git commit if
 /// discoverable (`GIT_COMMIT` env or `.git/HEAD`).
 pub fn run_info(ranks: usize) -> Event {
     Event::Run {
         ranks,
         threads: configured_threads(),
+        transport: std::env::var("EXAWIND_TRANSPORT")
+            .ok()
+            .filter(|v| !v.is_empty())
+            .unwrap_or_else(|| "inproc".to_string()),
         git_commit: git_commit(),
     }
 }

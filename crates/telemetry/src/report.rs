@@ -97,6 +97,9 @@ pub struct Report {
     pub ranks: usize,
     /// Worker threads (from the `run` event).
     pub threads: usize,
+    /// Transport backend label (from the `run` event; empty when the
+    /// stream has no `run` event).
+    pub transport: String,
     pub git_commit: Option<String>,
     /// Phase column order: first appearance in the stream (the emitters
     /// walk phases in plot order, so this reproduces it without this
@@ -143,9 +146,10 @@ impl Report {
         let mut phase_sums: BTreeMap<(String, String), f64> = BTreeMap::new();
         for ev in events {
             match ev {
-                Event::Run { ranks, threads, git_commit } => {
+                Event::Run { ranks, threads, transport, git_commit } => {
                     r.ranks = *ranks;
                     r.threads = *threads;
+                    r.transport = transport.clone();
                     r.git_commit = git_commit.clone();
                 }
                 Event::PhaseTime { rank, step, eq, phase, secs } => {
@@ -275,10 +279,11 @@ impl Report {
         let mut out = String::new();
         let commit = self.git_commit.as_deref().unwrap_or("unknown");
         let _ = writeln!(out, "== telemetry report ==");
+        let transport = if self.transport.is_empty() { "inproc" } else { &self.transport };
         let _ = writeln!(
             out,
-            "ranks: {}   threads: {}   steps: {}   commit: {}",
-            self.ranks, self.threads, self.steps, commit
+            "ranks: {}   threads: {}   transport: {}   steps: {}   commit: {}",
+            self.ranks, self.threads, transport, self.steps, commit
         );
 
         // --- Fig. 6/7: per-equation stacked phase breakdown -------------

@@ -7,6 +7,11 @@
 //! cargo run --release --example quickstart -- --telemetry run.jsonl
 //! # equivalently:
 //! EXAWIND_TELEMETRY=run.jsonl cargo run --release --example quickstart
+//! # same run with the ranks wired over TCP sockets instead of channels:
+//! EXAWIND_TRANSPORT=socket cargo run --release --example quickstart
+//! # same run as 4 OS processes, one rank each (see exawind-launch):
+//! cargo build --release --example quickstart
+//! target/release/exawind-launch -n 4 -- target/release/examples/quickstart
 //! ```
 
 use exawind::nalu_core::{Simulation, SolverConfig};
@@ -31,12 +36,22 @@ fn telemetry_path() -> Option<String> {
 }
 
 fn main() {
-    let nranks = 4;
+    // Under `exawind-launch` the rank count comes from the job
+    // environment; standalone it defaults to 4.
+    let nranks = Comm::env_size(4);
     let steps = 3;
     let tel_path = telemetry_path();
-    let telemetry_on = tel_path.is_some();
 
-    let outputs = Comm::run(nranks, move |rank| {
+    // Transport selection lives in the solver config (seeded from
+    // `EXAWIND_TRANSPORT`), resolved once out here: the rank closure is
+    // identical however the communicator is backed.
+    let cfg = SolverConfig {
+        telemetry: tel_path.is_some(),
+        ..SolverConfig::default()
+    };
+    let transport = cfg.transport;
+
+    let outputs = Comm::run_with(transport, nranks, move |rank| {
         // A 10×4×4 rotor-diameter wind tunnel, inflow 8 m/s in +x.
         let mesh = box_mesh(
             uniform_spacing(0.0, 630.0, 17),
@@ -44,11 +59,7 @@ fn main() {
             uniform_spacing(-126.0, 126.0, 9),
             BoxBc::wind_tunnel(),
         );
-        let cfg = SolverConfig {
-            telemetry: telemetry_on,
-            ..SolverConfig::default()
-        };
-        let mut sim = Simulation::new(rank, vec![mesh], cfg);
+        let mut sim = Simulation::new(rank, vec![mesh], cfg.clone());
 
         let mut lines = Vec::new();
         for step in 0..steps {
@@ -85,8 +96,13 @@ fn main() {
         (lines, probe, events)
     });
 
+    // As a launched worker process this binary holds one rank; only the
+    // process holding rank 0 narrates (the others computed its halos).
+    if Comm::worker_rank().unwrap_or(0) != 0 {
+        return;
+    }
     let (lines, probe, _) = &outputs[0];
-    println!("== ExaWind-RS quickstart: empty wind tunnel on {nranks} ranks ==");
+    println!("== ExaWind-RS quickstart: empty wind tunnel on {nranks} ranks ({transport} transport) ==");
     for l in lines {
         println!("{l}");
     }

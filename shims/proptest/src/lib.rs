@@ -243,6 +243,40 @@ impl<T> Strategy for WeightedUnion<T> {
     }
 }
 
+/// Full-range `ANY` strategies at the real crate's paths
+/// (`proptest::num::u64::ANY`, etc.): every bit pattern of the type,
+/// which range strategies cannot express (`Range` is half-open).
+pub mod num {
+    macro_rules! any_int {
+        ($($m:ident),*) => {$(
+            pub mod $m {
+                #[derive(Clone, Copy, Debug)]
+                pub struct Any;
+                impl crate::Strategy for Any {
+                    type Value = $m;
+                    fn generate(&self, rng: &mut crate::TestRng) -> $m {
+                        rng.next_u64() as $m
+                    }
+                }
+                pub const ANY: Any = Any;
+            }
+        )*};
+    }
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod bool {
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+    impl crate::Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut crate::TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+    pub const ANY: Any = Any;
+}
+
 pub mod collection {
     use super::{Strategy, TestRng};
 

@@ -1,0 +1,159 @@
+//! Multi-process launcher: spawn one worker process per rank of a
+//! socket-transport job (the `mpirun` of this codebase).
+//!
+//! ```sh
+//! # 4 ranks over loopback with ephemeral ports (rendezvous file):
+//! exawind-launch -n 4 -- path/to/worker --its args
+//! # explicit endpoints, one host:port line per rank (how remote
+//! # machines are named — run the matching rank's launcher on each):
+//! exawind-launch -n 4 --hostfile hosts.txt -- path/to/worker
+//! ```
+//!
+//! Every child inherits this environment plus `EXAWIND_TRANSPORT=socket`,
+//! its `EXAWIND_RANK`, the shared `EXAWIND_SIZE`, and the rendezvous
+//! path (`EXAWIND_RENDEZVOUS`, a fresh temp file) or the host file path
+//! (`EXAWIND_HOSTFILE`) — see `parcomm::socket` for the wire-up the
+//! workers then perform. Stdout/stderr pass through. The launcher exits
+//! with the first non-zero child status (killing the remaining ranks,
+//! which could only deadlock against the dead one) or 0 when all ranks
+//! complete.
+
+use std::path::PathBuf;
+use std::process::{exit, Child, Command};
+use std::time::Duration;
+
+use exawind::parcomm::{HOSTFILE_ENV, RANK_ENV, RENDEZVOUS_ENV, SIZE_ENV, TRANSPORT_ENV};
+
+struct Args {
+    ranks: usize,
+    hostfile: Option<PathBuf>,
+    command: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: exawind-launch -n <ranks> [--hostfile <path>] [--] <command> [args...]");
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut ranks = None;
+    let mut hostfile = None;
+    let mut command = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "-n" | "--ranks" => {
+                let v = argv.get(i + 1).unwrap_or_else(|| usage());
+                ranks = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("exawind-launch: bad rank count {v:?}");
+                    exit(2);
+                }));
+                i += 2;
+            }
+            "--hostfile" => {
+                hostfile = Some(PathBuf::from(argv.get(i + 1).unwrap_or_else(|| usage())));
+                i += 2;
+            }
+            "--" => {
+                command.extend(argv[i + 1..].iter().cloned());
+                break;
+            }
+            flag if flag.starts_with('-') && command.is_empty() => {
+                eprintln!("exawind-launch: unknown flag {flag:?}");
+                usage();
+            }
+            _ => {
+                command.extend(argv[i..].iter().cloned());
+                break;
+            }
+        }
+    }
+    let Some(ranks) = ranks else { usage() };
+    if ranks == 0 || command.is_empty() {
+        usage();
+    }
+    Args { ranks, hostfile, command }
+}
+
+fn main() {
+    let args = parse_args();
+
+    // A fresh rendezvous path per launch; rank 0 of the job creates the
+    // file, so any stale one from a crashed previous job must go first.
+    let rendezvous = std::env::temp_dir().join(format!(
+        "exawind-rendezvous-{}.addr",
+        std::process::id()
+    ));
+    if args.hostfile.is_none() {
+        let _ = std::fs::remove_file(&rendezvous);
+    }
+
+    let mut children: Vec<(usize, Child)> = Vec::with_capacity(args.ranks);
+    for rank in 0..args.ranks {
+        let mut cmd = Command::new(&args.command[0]);
+        cmd.args(&args.command[1..])
+            .env(TRANSPORT_ENV, "socket")
+            .env(RANK_ENV, rank.to_string())
+            .env(SIZE_ENV, args.ranks.to_string());
+        match &args.hostfile {
+            Some(hf) => cmd.env(HOSTFILE_ENV, hf),
+            None => cmd.env(RENDEZVOUS_ENV, &rendezvous),
+        };
+        match cmd.spawn() {
+            Ok(child) => children.push((rank, child)),
+            Err(e) => {
+                eprintln!("exawind-launch: cannot spawn rank {rank} ({}): {e}", args.command[0]);
+                for (_, mut c) in children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                exit(1);
+            }
+        }
+    }
+
+    // Poll instead of waiting in rank order: a mid-job death must take
+    // the surviving ranks down before they block on the dead peer.
+    let mut failure: Option<(usize, i32)> = None;
+    while failure.is_none() && !children.is_empty() {
+        let mut still_running = Vec::with_capacity(children.len());
+        for (rank, mut child) in children {
+            match child.try_wait() {
+                Ok(Some(status)) if status.success() => {}
+                Ok(Some(status)) => {
+                    failure = failure.or(Some((rank, status.code().unwrap_or(1))));
+                }
+                Ok(None) => still_running.push((rank, child)),
+                Err(e) => {
+                    eprintln!("exawind-launch: waiting on rank {rank}: {e}");
+                    failure = failure.or(Some((rank, 1)));
+                }
+            }
+        }
+        children = still_running;
+        if failure.is_none() && !children.is_empty() {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    if args.hostfile.is_none() {
+        let _ = std::fs::remove_file(&rendezvous);
+    }
+    match failure {
+        Some((rank, code)) => {
+            eprintln!(
+                "exawind-launch: rank {rank} exited with code {code}; stopping {} remaining rank(s)",
+                children.len()
+            );
+            for (_, mut child) in children {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            exit(if code == 0 { 1 } else { code });
+        }
+        None => {
+            println!("exawind-launch: {} rank(s) completed", args.ranks);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Rank worker for transport testing and multi-process smoke runs.
+//!
+//! Runs a fixed small wind-tunnel workload (assembly → AMG-preconditioned
+//! solves → projection) and writes, per rank, the raw bit pattern of the
+//! converged fields — the artifact the cross-transport determinism suite
+//! compares between backends. The workload is identical however the
+//! communicator is backed, so the same binary serves three shapes:
+//!
+//! ```sh
+//! # in-process threads (default transport):
+//! exawind-worker --out /tmp/a
+//! # socket transport, N threads over loopback:
+//! EXAWIND_TRANSPORT=socket exawind-worker --out /tmp/b
+//! # socket transport, N OS processes (one rank each):
+//! exawind-launch -n 2 -- exawind-worker --out /tmp/c
+//! ```
+//!
+//! Under `exawind-launch` the rank count comes from `EXAWIND_SIZE`;
+//! standalone it defaults to 2 (`--ranks` overrides). Each rank writes
+//! `<out>.rank<r>.bits` (one hex u64 per field scalar, in field order)
+//! and, with `--telemetry <path>`, `<path>.rank<r>.jsonl` — rank 0's
+//! stream carries the `run` metadata event the CI smoke greps for.
+
+use exawind::nalu_core::{Simulation, SolverConfig};
+use exawind::parcomm::Comm;
+use exawind::telemetry;
+use exawind::windmesh::generate::{box_mesh, uniform_spacing, BoxBc};
+use exawind::windmesh::Mesh;
+
+/// Empty wind-tunnel box; uniform inflow is an exact steady solution,
+/// so any transport-induced perturbation shows up immediately.
+fn small_box() -> Mesh {
+    box_mesh(
+        uniform_spacing(0.0, 4.0, 6),
+        uniform_spacing(0.0, 2.0, 4),
+        uniform_spacing(0.0, 2.0, 4),
+        BoxBc::wind_tunnel(),
+    )
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("exawind-worker: {flag} requires a value");
+                std::process::exit(2);
+            })
+            .clone()
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = flag_value(&args, "--out");
+    let tel = flag_value(&args, "--telemetry");
+    let steps: usize = flag_value(&args, "--steps").map_or(1, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("exawind-worker: bad --steps {v:?}");
+            std::process::exit(2);
+        })
+    });
+    let default_ranks: usize = flag_value(&args, "--ranks").map_or(2, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("exawind-worker: bad --ranks {v:?}");
+            std::process::exit(2);
+        })
+    });
+    let nranks = Comm::env_size(default_ranks);
+
+    let telemetry_on = tel.is_some();
+    Comm::run(nranks, move |rank| {
+        let cfg = SolverConfig {
+            picard_iters: 2,
+            telemetry: telemetry_on,
+            ..SolverConfig::default()
+        };
+        let transport = cfg.transport;
+        let mut sim = Simulation::new(rank, vec![small_box()], cfg);
+        for _ in 0..steps {
+            sim.step(rank);
+        }
+
+        let mut bits: Vec<u64> = Vec::new();
+        let st = sim.state(0);
+        bits.extend(st.vel.iter().flat_map(|v| v.iter().map(|x| x.to_bits())));
+        bits.extend(st.p.iter().map(|x| x.to_bits()));
+        bits.extend(st.nut.iter().map(|x| x.to_bits()));
+
+        if let Some(prefix) = &out {
+            let path = format!("{prefix}.rank{}.bits", rank.rank());
+            let text: String = bits.iter().map(|b| format!("{b:016x}\n")).collect();
+            std::fs::write(&path, text)
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        }
+        let events = sim.finish_telemetry(rank);
+        if let Some(tel_prefix) = &tel {
+            let path = format!("{tel_prefix}.rank{}.jsonl", rank.rank());
+            let mut stream = Vec::new();
+            if rank.rank() == 0 {
+                stream.push(telemetry::run_info(rank.size()));
+            }
+            stream.extend(events);
+            telemetry::write_jsonl(&path, &stream)
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        }
+        println!(
+            "exawind-worker: rank {}/{} done ({} step(s), transport {})",
+            rank.rank(),
+            rank.size(),
+            steps,
+            transport
+        );
+    });
+}

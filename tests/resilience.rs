@@ -137,6 +137,76 @@ fn injected_halo_nan_recovers_bitwise() {
     }
 }
 
+/// A peer socket dropping mid-solve surfaces as a typed
+/// `SolveError::Comm` (kind `"comm"`) from the exchange hook, *before*
+/// any message of the exchange went out — so the rebuild rung re-runs a
+/// complete, clean exchange and the recovered fields match the clean
+/// run bit for bit. The injector counters are replicated per rank,
+/// so both ranks abort the same exchange and walk the same ladder.
+#[test]
+fn injected_socket_drop_recovers_bitwise() {
+    let clean = run_step(small_box(), None);
+    let faulted = run_step(small_box(), Some("socket-drop@continuity:1"));
+    for (r, ((cb, _, _), (fb, recs, events))) in clean.iter().zip(&faulted).enumerate() {
+        assert_eq!(recs.len(), 1, "rank {r}: expected one recovery, got {recs:?}");
+        let rec = &recs[0];
+        assert_eq!(rec.eq, "continuity");
+        assert_eq!(rec.fault, "comm");
+        assert!(
+            rec.detail.contains("injected socket drop"),
+            "rank {r}: {rec:?}"
+        );
+        assert_eq!(rec.action, "rebuild");
+        assert_eq!(rec.outcome, "recovered");
+        assert_eq!(events.len(), 1, "rank {r}: {events:?}");
+        assert_eq!(cb, fb, "rank {r}: recovered fields differ from clean run");
+    }
+    // The recovery walk is collective: identical on both ranks.
+    let walk = |recs: &[exawind::nalu_core::RecoveryRecord]| -> Vec<(String, String, usize)> {
+        recs.iter()
+            .map(|r| (r.fault.clone(), r.action.clone(), r.attempt))
+            .collect()
+    };
+    assert_eq!(walk(&faulted[0].1), walk(&faulted[1].1));
+}
+
+/// A peer that stays dead defeats every rung: all ranks exhaust the
+/// ladder with the same typed `Comm` error — no panic, no deadlock.
+#[test]
+fn persistent_socket_drop_exhausts_ladder_with_typed_error() {
+    let mesh = small_box();
+    let out = Comm::run(2, move |rank| {
+        let mut sim = Simulation::new(
+            rank,
+            vec![mesh.clone()],
+            cfg_with_faults(Some("socket-drop@continuity:1x999")),
+        );
+        let res = sim.try_step(rank);
+        let events: Vec<Event> = sim
+            .finish_telemetry(rank)
+            .into_iter()
+            .filter(|e| matches!(e, Event::Recovery { .. }))
+            .collect();
+        (res.map(|_| ()), events)
+    });
+    for (res, events) in out {
+        match res {
+            Err(SolveError::Comm { detail }) => {
+                assert!(detail.contains("injected socket drop"), "{detail}");
+            }
+            other => panic!("expected Comm error, got {other:?}"),
+        }
+        let outcomes: Vec<&str> = events
+            .iter()
+            .map(|e| match e {
+                Event::Recovery { outcome, .. } => outcome.as_str(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(outcomes, vec!["retry", "retry", "failed"]);
+    }
+}
+
 /// A persistently stalling AMG coarsener cannot be fixed by rebuilding —
 /// the driver must escalate past the rebuild rung and recover on the
 /// fallback smoother (SGS2 replaces the degenerate hierarchy).
