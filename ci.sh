@@ -30,20 +30,46 @@ grep -q '"type": *"recovery"' "$fault_out" \
 # Multi-process transport smoke: exawind-launch spawns two real worker
 # processes that rendezvous over TCP sockets; rank 0's telemetry stream
 # must validate and carry the completed-run event tagged with the socket
-# transport. (Cross-transport bitwise identity is pinned by
+# transport, plus per-peer comm_edge traffic. The launcher's monitor
+# channel must have received heartbeats, and the merged per-rank streams
+# must validate (edge symmetry, collective participation) and render the
+# comm-matrix report. (Cross-transport bitwise identity is pinned by
 # tests/transport.rs; this proves the launcher path works end to end.)
 mp_dir=$(mktemp -d /tmp/exawind_mp.XXXXXX)
 trap 'rm -f "$tel_out" "$fault_out"; rm -rf "$mp_dir"' EXIT
 cargo build --release --bin exawind-launch --bin exawind-worker
 ./target/release/exawind-launch -n 2 -- \
-  ./target/release/exawind-worker --out "$mp_dir/fields" --telemetry "$mp_dir/tel"
+  ./target/release/exawind-worker --out "$mp_dir/fields" --telemetry "$mp_dir/tel" \
+  | tee "$mp_dir/launch.log"
+grep -q 'monitor received [1-9][0-9]* heartbeat' "$mp_dir/launch.log" \
+  || { echo "transport smoke: launcher monitor received no heartbeats" >&2; exit 1; }
 cargo run --release -p telemetry --bin validate_telemetry -- "$mp_dir/tel.rank0.jsonl"
 grep -q '"type":"run"' "$mp_dir/tel.rank0.jsonl" \
   || { echo "transport smoke: no run event in $mp_dir/tel.rank0.jsonl" >&2; exit 1; }
 grep -q '"transport":"socket"' "$mp_dir/tel.rank0.jsonl" \
   || { echo "transport smoke: run event not tagged with socket transport" >&2; exit 1; }
+grep -q '"type":"comm_edge"' "$mp_dir/tel.rank0.jsonl" \
+  || { echo "transport smoke: no comm_edge event in $mp_dir/tel.rank0.jsonl" >&2; exit 1; }
 test -s "$mp_dir/fields.rank0.bits" && test -s "$mp_dir/fields.rank1.bits" \
   || { echo "transport smoke: missing per-rank field artifacts" >&2; exit 1; }
+cat "$mp_dir/tel.rank0.jsonl" "$mp_dir/tel.rank1.jsonl" > "$mp_dir/merged.jsonl"
+cargo run --release -p telemetry --bin validate_telemetry -- "$mp_dir/merged.jsonl" --report \
+  | tee "$mp_dir/report.txt"
+grep -q 'communication matrix' "$mp_dir/report.txt" \
+  || { echo "transport smoke: comm-matrix report section missing" >&2; exit 1; }
+
+# Stall-detection smoke: hang rank 1 after its first heartbeat; the
+# launcher must notice the missed heartbeats well before the hang ends,
+# name the stalled rank, and exit 3 — long before the 90 s backstop.
+if EXAWIND_STALL_RANK=1 EXAWIND_STALL_SECS=60 timeout 90 \
+  ./target/release/exawind-launch -n 2 --stall-timeout 3 -- \
+  ./target/release/exawind-worker --out "$mp_dir/stall" --telemetry "$mp_dir/stall-tel" \
+  2> "$mp_dir/stall.log"; then
+  echo "stall smoke: launcher did not fail on a hung rank" >&2
+  exit 1
+fi
+grep -q 'stalled at step' "$mp_dir/stall.log" \
+  || { echo "stall smoke: no stalled-rank diagnosis in launcher output" >&2; exit 1; }
 
 # Perf-smoke: two back-to-back recordings onto a scratch copy of the
 # committed trajectory must pass the regression gate. The tolerance is

@@ -115,6 +115,18 @@ pub struct StepReport {
     pub timings: Timings,
     /// Recovery attempts walked this step (empty on a clean step).
     pub recoveries: Vec<RecoveryRecord>,
+    /// Final GMRES relative residual per equation for the most recent
+    /// solve of this step (momentum: last velocity component).
+    pub final_rels: BTreeMap<String, f64>,
+}
+
+impl StepReport {
+    /// Worst (max) final relative residual over all equations solved
+    /// this step; 0.0 when nothing was solved. Feeds the launcher's
+    /// live-monitoring heartbeat.
+    pub fn max_final_rel(&self) -> f64 {
+        self.final_rels.values().copied().fold(0.0, f64::max)
+    }
 }
 
 /// Per-attempt modifications applied while walking the recovery ladder.
@@ -143,6 +155,8 @@ pub struct Simulation {
     systems: Vec<MeshSystem>,
     /// Cumulative per-equation, per-phase timings over all steps.
     pub timings: Timings,
+    /// Final GMRES relative residual per equation, refreshed each solve.
+    final_rels: BTreeMap<String, f64>,
     step_count: usize,
     /// Per-rank telemetry recorder (disabled = no-op).
     telemetry: telemetry::Telemetry,
@@ -199,6 +213,7 @@ impl Simulation {
             overset,
             systems,
             timings: Timings::new(),
+            final_rels: BTreeMap::new(),
             step_count: 0,
             telemetry: tel,
             tel_guard,
@@ -367,6 +382,7 @@ impl Simulation {
             gmres_iters: iters,
             timings: t,
             recoveries,
+            final_rels: self.final_rels.clone(),
         })
     }
 
@@ -540,6 +556,7 @@ impl Simulation {
         // Solve the three components with the shared matrix/preconditioner.
         let gmres = Self::make_gmres(&cfg, cfg.momentum_tol);
         let mut total_iters = 0;
+        let mut rel = 0.0;
         // Buffer the component solutions and commit only after all three
         // solves succeed, so a mid-equation failure never leaves the
         // velocity field partially updated going into a retry.
@@ -553,10 +570,12 @@ impl Simulation {
                 );
                 let stats = gmres.solve(rank, &a, b, &mut x, &*precond)?;
                 total_iters += stats.iters;
+                rel = stats.rel_residual;
                 components.push(Self::gather_nodal(rank, sys, &x));
             }
             Ok::<_, SolveError>(())
         })?;
+        self.final_rels.insert(eq.to_string(), rel);
         for (c, full) in components.iter().enumerate() {
             for (node, g) in sys.dm.gid.iter().enumerate() {
                 state.vel[node][c] = full[*g as usize];
@@ -615,16 +634,19 @@ impl Simulation {
             })?;
         let gmres = Self::make_gmres(&cfg, cfg.pressure_tol);
         let mut iters = 0;
+        let mut rel = 0.0;
         Self::phased(rank, t, eq, Phase::Solve, || {
             let mut x = ParVector::zeros(rank, sys.dm.dist.clone());
             let stats = gmres.solve(rank, &a, &b, &mut x, &*precond)?;
             iters = stats.iters;
+            rel = stats.rel_residual;
             let full = Self::gather_nodal(rank, sys, &x);
             for (node, g) in sys.dm.gid.iter().enumerate() {
                 state.dp[node] = full[*g as usize];
             }
             Ok::<_, SolveError>(())
         })?;
+        self.final_rels.insert(eq.to_string(), rel);
         // Projection correction (physics, replicated). Only reached once
         // the pressure solve has succeeded.
         Self::phased(rank, t, eq, Phase::GraphPhysics, || {
@@ -679,6 +701,7 @@ impl Simulation {
             });
         let gmres = Self::make_gmres(&cfg, cfg.momentum_tol);
         let mut iters = 0;
+        let mut rel = 0.0;
         Self::phased(rank, t, eq, Phase::Solve, || {
             let mut x = ParVector::from_local(
                 rank,
@@ -687,6 +710,7 @@ impl Simulation {
             );
             let stats = gmres.solve(rank, &a, &b, &mut x, &*precond)?;
             iters = stats.iters;
+            rel = stats.rel_residual;
             let full = Self::gather_nodal(rank, sys, &x);
             for (node, g) in sys.dm.gid.iter().enumerate() {
                 // Clip: transported viscosity must stay non-negative.
@@ -694,6 +718,7 @@ impl Simulation {
             }
             Ok::<_, SolveError>(())
         })?;
+        self.final_rels.insert(eq.to_string(), rel);
         Ok(iters)
     }
 }

@@ -6,7 +6,7 @@
 //! column sets. `Halo` packages a column map + comm package for repeated
 //! exchanges of `f64` or `u64` values.
 
-use parcomm::{Rank, Tag};
+use parcomm::{Rank, Tag, TagClass};
 use resilience::faults::{self, FaultKind};
 use resilience::SolveError;
 
@@ -31,7 +31,7 @@ impl Halo {
         Halo {
             col_map,
             pkg,
-            tag: rank.alloc_tag(),
+            tag: rank.alloc_tag_for(TagClass::Halo),
         }
     }
 

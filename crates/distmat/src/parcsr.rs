@@ -1,6 +1,6 @@
 //! ParCSR matrices: diag/offd-split distributed CSR with halo exchange.
 
-use parcomm::{KernelKind, Rank, Tag};
+use parcomm::{KernelKind, Rank, Tag, TagClass};
 use resilience::faults::{self, FaultKind};
 use resilience::SolveError;
 use sparse_kit::cost;
@@ -114,7 +114,7 @@ impl ParCsr {
             offd,
             col_map_offd,
             comm_pkg,
-            halo_tag: rank.alloc_tag(),
+            halo_tag: rank.alloc_tag_for(TagClass::Halo),
         }
     }
 

@@ -8,6 +8,7 @@
 
 use crate::comm::Rank;
 use crate::message::Message;
+use crate::perf::TagClass;
 
 impl Rank {
     /// Generic allreduce: combine every rank's `value` with `op`
@@ -17,23 +18,27 @@ impl Rank {
         T: Message + Clone,
         F: Fn(&T, &T) -> T,
     {
-        self.record_collective(value.wire_bytes() as u64);
-        let tag = self.next_internal_tag();
-        // Gather to rank 0, reduce, then broadcast.
-        if self.rank() == 0 {
-            let mut acc = value;
-            for src in 1..self.size() {
-                let v: T = self.recv_internal(src, tag);
-                acc = op(&acc, &v);
-            }
-            for dst in 1..self.size() {
-                self.send_internal(dst, tag, acc.clone());
-            }
-            acc
-        } else {
-            self.send_internal(0, tag, value);
-            self.recv_internal(0, tag)
-        }
+        let bytes = value.wire_bytes() as u64;
+        self.collective_scope("allreduce", || {
+            self.record_collective(bytes);
+            let tag = self.next_internal_tag();
+            // Gather to rank 0, reduce, then broadcast.
+            let out = if self.rank() == 0 {
+                let mut acc = value;
+                for src in 1..self.size() {
+                    let v: T = self.recv_internal(src, tag);
+                    acc = op(&acc, &v);
+                }
+                for dst in 1..self.size() {
+                    self.send_internal(dst, tag, acc.clone());
+                }
+                acc
+            } else {
+                self.send_internal(0, tag, value);
+                self.recv_internal(0, tag)
+            };
+            (out, bytes)
+        })
     }
 
     /// Allreduce with `+` on `u64`.
@@ -75,26 +80,30 @@ impl Rank {
 
     /// Gather one value from every rank onto all ranks, indexed by rank.
     pub fn allgather<T: Message + Clone>(&self, value: T) -> Vec<T> {
-        self.record_collective(value.wire_bytes() as u64);
-        let tag = self.next_internal_tag();
-        if self.rank() == 0 {
-            let mut all = Vec::with_capacity(self.size());
-            all.push(value);
-            for src in 1..self.size() {
-                all.push(self.recv_internal(src, tag));
-            }
-            // Distribute element-wise so `T` itself (not `Vec<T>`) is the
-            // only payload type that must implement `Message`.
-            for dst in 1..self.size() {
-                for v in &all {
-                    self.send_internal(dst, tag, v.clone());
+        let bytes = value.wire_bytes() as u64;
+        self.collective_scope("allgather", || {
+            self.record_collective(bytes);
+            let tag = self.next_internal_tag();
+            let out = if self.rank() == 0 {
+                let mut all = Vec::with_capacity(self.size());
+                all.push(value);
+                for src in 1..self.size() {
+                    all.push(self.recv_internal(src, tag));
                 }
-            }
-            all
-        } else {
-            self.send_internal(0, tag, value);
-            (0..self.size()).map(|_| self.recv_internal(0, tag)).collect()
-        }
+                // Distribute element-wise so `T` itself (not `Vec<T>`) is
+                // the only payload type that must implement `Message`.
+                for dst in 1..self.size() {
+                    for v in &all {
+                        self.send_internal(dst, tag, v.clone());
+                    }
+                }
+                all
+            } else {
+                self.send_internal(0, tag, value);
+                (0..self.size()).map(|_| self.recv_internal(0, tag)).collect()
+            };
+            (out, bytes)
+        })
     }
 
     /// Broadcast `value` from `root` to all ranks. Non-root ranks may pass
@@ -104,21 +113,25 @@ impl Rank {
     ///
     /// Panics if the root passes `None`.
     pub fn broadcast<T: Message + Clone>(&self, root: usize, value: Option<T>) -> T {
-        let tag = self.next_internal_tag();
-        if self.rank() == root {
-            let v = value.expect("broadcast root must supply a value");
-            self.record_collective(v.wire_bytes() as u64);
-            for dst in 0..self.size() {
-                if dst != root {
-                    self.send_internal(dst, tag, v.clone());
+        self.collective_scope("broadcast", || {
+            let tag = self.next_internal_tag();
+            if self.rank() == root {
+                let v = value.expect("broadcast root must supply a value");
+                let bytes = v.wire_bytes() as u64;
+                self.record_collective(bytes);
+                for dst in 0..self.size() {
+                    if dst != root {
+                        self.send_internal(dst, tag, v.clone());
+                    }
                 }
+                (v, bytes)
+            } else {
+                let v: T = self.recv_internal(root, tag);
+                let bytes = v.wire_bytes() as u64;
+                self.record_collective(bytes);
+                (v, bytes)
             }
-            v
-        } else {
-            let v: T = self.recv_internal(root, tag);
-            self.record_collective(v.wire_bytes() as u64);
-            v
-        }
+        })
     }
 
     /// Exclusive prefix sum: rank r receives `sum(values of ranks < r)`.
@@ -143,18 +156,27 @@ impl Rank {
         }
         let all_counts = self.allgather(counts);
         let tag = self.next_internal_tag();
-        for (dst, payload) in msgs {
-            self.send_internal_recorded(dst, tag, payload);
-        }
-        let mut received = Vec::new();
-        for (src, src_counts) in all_counts.iter().enumerate() {
-            let n = src_counts[self.rank()];
-            for _ in 0..n {
-                let payload: T = self.recv_internal(src, tag);
-                received.push((src, payload));
+        // Although the exchange rides a reserved tag, it moves *user*
+        // payloads — classify its edges as p2p, matching the msgs/msg_bytes
+        // accounting below. The latency scope brackets the exchange proper;
+        // the counts allgather above is visible separately as "allgather".
+        self.classify_tag(tag, TagClass::P2p);
+        self.collective_scope("sparse_exchange", || {
+            let mut sent_bytes = 0u64;
+            for (dst, payload) in msgs {
+                sent_bytes += payload.wire_bytes() as u64;
+                self.send_internal_recorded(dst, tag, payload);
             }
-        }
-        received
+            let mut received = Vec::new();
+            for (src, src_counts) in all_counts.iter().enumerate() {
+                let n = src_counts[self.rank()];
+                for _ in 0..n {
+                    let payload: T = self.recv_internal(src, tag);
+                    received.push((src, payload));
+                }
+            }
+            (received, sent_bytes)
+        })
     }
 
     /// Internal send that *is* recorded as point-to-point traffic
@@ -273,6 +295,54 @@ mod tests {
         });
         assert_eq!(out[0], vec![(0, 100)]);
         assert_eq!(out[1], vec![(1, 101)]);
+    }
+
+    #[test]
+    fn collective_kinds_count_without_clocks() {
+        let out = Comm::run(2, |rank| {
+            rank.allreduce_sum(1);
+            rank.allgather(1u64);
+            rank.barrier();
+            rank.with_recorder(|rec| rec.collective_kinds().clone())
+        });
+        for kinds in &out {
+            assert_eq!(kinds["allreduce"].count, 1);
+            assert_eq!(kinds["allreduce"].bytes, 8);
+            assert_eq!(kinds["allgather"].count, 1);
+            assert_eq!(kinds["barrier"].count, 1);
+            // No telemetry on these threads → no clocks → no latency samples.
+            assert_eq!(kinds["allreduce"].latency.count(), 0);
+        }
+    }
+
+    #[test]
+    fn collective_latency_sampled_when_telemetry_enabled() {
+        let out = Comm::run(2, |rank| {
+            let tel = telemetry::Telemetry::enabled(rank.rank());
+            let _guard = tel.install();
+            rank.allreduce_sum(1);
+            rank.allreduce_sum(2);
+            rank.with_recorder(|rec| rec.collective_kinds().clone())
+        });
+        for kinds in &out {
+            let s = &kinds["allreduce"];
+            assert_eq!(s.count, 2);
+            assert_eq!(s.latency.count(), 2);
+        }
+    }
+
+    #[test]
+    fn sparse_exchange_edges_are_p2p_class() {
+        use crate::perf::TagClass;
+        let out = Comm::run(2, |rank| {
+            let msgs = if rank.rank() == 0 { vec![(1usize, 7u64)] } else { vec![] };
+            rank.sparse_exchange(msgs);
+            rank.with_recorder(|rec| rec.edges().clone())
+        });
+        // The payload edge is p2p; the counts allgather stays collective.
+        assert_eq!(out[0][&(0, 1, TagClass::P2p)].bytes, 8);
+        assert_eq!(out[1][&(0, 1, TagClass::P2p)].bytes, 8);
+        assert!(out[0].keys().any(|&(_, _, c)| c == TagClass::Collective));
     }
 
     #[test]

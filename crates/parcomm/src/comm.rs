@@ -7,12 +7,13 @@
 //! when `EXAWIND_TRANSPORT=socket` (see `transport.rs`/`socket.rs`).
 
 use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::message::{encode_payload, Message};
-use crate::perf::{KernelKind, PerfRecorder, PhaseTrace};
+use crate::perf::{KernelKind, PerfRecorder, PhaseTrace, TagClass};
 use crate::socket;
 use crate::transport::{
     Envelope, Payload, RecvEvent, RecvTimeout, Transport, TransportKind, WireFrame,
@@ -23,6 +24,15 @@ use crate::transport::{
 pub type Tag = u32;
 
 pub(crate) const INTERNAL_TAG_BASE: Tag = 1 << 24;
+
+/// Clock handle for comm wait/transfer timing. `None` — no clock is read
+/// at all — unless telemetry is enabled on the calling thread, which
+/// keeps disabled runs free of any timing syscalls (the determinism
+/// discipline shared with the rest of the telemetry stack; rayon workers
+/// never have a dispatcher installed, so they never read clocks either).
+fn comm_clock() -> Option<Instant> {
+    telemetry::is_enabled().then(Instant::now)
+}
 
 /// How long a blocking receive waits before declaring a deadlock.
 /// Override with the `PARCOMM_TIMEOUT_SECS` environment variable.
@@ -270,6 +280,10 @@ pub struct Rank {
     coll_seq: Cell<Tag>,
     user_tag_seq: Cell<Tag>,
     perf: RefCell<PerfRecorder>,
+    /// Tags with a non-default [`TagClass`] (halo tags, sparse-exchange
+    /// tags). Tags agree across ranks (collective allocation order), so
+    /// both endpoints classify an edge identically.
+    tag_classes: RefCell<HashMap<Tag, TagClass>>,
 }
 
 impl Rank {
@@ -281,6 +295,7 @@ impl Rank {
             coll_seq: Cell::new(0),
             user_tag_seq: Cell::new(0),
             perf: RefCell::new(PerfRecorder::new()),
+            tag_classes: RefCell::new(HashMap::new()),
         }
     }
 
@@ -308,9 +323,18 @@ impl Rank {
     fn send_raw<T: Message>(&self, dst: usize, tag: Tag, msg: T, record: bool) {
         let me = self.rank();
         assert!(dst < self.size(), "send to rank {dst} out of range 0..{}", self.size());
-        if record && dst != me {
-            self.perf.borrow_mut().message(msg.wire_bytes() as u64);
+        if dst != me {
+            let bytes = msg.wire_bytes() as u64;
+            let mut rec = self.perf.borrow_mut();
+            if record {
+                rec.message(bytes);
+            }
+            // The comm matrix sees *every* off-rank message, including
+            // collective-internal traffic (classified by tag), unlike the
+            // legacy msgs/msg_bytes counters which collectives hide.
+            rec.edge(me, dst, self.class_of(tag), bytes);
         }
+        let clock = if dst != me { comm_clock() } else { None };
         // Self-sends never cross an address space: keep them local (and
         // unserialized) on every transport.
         let payload = if self.transport.is_wire() && dst != me {
@@ -322,6 +346,9 @@ impl Rank {
             Payload::Local(Box::new(msg))
         };
         self.transport.send(dst, tag, payload);
+        if let Some(t0) = clock {
+            self.perf.borrow_mut().comm_transfer(t0.elapsed().as_secs_f64());
+        }
     }
 
     /// Blocking receive of a typed message from `src` with matching `tag`.
@@ -363,7 +390,15 @@ impl Rank {
             return Err(CommError::Disconnected { rank: self.rank(), peer: src });
         }
         loop {
-            match self.transport.recv_next(recv_timeout()) {
+            // Wait time is the blocking `recv_next` itself — matching a
+            // pending message above costs no wait, and decode time is
+            // accounted separately as transfer time in `extract`.
+            let clock = comm_clock();
+            let event = self.transport.recv_next(recv_timeout());
+            if let Some(t0) = clock {
+                self.perf.borrow_mut().comm_wait(t0.elapsed().as_secs_f64());
+            }
+            match event {
                 Err(RecvTimeout) => {
                     return Err(CommError::Timeout { rank: self.rank(), src, tag });
                 }
@@ -391,29 +426,52 @@ impl Rank {
     fn extract<T: Message>(&self, env: Envelope) -> Result<T, CommError> {
         let rank = self.rank();
         let (src, tag) = (env.src, env.tag);
-        match env.payload {
+        let clock = if src != rank { comm_clock() } else { None };
+        let out: Result<T, CommError> = match env.payload {
             Payload::Local(b) => b
                 .downcast::<T>()
                 .map(|b| *b)
                 .map_err(|_| CommError::TypeMismatch { rank, src, tag }),
             Payload::Wire(frame) => {
                 if frame.type_id != T::wire_id() {
-                    return Err(CommError::TypeMismatch { rank, src, tag });
+                    Err(CommError::TypeMismatch { rank, src, tag })
+                } else {
+                    crate::message::decode_payload(&frame.bytes).map_err(|e| CommError::Decode {
+                        rank,
+                        src,
+                        tag,
+                        detail: e.detail,
+                    })
                 }
-                crate::message::decode_payload(&frame.bytes).map_err(|e| CommError::Decode {
-                    rank,
-                    src,
-                    tag,
-                    detail: e.detail,
-                })
+            }
+        };
+        if src != rank {
+            let mut rec = self.perf.borrow_mut();
+            if let Ok(msg) = &out {
+                // Count the typed message's wire_bytes — the same quantity
+                // the sender counted, on both transports, so a healthy
+                // run's edges are symmetric by construction.
+                rec.edge(src, rank, self.class_of(tag), msg.wire_bytes() as u64);
+            }
+            if let Some(t0) = clock {
+                rec.comm_transfer(t0.elapsed().as_secs_f64());
             }
         }
+        out
     }
 
-    /// Synchronize all ranks. Recorded as one collective.
+    /// Synchronize all ranks. Recorded as one collective; time blocked in
+    /// the barrier counts as wait time when comm timing is enabled.
     pub fn barrier(&self) {
         self.perf.borrow_mut().collective(0);
+        let clock = comm_clock();
         self.transport.barrier();
+        let secs = clock.map(|t0| t0.elapsed().as_secs_f64());
+        let mut rec = self.perf.borrow_mut();
+        if let Some(secs) = secs {
+            rec.comm_wait(secs);
+        }
+        rec.collective_kind("barrier", 0, secs);
     }
 
     #[allow(dead_code)]
@@ -438,6 +496,51 @@ impl Rank {
         let seq = self.user_tag_seq.get();
         self.user_tag_seq.set(seq.wrapping_add(1));
         0x1000 + (seq % (INTERNAL_TAG_BASE - 0x1000))
+    }
+
+    /// [`Rank::alloc_tag`], additionally classifying the tag's traffic for
+    /// the per-peer communication matrix (e.g. halo-exchange plans
+    /// allocate their tag with [`TagClass::Halo`]). Since tags are
+    /// allocated collectively in the same order on every rank, both
+    /// endpoints of an edge classify it identically.
+    pub fn alloc_tag_for(&self, class: TagClass) -> Tag {
+        let tag = self.alloc_tag();
+        self.classify_tag(tag, class);
+        tag
+    }
+
+    /// Register a non-default traffic class for `tag`.
+    pub(crate) fn classify_tag(&self, tag: Tag, class: TagClass) {
+        self.tag_classes.borrow_mut().insert(tag, class);
+    }
+
+    /// Traffic class of a tag: explicit registration wins, reserved
+    /// internal tags are collective traffic, everything else is p2p.
+    fn class_of(&self, tag: Tag) -> TagClass {
+        if let Some(&c) = self.tag_classes.borrow().get(&tag) {
+            return c;
+        }
+        if tag >= INTERNAL_TAG_BASE {
+            TagClass::Collective
+        } else {
+            TagClass::P2p
+        }
+    }
+
+    /// Run one collective operation's body, recording per-kind
+    /// participation stats and (when comm timing is enabled) the
+    /// operation's wall-clock latency. `f` returns the result plus the
+    /// bytes this rank contributed.
+    pub(crate) fn collective_scope<R>(
+        &self,
+        kind: &'static str,
+        f: impl FnOnce() -> (R, u64),
+    ) -> R {
+        let clock = comm_clock();
+        let (out, bytes) = f();
+        let secs = clock.map(|t0| t0.elapsed().as_secs_f64());
+        self.perf.borrow_mut().collective_kind(kind, bytes, secs);
+        out
     }
 
     pub(crate) fn send_internal<T: Message>(&self, dst: usize, tag: Tag, msg: T) {
@@ -484,9 +587,12 @@ impl Rank {
         self.perf.borrow().snapshot()
     }
 
-    /// This rank's accumulated perf trace as telemetry events, one
-    /// [`telemetry::Event::PhasePerf`] per phase label in sorted order
-    /// (so the export is deterministic regardless of execution order).
+    /// This rank's accumulated perf trace as telemetry events: one
+    /// [`telemetry::Event::PhasePerf`] per phase label, one
+    /// [`telemetry::Event::CommEdge`] per (src, dst, class) traffic edge
+    /// this rank observed, and one [`telemetry::Event::Collective`] per
+    /// collective kind — each group in sorted order (so the export is
+    /// deterministic regardless of execution order).
     ///
     /// **Label contract** (checked by `telemetry::validate_stream` and
     /// the `validate_telemetry` bin): a label containing `/` is a
@@ -496,14 +602,15 @@ impl Rank {
     /// `telemetry::span`. Bare labels (the default `other` phase, ad-hoc
     /// `with_phase` scopes) carry no span reference and are exempt.
     pub fn telemetry_events(&self) -> Vec<telemetry::Event> {
+        let me = self.rank();
         let trace = self.trace_snapshot();
-        trace
+        let mut events: Vec<telemetry::Event> = trace
             .phase_names()
             .into_iter()
             .map(|label| {
                 let t = trace.phase(&label);
                 telemetry::Event::PhasePerf {
-                    rank: self.rank(),
+                    rank: me,
                     label,
                     kernel_launches: t.kernel_launches,
                     kernel_bytes: t.kernel_bytes,
@@ -512,9 +619,33 @@ impl Rank {
                     msg_bytes: t.msg_bytes,
                     collectives: t.collectives,
                     collective_bytes: t.collective_bytes,
+                    wait_secs: t.wait_secs,
+                    transfer_secs: t.transfer_secs,
                 }
             })
-            .collect()
+            .collect();
+        let rec = self.perf.borrow();
+        for (&(src, dst, class), e) in rec.edges() {
+            events.push(telemetry::Event::CommEdge {
+                rank: me,
+                src,
+                dst,
+                class: class.label().to_string(),
+                msgs: e.msgs,
+                bytes: e.bytes,
+            });
+        }
+        for (&kind, s) in rec.collective_kinds() {
+            events.push(telemetry::Event::Collective {
+                rank: me,
+                kind: kind.to_string(),
+                count: s.count,
+                bytes: s.bytes,
+                secs: s.latency.total(),
+                buckets: s.latency.buckets(),
+            });
+        }
+        events
     }
 }
 
@@ -623,6 +754,109 @@ mod tests {
         assert_eq!(t0.msgs, 1);
         assert_eq!(t0.msg_bytes, 128);
         assert!(traces[1].total().msgs == 0);
+    }
+
+    #[test]
+    fn edges_are_recorded_symmetrically() {
+        use crate::perf::EdgeStats;
+        both_transports(|k| {
+            let out = Comm::run_with(k, 2, |rank| {
+                if rank.rank() == 0 {
+                    rank.send(1, 7, vec![1.0f64; 10]);
+                } else {
+                    let _: Vec<f64> = rank.recv(0, 7);
+                }
+                rank.allreduce_sum(1);
+                rank.with_recorder(|rec| rec.edges().clone())
+            });
+            // Sender view (rank 0) and receiver view (rank 1) agree.
+            let s = out[0][&(0, 1, TagClass::P2p)];
+            let r = out[1][&(0, 1, TagClass::P2p)];
+            assert_eq!(s, EdgeStats { msgs: 1, bytes: 80 });
+            assert_eq!(s, r);
+            // Collective-internal traffic shows up under its own class.
+            assert!(out[0].keys().any(|&(_, _, c)| c == TagClass::Collective));
+            assert!(out[1].keys().any(|&(_, _, c)| c == TagClass::Collective));
+        });
+    }
+
+    #[test]
+    fn alloc_tag_for_classifies_edge_traffic() {
+        use crate::perf::EdgeStats;
+        both_transports(|k| {
+            let out = Comm::run_with(k, 2, |rank| {
+                let tag = rank.alloc_tag_for(TagClass::Halo);
+                if rank.rank() == 0 {
+                    rank.send(1, tag, 42u64);
+                } else {
+                    let _: u64 = rank.recv(0, tag);
+                }
+                rank.with_recorder(|rec| rec.edges().clone())
+            });
+            let expect = EdgeStats { msgs: 1, bytes: 8 };
+            assert_eq!(out[0][&(0, 1, TagClass::Halo)], expect);
+            assert_eq!(out[1][&(0, 1, TagClass::Halo)], expect);
+        });
+    }
+
+    #[test]
+    fn telemetry_events_include_comm_edges_and_collectives() {
+        let out = Comm::run(2, |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 3, 1u64);
+            } else {
+                let _: u64 = rank.recv(0, 3);
+            }
+            rank.allreduce_sum(1);
+            rank.barrier();
+            rank.telemetry_events()
+        });
+        for events in &out {
+            let tags: Vec<&str> = events.iter().map(|e| e.type_tag()).collect();
+            assert!(tags.contains(&"comm_edge"), "{tags:?}");
+            assert!(tags.contains(&"collective"), "{tags:?}");
+        }
+    }
+
+    #[test]
+    fn comm_timing_stays_zero_without_telemetry() {
+        let out = Comm::run(2, |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 3, vec![0u64; 64]);
+            } else {
+                let _: Vec<u64> = rank.recv(0, 3);
+            }
+            rank.barrier();
+            rank.trace_snapshot().total()
+        });
+        for t in &out {
+            assert_eq!(t.wait_secs, 0.0);
+            assert_eq!(t.transfer_secs, 0.0);
+        }
+    }
+
+    #[test]
+    fn comm_timing_recorded_when_telemetry_enabled() {
+        let out = Comm::run(2, |rank| {
+            let tel = telemetry::Telemetry::enabled(rank.rank());
+            let _guard = tel.install();
+            if rank.rank() == 0 {
+                // Make the receiver measurably wait.
+                std::thread::sleep(Duration::from_millis(5));
+                rank.send(1, 3, vec![0u64; 4096]);
+                let _: u64 = rank.recv(1, 4);
+            } else {
+                let _: Vec<u64> = rank.recv(0, 3);
+                std::thread::sleep(Duration::from_millis(5));
+                rank.send(0, 4, 1u64);
+            }
+            rank.trace_snapshot().total()
+        });
+        // Each rank blocked ≥5ms in a receive.
+        for t in &out {
+            assert!(t.wait_secs >= 0.004, "wait_secs = {}", t.wait_secs);
+            assert!(t.transfer_secs > 0.0, "transfer_secs = {}", t.transfer_secs);
+        }
     }
 
     #[test]

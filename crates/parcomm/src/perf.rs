@@ -7,7 +7,74 @@
 //! execution times for Summit/Eagle-class hardware; the harness binaries
 //! use the per-phase breakdown to regenerate the paper's Figures 6 and 7.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+
+use telemetry::LogHistogram;
+
+/// Classification of a message tag, used to split the per-peer
+/// communication matrix into traffic families: halo exchanges, internal
+/// collective fan-in/fan-out, and everything else (plain point-to-point).
+///
+/// The class of a message is decided by its tag alone — tags at or above
+/// the reserved internal base are `Collective`; tags allocated through
+/// `Rank::alloc_tag_for` carry the class they were allocated with; all
+/// remaining tags are `P2p`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TagClass {
+    /// Plain point-to-point traffic on user tags.
+    P2p,
+    /// Halo-exchange traffic (tags allocated by `distmat::halo`).
+    Halo,
+    /// Internal traffic of collective operations.
+    Collective,
+}
+
+impl TagClass {
+    /// Stable string label, as emitted in `comm_edge` telemetry events.
+    pub fn label(self) -> &'static str {
+        match self {
+            TagClass::P2p => "p2p",
+            TagClass::Halo => "halo",
+            TagClass::Collective => "coll",
+        }
+    }
+
+    /// Inverse of [`TagClass::label`].
+    pub fn parse(s: &str) -> Option<TagClass> {
+        match s {
+            "p2p" => Some(TagClass::P2p),
+            "halo" => Some(TagClass::Halo),
+            "coll" => Some(TagClass::Collective),
+            _ => None,
+        }
+    }
+}
+
+/// Traffic totals of one directed communication edge, as observed by one
+/// endpoint. The sender and receiver of an edge each accumulate their own
+/// `EdgeStats`; because both sides count the typed message's
+/// `wire_bytes`, a healthy run produces identical totals at both ends
+/// (checked by `telemetry::validate_stream`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EdgeStats {
+    /// Messages that crossed the edge.
+    pub msgs: u64,
+    /// Payload bytes (cost-model `wire_bytes`, not framed size).
+    pub bytes: u64,
+}
+
+/// Per-collective-kind participation stats for one rank.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CollectiveStats {
+    /// Times this rank entered the collective.
+    pub count: u64,
+    /// Bytes this rank contributed across all entries.
+    pub bytes: u64,
+    /// Wall-clock latency per entry, seconds. Only populated when comm
+    /// timing is enabled (telemetry installed on the rank thread);
+    /// `latency.count()` may therefore be less than `count`.
+    pub latency: LogHistogram,
+}
 
 /// Classification of a device kernel, used for reporting and so that the
 /// machine model can apply kind-specific launch overheads.
@@ -42,6 +109,13 @@ pub struct Trace {
     pub collectives: u64,
     /// Bytes contributed to collectives by this rank.
     pub collective_bytes: u64,
+    /// Seconds spent *blocked* waiting for communication: the receive
+    /// loop of `recv`/collectives and barriers. Zero unless comm timing
+    /// is enabled (telemetry installed on the rank thread).
+    pub wait_secs: f64,
+    /// Seconds spent moving bytes: send-side encode + enqueue and
+    /// recv-side decode. Zero unless comm timing is enabled.
+    pub transfer_secs: f64,
     /// Per-kind launch counts (subset view of `kernel_launches`).
     pub launches_by_kind: HashMap<KernelKind, u64>,
 }
@@ -56,6 +130,8 @@ impl Trace {
         self.msg_bytes += other.msg_bytes;
         self.collectives += other.collectives;
         self.collective_bytes += other.collective_bytes;
+        self.wait_secs += other.wait_secs;
+        self.transfer_secs += other.transfer_secs;
         for (kind, n) in &other.launches_by_kind {
             *self.launches_by_kind.entry(*kind).or_insert(0) += n;
         }
@@ -82,6 +158,8 @@ impl Trace {
             out.msg_bytes = out.msg_bytes.max(t.msg_bytes);
             out.collectives = out.collectives.max(t.collectives);
             out.collective_bytes = out.collective_bytes.max(t.collective_bytes);
+            out.wait_secs = out.wait_secs.max(t.wait_secs);
+            out.transfer_secs = out.transfer_secs.max(t.transfer_secs);
             for (kind, n) in &t.launches_by_kind {
                 let e = out.launches_by_kind.entry(*kind).or_insert(0);
                 *e = (*e).max(*n);
@@ -152,6 +230,12 @@ impl PhaseTrace {
 pub struct PerfRecorder {
     current: String,
     trace: PhaseTrace,
+    /// Per-(src, dst, class) traffic this rank observed — sends it issued
+    /// and receives it completed. BTreeMap keeps export order stable.
+    edges: BTreeMap<(usize, usize, TagClass), EdgeStats>,
+    /// Per-kind collective participation (count/bytes always; latency
+    /// only when comm timing is enabled).
+    coll_kinds: BTreeMap<&'static str, CollectiveStats>,
 }
 
 impl Default for PerfRecorder {
@@ -166,6 +250,8 @@ impl PerfRecorder {
         PerfRecorder {
             current: "other".to_string(),
             trace: PhaseTrace::default(),
+            edges: BTreeMap::new(),
+            coll_kinds: BTreeMap::new(),
         }
     }
 
@@ -203,6 +289,50 @@ impl PerfRecorder {
         let t = self.trace.entry(&current);
         t.collectives += 1;
         t.collective_bytes += bytes;
+    }
+
+    /// Record traffic on one directed edge as observed by this rank
+    /// (called once on the sender and once on the receiver).
+    pub fn edge(&mut self, src: usize, dst: usize, class: TagClass, bytes: u64) {
+        let e = self.edges.entry((src, dst, class)).or_default();
+        e.msgs += 1;
+        e.bytes += bytes;
+    }
+
+    /// Add seconds spent blocked on communication to the current phase.
+    pub fn comm_wait(&mut self, secs: f64) {
+        let current = self.current.clone();
+        self.trace.entry(&current).wait_secs += secs;
+    }
+
+    /// Add seconds spent encoding/decoding/enqueuing message payloads to
+    /// the current phase.
+    pub fn comm_transfer(&mut self, secs: f64) {
+        let current = self.current.clone();
+        self.trace.entry(&current).transfer_secs += secs;
+    }
+
+    /// Record one entry into a collective of the given kind. `secs` is
+    /// the wall-clock latency of the whole operation on this rank, absent
+    /// when comm timing is disabled (counts stay deterministic either
+    /// way; only the latency histogram reads a clock).
+    pub fn collective_kind(&mut self, kind: &'static str, bytes: u64, secs: Option<f64>) {
+        let s = self.coll_kinds.entry(kind).or_default();
+        s.count += 1;
+        s.bytes += bytes;
+        if let Some(secs) = secs {
+            s.latency.record(secs);
+        }
+    }
+
+    /// Per-edge traffic observed so far.
+    pub fn edges(&self) -> &BTreeMap<(usize, usize, TagClass), EdgeStats> {
+        &self.edges
+    }
+
+    /// Per-kind collective stats observed so far.
+    pub fn collective_kinds(&self) -> &BTreeMap<&'static str, CollectiveStats> {
+        &self.coll_kinds
     }
 
     /// Finish recording and take the accumulated phase trace.
@@ -271,6 +401,56 @@ mod tests {
         let max = Trace::max([&a, &b]);
         assert_eq!(max.kernel_launches, 5);
         assert_eq!(max.msg_bytes, 10);
+    }
+
+    #[test]
+    fn edges_accumulate_by_src_dst_class() {
+        let mut rec = PerfRecorder::new();
+        rec.edge(0, 1, TagClass::P2p, 64);
+        rec.edge(0, 1, TagClass::P2p, 16);
+        rec.edge(0, 1, TagClass::Halo, 8);
+        rec.edge(1, 0, TagClass::P2p, 4);
+        let edges = rec.edges();
+        assert_eq!(edges[&(0, 1, TagClass::P2p)], EdgeStats { msgs: 2, bytes: 80 });
+        assert_eq!(edges[&(0, 1, TagClass::Halo)], EdgeStats { msgs: 1, bytes: 8 });
+        assert_eq!(edges[&(1, 0, TagClass::P2p)], EdgeStats { msgs: 1, bytes: 4 });
+    }
+
+    #[test]
+    fn wait_and_transfer_land_in_current_phase() {
+        let mut rec = PerfRecorder::new();
+        rec.set_phase("solve");
+        rec.comm_wait(0.5);
+        rec.comm_wait(0.25);
+        rec.comm_transfer(0.125);
+        let trace = rec.finish();
+        let solve = trace.phase("solve");
+        assert_eq!(solve.wait_secs, 0.75);
+        assert_eq!(solve.transfer_secs, 0.125);
+        // add/max propagate the new fields.
+        let total = Trace::total([&solve, &solve]);
+        assert_eq!(total.wait_secs, 1.5);
+        let max = Trace::max([&solve, &total]);
+        assert_eq!(max.wait_secs, 1.5);
+    }
+
+    #[test]
+    fn collective_kind_latency_is_optional() {
+        let mut rec = PerfRecorder::new();
+        rec.collective_kind("allreduce", 8, None);
+        rec.collective_kind("allreduce", 8, Some(0.001));
+        let s = &rec.collective_kinds()["allreduce"];
+        assert_eq!(s.count, 2);
+        assert_eq!(s.bytes, 16);
+        assert_eq!(s.latency.count(), 1);
+    }
+
+    #[test]
+    fn tag_class_labels_round_trip() {
+        for c in [TagClass::P2p, TagClass::Halo, TagClass::Collective] {
+            assert_eq!(TagClass::parse(c.label()), Some(c));
+        }
+        assert_eq!(TagClass::parse("nope"), None);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The telemetry event schema (version 1).
+//! The telemetry event schema (see [`SCHEMA_VERSION`]).
 //!
 //! One event per JSONL line, tagged by `"type"`. The stream carries the
 //! three solver telemetry islands in one format:
@@ -8,7 +8,9 @@
 //! | `run`        | export harness            | run metadata              |
 //! | `span`       | hierarchical span guards  | phase wall-clock tree     |
 //! | `phase_time` | `nalu_core::Timings`      | Figs. 6/7 stacked bars    |
-//! | `phase_perf` | `parcomm::PhaseTrace`     | machine-model inputs      |
+//! | `phase_perf` | `parcomm::PhaseTrace`     | machine-model inputs, wait-vs-compute imbalance |
+//! | `comm_edge`  | `parcomm::Rank` edge accounting | Figs. 8–10 rank×rank comm matrix |
+//! | `collective` | `parcomm` collective scopes | collective latency histograms |
 //! | `amg`        | `amg::AmgHierarchy::setup`| Tables 2–4 per-level rows |
 //! | `gmres`      | `krylov::Gmres::solve`    | convergence trajectories  |
 //! | `recovery`   | `nalu_core` Picard driver | solver-fault escalations  |
@@ -23,9 +25,11 @@
 use crate::json::Json;
 
 /// Schema version stamped into `run` events. Version 2 added the
-/// `kernel_perf` event type (purely additive; version-1 streams still
-/// parse).
-pub const SCHEMA_VERSION: u64 = 2;
+/// `kernel_perf` event type; version 3 added `comm_edge` and
+/// `collective` plus the `wait_secs`/`transfer_secs` fields on
+/// `phase_perf` (all purely additive; older streams still parse, with
+/// the new phase_perf fields defaulting to 0).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One row of an AMG hierarchy: global rows and nonzeros of a level
 /// operator.
@@ -62,7 +66,8 @@ pub enum Event {
         phase: String,
         secs: f64,
     },
-    /// Per-phase operation counts (from `parcomm::PhaseTrace`).
+    /// Per-phase operation counts (from `parcomm::PhaseTrace`), plus the
+    /// phase's wait/transfer split when comm timing was enabled.
     PhasePerf {
         rank: usize,
         label: String,
@@ -73,6 +78,40 @@ pub enum Event {
         msg_bytes: u64,
         collectives: u64,
         collective_bytes: u64,
+        /// Seconds blocked in receives/collectives/barriers (0 when comm
+        /// timing was disabled or in pre-v3 streams).
+        wait_secs: f64,
+        /// Seconds spent encoding/decoding/enqueuing payloads (0 when
+        /// comm timing was disabled or in pre-v3 streams).
+        transfer_secs: f64,
+    },
+    /// Traffic totals of one directed (src → dst) communication edge in
+    /// one tag class, as observed by `rank` (which is one of the two
+    /// endpoints — both endpoints report, and a healthy run's reports
+    /// agree; `validate_stream` checks this).
+    CommEdge {
+        rank: usize,
+        src: usize,
+        dst: usize,
+        /// Tag class label: `p2p` | `halo` | `coll`.
+        class: String,
+        msgs: u64,
+        bytes: u64,
+    },
+    /// One rank's participation in one collective kind: entry count,
+    /// contributed bytes, and a log₂ latency histogram over per-entry
+    /// seconds (empty when comm timing was disabled).
+    Collective {
+        rank: usize,
+        /// Collective kind: `allreduce` | `allgather` | `broadcast` |
+        /// `sparse_exchange` | `barrier`.
+        kind: String,
+        count: u64,
+        bytes: u64,
+        /// Total latency seconds across sampled entries.
+        secs: f64,
+        /// Log₂ buckets of per-entry latency, as in `hist`.
+        buckets: Vec<(i32, u64)>,
     },
     /// One AMG setup: per-level rows/nnz plus the paper's grid and
     /// operator complexities.
@@ -151,6 +190,8 @@ impl Event {
             Event::Span { .. } => "span",
             Event::PhaseTime { .. } => "phase_time",
             Event::PhasePerf { .. } => "phase_perf",
+            Event::CommEdge { .. } => "comm_edge",
+            Event::Collective { .. } => "collective",
             Event::AmgSetup { .. } => "amg",
             Event::Gmres { .. } => "gmres",
             Event::Recovery { .. } => "recovery",
@@ -219,6 +260,8 @@ impl Event {
                 msg_bytes,
                 collectives,
                 collective_bytes,
+                wait_secs,
+                transfer_secs,
             } => Json::obj(vec![
                 ("type", tag),
                 ("rank", Json::Int(*rank as i128)),
@@ -230,6 +273,50 @@ impl Event {
                 ("msg_bytes", Json::Int(*msg_bytes as i128)),
                 ("collectives", Json::Int(*collectives as i128)),
                 ("collective_bytes", Json::Int(*collective_bytes as i128)),
+                ("wait_secs", Json::Float(*wait_secs)),
+                ("transfer_secs", Json::Float(*transfer_secs)),
+            ]),
+            Event::CommEdge {
+                rank,
+                src,
+                dst,
+                class,
+                msgs,
+                bytes,
+            } => Json::obj(vec![
+                ("type", tag),
+                ("rank", Json::Int(*rank as i128)),
+                ("src", Json::Int(*src as i128)),
+                ("dst", Json::Int(*dst as i128)),
+                ("class", Json::Str(class.clone())),
+                ("msgs", Json::Int(*msgs as i128)),
+                ("bytes", Json::Int(*bytes as i128)),
+            ]),
+            Event::Collective {
+                rank,
+                kind,
+                count,
+                bytes,
+                secs,
+                buckets,
+            } => Json::obj(vec![
+                ("type", tag),
+                ("rank", Json::Int(*rank as i128)),
+                ("kind", Json::Str(kind.clone())),
+                ("count", Json::Int(*count as i128)),
+                ("bytes", Json::Int(*bytes as i128)),
+                ("secs", Json::Float(*secs)),
+                (
+                    "buckets",
+                    Json::Arr(
+                        buckets
+                            .iter()
+                            .map(|&(e, c)| {
+                                Json::Arr(vec![Json::Int(e as i128), Json::Int(c as i128)])
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
             Event::AmgSetup {
                 rank,
@@ -457,7 +544,46 @@ impl Event {
                 msg_bytes: u64_field("msg_bytes")?,
                 collectives: u64_field("collectives")?,
                 collective_bytes: u64_field("collective_bytes")?,
+                // Absent in pre-v3 streams.
+                wait_secs: obj.get("wait_secs").and_then(Json::as_f64).unwrap_or(0.0),
+                transfer_secs: obj.get("transfer_secs").and_then(Json::as_f64).unwrap_or(0.0),
             }),
+            "comm_edge" => Ok(Event::CommEdge {
+                rank: usize_field("rank")?,
+                src: usize_field("src")?,
+                dst: usize_field("dst")?,
+                class: str_field("class")?,
+                msgs: u64_field("msgs")?,
+                bytes: u64_field("bytes")?,
+            }),
+            "collective" => {
+                let buckets = obj
+                    .get("buckets")
+                    .and_then(Json::as_arr)
+                    .ok_or("collective: missing \"buckets\" array")?
+                    .iter()
+                    .map(|b| {
+                        let pair = b.as_arr().ok_or("collective: bucket is not a pair")?;
+                        if pair.len() != 2 {
+                            return Err("collective: bucket is not a pair".to_string());
+                        }
+                        let e = pair[0]
+                            .as_i128()
+                            .and_then(|i| i32::try_from(i).ok())
+                            .ok_or("collective: bad bucket exponent")?;
+                        let c = pair[1].as_u64().ok_or("collective: bad bucket count")?;
+                        Ok((e, c))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Event::Collective {
+                    rank: usize_field("rank")?,
+                    kind: str_field("kind")?,
+                    count: u64_field("count")?,
+                    bytes: u64_field("bytes")?,
+                    secs: f64_field("secs")?,
+                    buckets,
+                })
+            }
             "amg" => {
                 let levels = obj
                     .get("levels")
@@ -609,6 +735,24 @@ impl Event {
                 msg_bytes: 2048,
                 collectives: 7,
                 collective_bytes: 56,
+                wait_secs: 0.0625,
+                transfer_secs: 0.0078125,
+            },
+            Event::CommEdge {
+                rank: 0,
+                src: 0,
+                dst: 3,
+                class: "halo".into(),
+                msgs: 96,
+                bytes: 786_432,
+            },
+            Event::Collective {
+                rank: 1,
+                kind: "allreduce".into(),
+                count: 64,
+                bytes: 512,
+                secs: 0.004,
+                buckets: vec![(-15, 60), (-14, 4)],
             },
             Event::AmgSetup {
                 rank: 0,
@@ -696,6 +840,19 @@ mod tests {
                 assert_eq!(bench, "amg_setup/direct");
                 assert_eq!(samples, 10);
                 assert_eq!(threads, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_v3_phase_perf_lines_parse_with_zero_comm_secs() {
+        let line = r#"{"type":"phase_perf","rank":0,"label":"continuity/solve","kernel_launches":1,"kernel_bytes":2,"kernel_flops":3,"msgs":4,"msg_bytes":5,"collectives":6,"collective_bytes":7}"#;
+        match Event::parse_line(line).unwrap() {
+            Event::PhasePerf { wait_secs, transfer_secs, msgs, .. } => {
+                assert_eq!(wait_secs, 0.0);
+                assert_eq!(transfer_secs, 0.0);
+                assert_eq!(msgs, 4);
             }
             other => panic!("{other:?}"),
         }

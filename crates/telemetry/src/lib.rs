@@ -501,17 +501,38 @@ pub fn read_jsonl(path: &str) -> Result<Vec<Event>, String> {
 ///   (parcomm's default `other` phase) carry no span reference and pass.
 /// - every `kernel_perf` must be sane: at least one call, finite
 ///   non-negative seconds and rates.
+/// - every `comm_edge` must be reported by one of its two endpoints,
+///   must not be a self-edge, and (when a `run` event names the rank
+///   count) must stay in rank range; where *both* endpoints of an edge
+///   report it, their msg/byte totals must agree.
+/// - collective participation must be consistent: every rank that
+///   reports any `collective` event must report every kind seen in the
+///   stream, with identical per-rank counts (collectives are
+///   bulk-synchronous). Partial per-rank streams — where only some ranks
+///   report at all — still validate; only *inconsistent* participation
+///   is an error.
 ///
 /// Returns all violations, not just the first.
 pub fn validate_stream(events: &[Event]) -> Result<(), Vec<String>> {
-    use std::collections::BTreeSet;
+    use std::collections::{BTreeMap, BTreeSet};
     let mut span_paths: BTreeSet<(usize, &str)> = BTreeSet::new();
+    let mut run_ranks: Option<usize> = None;
     for ev in events {
-        if let Event::Span { rank, path, .. } = ev {
-            span_paths.insert((*rank, path.as_str()));
+        match ev {
+            Event::Span { rank, path, .. } => {
+                span_paths.insert((*rank, path.as_str()));
+            }
+            Event::Run { ranks, .. } => run_ranks = run_ranks.or(Some(*ranks)),
+            _ => {}
         }
     }
     let mut errors = Vec::new();
+    // (src, dst, class) → [sender view, receiver view] as (msgs, bytes).
+    type EdgeViews<'a> = BTreeMap<(usize, usize, &'a str), [Option<(u64, u64)>; 2]>;
+    let mut edge_views: EdgeViews = BTreeMap::new();
+    // kind → rank → total count; plus the set of ranks reporting anything.
+    let mut coll_counts: BTreeMap<&str, BTreeMap<usize, u64>> = BTreeMap::new();
+    let mut coll_ranks: BTreeSet<usize> = BTreeSet::new();
     for ev in events {
         match ev {
             Event::PhasePerf { rank, label, .. } if label.contains('/') => {
@@ -553,7 +574,76 @@ pub fn validate_stream(events: &[Event]) -> Result<(), Vec<String>> {
                     }
                 }
             }
+            Event::CommEdge { rank, src, dst, class, msgs, bytes } => {
+                if src == dst {
+                    errors.push(format!("comm_edge rank {rank}: self-edge {src}->{dst}"));
+                }
+                if rank != src && rank != dst {
+                    errors.push(format!(
+                        "comm_edge rank {rank} is neither src {src} nor dst {dst}"
+                    ));
+                }
+                if let Some(n) = run_ranks {
+                    for (name, v) in [("rank", rank), ("src", src), ("dst", dst)] {
+                        if *v >= n {
+                            errors.push(format!(
+                                "comm_edge {name} {v} out of range for run with {n} ranks"
+                            ));
+                        }
+                    }
+                }
+                if *msgs == 0 && *bytes > 0 {
+                    errors.push(format!(
+                        "comm_edge {src}->{dst} [{class}]: {bytes} bytes but zero messages"
+                    ));
+                }
+                let view = usize::from(rank != src); // 0 = sender view, 1 = receiver
+                let slot =
+                    edge_views.entry((*src, *dst, class.as_str())).or_default();
+                let totals = slot[view].get_or_insert((0, 0));
+                totals.0 += msgs;
+                totals.1 += bytes;
+            }
+            Event::Collective { rank, kind, count, .. } => {
+                if let Some(n) = run_ranks {
+                    if *rank >= n {
+                        errors.push(format!(
+                            "collective rank {rank} out of range for run with {n} ranks"
+                        ));
+                    }
+                }
+                coll_ranks.insert(*rank);
+                *coll_counts.entry(kind.as_str()).or_default().entry(*rank).or_insert(0) +=
+                    count;
+            }
             _ => {}
+        }
+    }
+    for ((src, dst, class), views) in &edge_views {
+        if let (Some(s), Some(r)) = (views[0], views[1]) {
+            if s != r {
+                errors.push(format!(
+                    "comm_edge {src}->{dst} [{class}]: sender recorded {} msgs / {} bytes \
+                     but receiver recorded {} msgs / {} bytes",
+                    s.0, s.1, r.0, r.1
+                ));
+            }
+        }
+    }
+    for (kind, by_rank) in &coll_counts {
+        for rank in &coll_ranks {
+            if !by_rank.contains_key(rank) {
+                errors.push(format!(
+                    "collective {kind:?}: rank {rank} reports other collectives but is a \
+                     missing participant in this kind"
+                ));
+            }
+        }
+        let distinct: BTreeSet<u64> = by_rank.values().copied().collect();
+        if distinct.len() > 1 {
+            errors.push(format!(
+                "collective {kind:?}: per-rank counts disagree: {by_rank:?}"
+            ));
         }
     }
     if errors.is_empty() { Ok(()) } else { Err(errors) }
@@ -739,6 +829,8 @@ mod tests {
             msg_bytes: 0,
             collectives: 0,
             collective_bytes: 0,
+            wait_secs: 0.0,
+            transfer_secs: 0.0,
         };
         // Suffix match against the recorded span path: ok.
         assert!(validate_stream(&[span.clone(), perf(0, "continuity/solve")]).is_ok());
@@ -764,6 +856,83 @@ mod tests {
         }
         let errs = validate_stream(&[ev]).unwrap_err();
         assert_eq!(errs.len(), 2, "{errs:?}");
+    }
+
+    #[test]
+    fn validate_stream_checks_comm_edges() {
+        let run = Event::Run {
+            ranks: 3,
+            threads: 1,
+            transport: "inproc".into(),
+            git_commit: None,
+        };
+        let edge = |rank: usize, src: usize, dst: usize, bytes: u64| Event::CommEdge {
+            rank,
+            src,
+            dst,
+            class: "p2p".into(),
+            msgs: 1,
+            bytes,
+        };
+        // Symmetric sender/receiver pair: ok.
+        assert!(
+            validate_stream(&[run.clone(), edge(0, 0, 1, 64), edge(1, 0, 1, 64)]).is_ok()
+        );
+        // Single-endpoint view (per-rank stream before merging): ok.
+        assert!(validate_stream(&[run.clone(), edge(0, 0, 1, 64)]).is_ok());
+        // Destination rank out of range for the run.
+        let errs = validate_stream(&[run.clone(), edge(0, 0, 7, 64)]).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("out of range")), "{errs:?}");
+        // Byte totals disagree between the two endpoints of the edge.
+        let errs =
+            validate_stream(&[run.clone(), edge(0, 0, 1, 64), edge(1, 0, 1, 32)]).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("receiver recorded")), "{errs:?}");
+        // The reporting rank must be one of the edge's endpoints.
+        let errs = validate_stream(&[run.clone(), edge(2, 0, 1, 8)]).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("neither src")), "{errs:?}");
+        // Self-edges never happen: local moves are not communication.
+        assert!(validate_stream(&[run, edge(1, 1, 1, 8)]).is_err());
+        // Bytes without messages is inconsistent.
+        let bad = Event::CommEdge {
+            rank: 0,
+            src: 0,
+            dst: 1,
+            class: "halo".into(),
+            msgs: 0,
+            bytes: 10,
+        };
+        let errs = validate_stream(&[bad]).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("zero messages")), "{errs:?}");
+    }
+
+    #[test]
+    fn validate_stream_checks_collective_participants() {
+        let coll = |rank: usize, kind: &str, count: u64| Event::Collective {
+            rank,
+            kind: kind.into(),
+            count,
+            bytes: 0,
+            secs: 0.0,
+            buckets: Vec::new(),
+        };
+        // All participating ranks report the kind with equal counts: ok.
+        assert!(
+            validate_stream(&[coll(0, "allreduce", 3), coll(1, "allreduce", 3)]).is_ok()
+        );
+        // A single rank's stream in isolation: ok.
+        assert!(validate_stream(&[coll(0, "allreduce", 3)]).is_ok());
+        // Rank 1 reports barriers but is missing from the allreduce kind.
+        let errs = validate_stream(&[
+            coll(0, "allreduce", 3),
+            coll(0, "barrier", 1),
+            coll(1, "barrier", 1),
+        ])
+        .unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("missing participant")), "{errs:?}");
+        // Bulk-synchronous collectives must have identical per-rank counts.
+        let errs =
+            validate_stream(&[coll(0, "allreduce", 3), coll(1, "allreduce", 2)]).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("counts disagree")), "{errs:?}");
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //!   (Tables 2–4),
 //! - per-equation GMRES iteration counts, final residuals, and the
 //!   convergence trajectory of the last solve,
+//! - the rank×rank communication matrix, per-phase wait-vs-compute rank
+//!   imbalance (the paper's parallel-efficiency diagnostic), and
+//!   per-collective latency histograms,
 //! - the span tree, counters, and histograms.
 //!
 //! All aggregation maps are `BTreeMap`s, so rendering is deterministic
@@ -90,6 +93,53 @@ impl KernelSummary {
     }
 }
 
+/// One directed communication edge aggregated over the stream. Each
+/// `(src, dst, class)` edge is reported by up to two streams (sender and
+/// receiver, with identical totals by construction); aggregation prefers
+/// the sender's view and falls back to the receiver's when only one
+/// endpoint's stream was merged in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommEdgeSummary {
+    pub msgs: u64,
+    pub bytes: u64,
+}
+
+/// One collective kind aggregated over ranks.
+#[derive(Clone, Debug, Default)]
+pub struct CollectiveSummary {
+    /// Operations entered per rank (max over ranks; collectives are
+    /// bulk-synchronous, so per-rank counts agree — max tolerates
+    /// partial streams).
+    pub count: u64,
+    /// Bytes contributed, summed over ranks.
+    pub bytes: u64,
+    /// Wall seconds inside the op, summed over ranks (0 without timing).
+    pub secs: f64,
+    /// Per-op latency samples merged over ranks (empty without timing).
+    pub latency: LogHistogram,
+}
+
+/// Rank-imbalance figures for one comm phase.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseImbalance {
+    /// Mean rank seconds in the phase.
+    pub avg_secs: f64,
+    /// Slowest rank's seconds in the phase.
+    pub max_secs: f64,
+    /// Mean per-rank seconds blocked waiting on communication.
+    pub wait_secs: f64,
+    /// Mean per-rank seconds moving data (send path).
+    pub transfer_secs: f64,
+}
+
+impl PhaseImbalance {
+    /// `max/avg` rank time — 1.0 is perfectly balanced; the paper's
+    /// parallel-efficiency diagnostic.
+    pub fn imbalance(&self) -> f64 {
+        if self.avg_secs > 0.0 { self.max_secs / self.avg_secs } else { 1.0 }
+    }
+}
+
 /// The aggregated view of a telemetry event stream.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
@@ -118,6 +168,13 @@ pub struct Report {
     pub counters: BTreeMap<String, u64>,
     /// Histograms merged over ranks.
     pub hists: BTreeMap<String, LogHistogram>,
+    /// Directed comm edges keyed `(src, dst, tag class)`.
+    pub comm_edges: BTreeMap<(usize, usize, String), CommEdgeSummary>,
+    /// Collective totals keyed by kind.
+    pub collectives: BTreeMap<String, CollectiveSummary>,
+    /// Per-phase rank imbalance (wall seconds from `phase_time`, comm
+    /// wait/transfer from `phase_perf`).
+    pub imbalance: BTreeMap<String, PhaseImbalance>,
     /// Hot-kernel throughput summed over ranks (`kernel_perf` events).
     pub kernels: BTreeMap<String, KernelSummary>,
     /// Measured machine bandwidth (GB/s) for the roofline column; set by
@@ -144,6 +201,13 @@ impl Report {
         let mut r = Report::default();
         let mut max_rank = 0usize;
         let mut phase_sums: BTreeMap<(String, String), f64> = BTreeMap::new();
+        // phase → rank → seconds, feeding the imbalance table.
+        let mut phase_rank: BTreeMap<String, BTreeMap<usize, f64>> = BTreeMap::new();
+        let mut wait_rank: BTreeMap<String, f64> = BTreeMap::new();
+        let mut transfer_rank: BTreeMap<String, f64> = BTreeMap::new();
+        // Sender- and receiver-side views of each (src, dst, class) edge.
+        let mut edge_sender: BTreeMap<(usize, usize, String), CommEdgeSummary> = BTreeMap::new();
+        let mut edge_receiver: BTreeMap<(usize, usize, String), CommEdgeSummary> = BTreeMap::new();
         for ev in events {
             match ev {
                 Event::Run { ranks, threads, transport, git_commit } => {
@@ -159,6 +223,8 @@ impl Report {
                         r.phases.push(phase.clone());
                     }
                     *phase_sums.entry((eq.clone(), phase.clone())).or_insert(0.0) += secs;
+                    *phase_rank.entry(phase.clone()).or_default().entry(*rank).or_insert(0.0) +=
+                        secs;
                 }
                 Event::Span { rank, path, depth, secs } => {
                     max_rank = max_rank.max(*rank);
@@ -235,8 +301,30 @@ impl Report {
                         .or_default()
                         .merge(&LogHistogram::from_parts(*count, *total, buckets.clone()));
                 }
-                Event::PhasePerf { rank, .. } => {
+                Event::PhasePerf { rank, label, wait_secs, transfer_secs, .. } => {
                     max_rank = max_rank.max(*rank);
+                    // Trace labels are `eq/phase` (or a bare phase like
+                    // `other`); the final segment matches `phase_time`
+                    // phase names.
+                    let phase = label.rsplit('/').next().unwrap_or(label).to_string();
+                    *wait_rank.entry(phase.clone()).or_insert(0.0) += wait_secs;
+                    *transfer_rank.entry(phase).or_insert(0.0) += transfer_secs;
+                }
+                Event::CommEdge { rank, src, dst, class, msgs, bytes } => {
+                    max_rank = max_rank.max(*rank).max(*src).max(*dst);
+                    let map = if rank == src { &mut edge_sender } else { &mut edge_receiver };
+                    let e = map.entry((*src, *dst, class.clone())).or_default();
+                    e.msgs += msgs;
+                    e.bytes += bytes;
+                }
+                Event::Collective { rank, kind, count, bytes, secs, buckets } => {
+                    max_rank = max_rank.max(*rank);
+                    let s = r.collectives.entry(kind.clone()).or_default();
+                    s.count = s.count.max(*count);
+                    s.bytes += bytes;
+                    s.secs += secs;
+                    let samples: u64 = buckets.iter().map(|&(_, c)| c).sum();
+                    s.latency.merge(&LogHistogram::from_parts(samples, *secs, buckets.clone()));
                 }
                 Event::KernelPerf { rank, kernel, calls, secs, bytes, flops, dofs, .. } => {
                     max_rank = max_rank.max(*rank);
@@ -255,6 +343,35 @@ impl Report {
         }
         let n = r.ranks.max(1) as f64;
         r.phase_secs = phase_sums.into_iter().map(|(k, v)| (k, v / n)).collect();
+        // Sender view wins; the receiver view fills edges whose sender's
+        // stream was not merged in.
+        r.comm_edges = edge_sender;
+        for (key, v) in edge_receiver {
+            r.comm_edges.entry(key).or_insert(v);
+        }
+        for (phase, by_rank) in &phase_rank {
+            let sum: f64 = by_rank.values().sum();
+            let max = by_rank.values().copied().fold(0.0_f64, f64::max);
+            r.imbalance.insert(
+                phase.clone(),
+                PhaseImbalance {
+                    avg_secs: sum / n,
+                    max_secs: max,
+                    wait_secs: wait_rank.get(phase).copied().unwrap_or(0.0) / n,
+                    transfer_secs: transfer_rank.get(phase).copied().unwrap_or(0.0) / n,
+                },
+            );
+        }
+        // Comm phases with wait data but no phase_time rows (e.g.
+        // parcomm's default `other` phase) still get an imbalance row.
+        for (phase, wait) in &wait_rank {
+            r.imbalance.entry(phase.clone()).or_insert_with(|| PhaseImbalance {
+                avg_secs: 0.0,
+                max_secs: 0.0,
+                wait_secs: wait / n,
+                transfer_secs: transfer_rank.get(phase).copied().unwrap_or(0.0) / n,
+            });
+        }
         r
     }
 
@@ -342,6 +459,111 @@ impl Report {
                 })
                 .collect();
             let _ = writeln!(out, "{:<12} {}", "", legend.join("  "));
+        }
+
+        // --- Per-phase rank imbalance ------------------------------------
+        if !self.imbalance.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n-- per-phase rank imbalance (max/avg rank seconds; wait = blocked in comm) --"
+            );
+            let _ = writeln!(
+                out,
+                "{:<18} {:>9} {:>9} {:>8} {:>9} {:>9}",
+                "phase", "avg s", "max s", "max/avg", "wait s", "xfer s"
+            );
+            // Plot order first, then comm-only phases (e.g. `other`).
+            let mut order: Vec<&String> =
+                self.phases.iter().filter(|p| self.imbalance.contains_key(*p)).collect();
+            for p in self.imbalance.keys() {
+                if !order.contains(&p) {
+                    order.push(p);
+                }
+            }
+            for phase in order {
+                let i = &self.imbalance[phase];
+                let _ = writeln!(
+                    out,
+                    "{:<18} {:>9.4} {:>9.4} {:>8.2} {:>9.4} {:>9.4}",
+                    phase,
+                    i.avg_secs,
+                    i.max_secs,
+                    i.imbalance(),
+                    i.wait_secs,
+                    i.transfer_secs
+                );
+            }
+        }
+
+        // --- Communication matrix ----------------------------------------
+        if !self.comm_edges.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n-- communication matrix (bytes sent, row src -> column dst) --"
+            );
+            let mut grid: BTreeMap<(usize, usize), CommEdgeSummary> = BTreeMap::new();
+            let mut class_totals: BTreeMap<&str, CommEdgeSummary> = BTreeMap::new();
+            for ((src, dst, class), e) in &self.comm_edges {
+                let g = grid.entry((*src, *dst)).or_default();
+                g.msgs += e.msgs;
+                g.bytes += e.bytes;
+                let c = class_totals.entry(class.as_str()).or_default();
+                c.msgs += e.msgs;
+                c.bytes += e.bytes;
+            }
+            let mut header = format!("{:>8}", "src\\dst");
+            for dst in 0..self.ranks {
+                let _ = write!(header, " {dst:>10}");
+            }
+            let _ = writeln!(out, "{header}");
+            for src in 0..self.ranks {
+                let mut row = format!("{src:>8}");
+                for dst in 0..self.ranks {
+                    let cell = match grid.get(&(src, dst)) {
+                        Some(e) => fmt_bytes(e.bytes),
+                        None => "-".to_string(),
+                    };
+                    let _ = write!(row, " {cell:>10}");
+                }
+                let _ = writeln!(out, "{row}");
+            }
+            let totals: Vec<String> = class_totals
+                .iter()
+                .map(|(class, e)| format!("{class} {} in {} msgs", fmt_bytes(e.bytes), e.msgs))
+                .collect();
+            let _ = writeln!(out, "per-class totals: {}", totals.join("   "));
+        }
+
+        // --- Collectives --------------------------------------------------
+        if !self.collectives.is_empty() {
+            let _ = writeln!(out, "\n-- collectives (latency from merged log2 histograms) --");
+            let _ = writeln!(
+                out,
+                "{:<16} {:>8} {:>10} {:>8} {:>10} {:>10} {:>10}",
+                "kind", "count", "bytes", "timed", "mean s", "p50 s", "p95 s"
+            );
+            for (kind, s) in &self.collectives {
+                let (mean, p50, p95) = if s.latency.count() > 0 {
+                    (
+                        format!("{:.2e}", s.latency.mean()),
+                        format!("{:.2e}", s.latency.quantile(0.5).unwrap_or(0.0)),
+                        format!("{:.2e}", s.latency.quantile(0.95).unwrap_or(0.0)),
+                    )
+                } else {
+                    ("-".to_string(), "-".to_string(), "-".to_string())
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<16} {:>8} {:>10} {:>8} {:>10} {:>10} {:>10}",
+                    kind,
+                    s.count,
+                    fmt_bytes(s.bytes),
+                    s.latency.count(),
+                    mean,
+                    p50,
+                    p95
+                );
+            }
         }
 
         // --- Tables 2–4: AMG hierarchies ---------------------------------
@@ -614,6 +836,48 @@ impl Report {
                 ])
             })
             .collect();
+        let comm_matrix: Vec<Json> = self
+            .comm_edges
+            .iter()
+            .map(|((src, dst, class), e)| {
+                Json::obj(vec![
+                    ("src", Json::Int(*src as i128)),
+                    ("dst", Json::Int(*dst as i128)),
+                    ("class", Json::Str(class.clone())),
+                    ("msgs", Json::Int(e.msgs as i128)),
+                    ("bytes", Json::Int(e.bytes as i128)),
+                ])
+            })
+            .collect();
+        let collectives: Vec<Json> = self
+            .collectives
+            .iter()
+            .map(|(kind, s)| {
+                Json::obj(vec![
+                    ("kind", Json::Str(kind.clone())),
+                    ("count", Json::Int(s.count as i128)),
+                    ("bytes", Json::Int(s.bytes as i128)),
+                    ("secs", Json::Float(s.secs)),
+                    ("timed", Json::Int(s.latency.count() as i128)),
+                    ("mean_secs", Json::Float(s.latency.mean())),
+                    ("p95_secs", Json::Float(s.latency.quantile(0.95).unwrap_or(0.0))),
+                ])
+            })
+            .collect();
+        let imbalance: Vec<Json> = self
+            .imbalance
+            .iter()
+            .map(|(phase, i)| {
+                Json::obj(vec![
+                    ("phase", Json::Str(phase.clone())),
+                    ("avg_secs", Json::Float(i.avg_secs)),
+                    ("max_secs", Json::Float(i.max_secs)),
+                    ("imbalance", Json::Float(i.imbalance())),
+                    ("wait_secs", Json::Float(i.wait_secs)),
+                    ("transfer_secs", Json::Float(i.transfer_secs)),
+                ])
+            })
+            .collect();
         Json::obj(vec![
             ("ranks", Json::Int(self.ranks as i128)),
             ("threads", Json::Int(self.threads as i128)),
@@ -623,12 +887,28 @@ impl Report {
             ("gmres", Json::Arr(gmres)),
             ("recoveries", Json::Arr(recoveries)),
             ("kernels", Json::Arr(kernels)),
+            ("comm_matrix", Json::Arr(comm_matrix)),
+            ("collectives", Json::Arr(collectives)),
+            ("phase_imbalance", Json::Arr(imbalance)),
             (
                 "bw_baseline_gbs",
                 self.bw_baseline_gbs.map_or(Json::Null, Json::Float),
             ),
         ])
     }
+}
+
+/// Humanize a byte count for the matrix cells (`-` is rendered by the
+/// caller for absent edges; `0B` means an edge with zero volume).
+fn fmt_bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 { format!("{b}B") } else { format!("{v:.1}{}", UNITS[u]) }
 }
 
 /// Render a residual trajectory as a one-line level plot: each iteration
@@ -804,6 +1084,98 @@ mod tests {
         let json = r.to_json().to_string();
         assert!(json.contains("\"kernels\""), "{json}");
         assert!(json.contains("\"bw_baseline_gbs\""), "{json}");
+    }
+
+    #[test]
+    fn comm_matrix_prefers_sender_view_and_falls_back() {
+        let mut evs = sample_events();
+        let edge = |rank: usize, src: usize, dst: usize, class: &str, bytes: u64| {
+            Event::CommEdge { rank, src, dst, class: class.into(), msgs: 2, bytes }
+        };
+        // Edge 0->1 reported by both endpoints (identical, as the
+        // instrumentation guarantees): counted once, not doubled.
+        evs.push(edge(0, 0, 1, "halo", 4096));
+        evs.push(edge(1, 0, 1, "halo", 4096));
+        // Edge 1->0 known only from the receiver's stream.
+        evs.push(edge(0, 1, 0, "p2p", 512));
+        let r = Report::from_events(&evs);
+        let halo = r.comm_edges[&(0, 1, "halo".to_string())];
+        assert_eq!(halo, CommEdgeSummary { msgs: 2, bytes: 4096 });
+        let p2p = r.comm_edges[&(1, 0, "p2p".to_string())];
+        assert_eq!(p2p, CommEdgeSummary { msgs: 2, bytes: 512 });
+        let ascii = r.render_ascii();
+        assert!(ascii.contains("communication matrix"), "{ascii}");
+        assert!(ascii.contains("4.0KiB"), "{ascii}");
+        assert!(ascii.contains("halo 4.0KiB in 2 msgs"), "{ascii}");
+        let json = r.to_json().to_string();
+        assert!(json.contains("\"comm_matrix\""), "{json}");
+    }
+
+    #[test]
+    fn collectives_merge_latency_over_ranks() {
+        let mut evs = sample_events();
+        for rank in 0..2usize {
+            let mut h = LogHistogram::default();
+            h.record(1e-4);
+            h.record(2e-4);
+            evs.push(Event::Collective {
+                rank,
+                kind: "allreduce".into(),
+                count: 2,
+                bytes: 16,
+                secs: h.total(),
+                buckets: h.buckets(),
+            });
+        }
+        let r = Report::from_events(&evs);
+        let s = &r.collectives["allreduce"];
+        assert_eq!(s.count, 2); // max over ranks, not sum
+        assert_eq!(s.bytes, 32); // summed over ranks
+        assert_eq!(s.latency.count(), 4); // merged samples
+        let ascii = r.render_ascii();
+        assert!(ascii.contains("collectives"), "{ascii}");
+        assert!(ascii.contains("allreduce"), "{ascii}");
+        let json = r.to_json().to_string();
+        assert!(json.contains("\"collectives\""), "{json}");
+    }
+
+    #[test]
+    fn imbalance_table_reports_max_over_avg_and_wait() {
+        let mut evs = vec![crate::run_info(2)];
+        // Rank 1 is 3x slower in `solve`: avg 0.2, max 0.3 → ratio 1.5.
+        for (rank, secs) in [(0usize, 0.1), (1usize, 0.3)] {
+            evs.push(Event::PhaseTime {
+                rank,
+                step: 0,
+                eq: "continuity".into(),
+                phase: "solve".into(),
+                secs,
+            });
+            evs.push(Event::PhasePerf {
+                rank,
+                label: "continuity/solve".into(),
+                kernel_launches: 0,
+                kernel_bytes: 0,
+                kernel_flops: 0,
+                msgs: 4,
+                msg_bytes: 256,
+                collectives: 1,
+                collective_bytes: 8,
+                wait_secs: 0.05,
+                transfer_secs: 0.01,
+            });
+        }
+        let r = Report::from_events(&evs);
+        let i = &r.imbalance["solve"];
+        assert!((i.avg_secs - 0.2).abs() < 1e-12, "{i:?}");
+        assert!((i.max_secs - 0.3).abs() < 1e-12, "{i:?}");
+        assert!((i.imbalance() - 1.5).abs() < 1e-12, "{i:?}");
+        assert!((i.wait_secs - 0.05).abs() < 1e-12, "{i:?}");
+        let ascii = r.render_ascii();
+        assert!(ascii.contains("per-phase rank imbalance"), "{ascii}");
+        assert!(ascii.contains("1.50"), "{ascii}");
+        let json = r.to_json().to_string();
+        assert!(json.contains("\"phase_imbalance\""), "{json}");
     }
 
     #[test]

@@ -17,21 +17,36 @@
 //! with the first non-zero child status (killing the remaining ranks,
 //! which could only deadlock against the dead one) or 0 when all ranks
 //! complete.
+//!
+//! The launcher also opens a loopback monitor endpoint and exports its
+//! address as `EXAWIND_MONITOR`. Workers that heartbeat (exawind-worker
+//! does; arbitrary commands simply don't connect) drive a once-a-second
+//! status line on stderr, stall detection — a live rank silent for
+//! `--stall-timeout` seconds (default 120) takes the job down with exit
+//! code 3 — and, on any abnormal exit, a partial per-rank progress
+//! report plus each dead rank's `crash-<rank>.json` breadcrumb.
 
 use std::path::PathBuf;
 use std::process::{exit, Child, Command};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use exawind::parcomm::{HOSTFILE_ENV, RANK_ENV, RENDEZVOUS_ENV, SIZE_ENV, TRANSPORT_ENV};
+use exawind::parcomm::{
+    Heartbeat, MonitorServer, HOSTFILE_ENV, MONITOR_ENV, RANK_ENV, RENDEZVOUS_ENV, SIZE_ENV,
+    TRANSPORT_ENV,
+};
 
 struct Args {
     ranks: usize,
     hostfile: Option<PathBuf>,
+    stall_timeout: Duration,
     command: Vec<String>,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: exawind-launch -n <ranks> [--hostfile <path>] [--] <command> [args...]");
+    eprintln!(
+        "usage: exawind-launch -n <ranks> [--hostfile <path>] [--stall-timeout <secs>] \
+         [--] <command> [args...]"
+    );
     exit(2);
 }
 
@@ -39,6 +54,7 @@ fn parse_args() -> Args {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut ranks = None;
     let mut hostfile = None;
+    let mut stall_timeout = Duration::from_secs(120);
     let mut command = Vec::new();
     let mut i = 0;
     while i < argv.len() {
@@ -53,6 +69,14 @@ fn parse_args() -> Args {
             }
             "--hostfile" => {
                 hostfile = Some(PathBuf::from(argv.get(i + 1).unwrap_or_else(|| usage())));
+                i += 2;
+            }
+            "--stall-timeout" => {
+                let v = argv.get(i + 1).unwrap_or_else(|| usage());
+                stall_timeout = Duration::from_secs(v.parse().unwrap_or_else(|_| {
+                    eprintln!("exawind-launch: bad stall timeout {v:?}");
+                    exit(2);
+                }));
                 i += 2;
             }
             "--" => {
@@ -73,7 +97,7 @@ fn parse_args() -> Args {
     if ranks == 0 || command.is_empty() {
         usage();
     }
-    Args { ranks, hostfile, command }
+    Args { ranks, hostfile, stall_timeout, command }
 }
 
 fn main() {
@@ -89,6 +113,16 @@ fn main() {
         let _ = std::fs::remove_file(&rendezvous);
     }
 
+    // Live-monitoring endpoint. A failed bind degrades to the old
+    // unmonitored behavior rather than refusing to launch.
+    let monitor = match MonitorServer::bind() {
+        Ok(m) => Some(m),
+        Err(e) => {
+            eprintln!("exawind-launch: monitor disabled (bind failed: {e})");
+            None
+        }
+    };
+
     let mut children: Vec<(usize, Child)> = Vec::with_capacity(args.ranks);
     for rank in 0..args.ranks {
         let mut cmd = Command::new(&args.command[0]);
@@ -96,6 +130,9 @@ fn main() {
             .env(TRANSPORT_ENV, "socket")
             .env(RANK_ENV, rank.to_string())
             .env(SIZE_ENV, args.ranks.to_string());
+        if let Some(m) = &monitor {
+            cmd.env(MONITOR_ENV, m.addr());
+        }
         match &args.hostfile {
             Some(hf) => cmd.env(HOSTFILE_ENV, hf),
             None => cmd.env(RENDEZVOUS_ENV, &rendezvous),
@@ -115,8 +152,25 @@ fn main() {
 
     // Poll instead of waiting in rank order: a mid-job death must take
     // the surviving ranks down before they block on the dead peer.
+    // Between waits, drain the monitor queue, render a periodic status
+    // line, and flag ranks that have gone silent past the stall timeout.
+    let start = Instant::now();
+    let mut last_hb: Vec<Option<Heartbeat>> = vec![None; args.ranks];
+    let mut last_seen: Vec<Instant> = vec![Instant::now(); args.ranks];
+    let mut total_heartbeats: u64 = 0;
+    let mut last_status = Instant::now();
     let mut failure: Option<(usize, i32)> = None;
-    while failure.is_none() && !children.is_empty() {
+    let mut stalled: Vec<usize> = Vec::new();
+    while failure.is_none() && stalled.is_empty() && !children.is_empty() {
+        if let Some(m) = &monitor {
+            for hb in m.poll() {
+                if hb.rank < args.ranks {
+                    total_heartbeats += 1;
+                    last_seen[hb.rank] = Instant::now();
+                    last_hb[hb.rank] = Some(hb);
+                }
+            }
+        }
         let mut still_running = Vec::with_capacity(children.len());
         for (rank, mut child) in children {
             match child.try_wait() {
@@ -133,12 +187,44 @@ fn main() {
         }
         children = still_running;
         if failure.is_none() && !children.is_empty() {
+            if monitor.is_some() {
+                stalled = children
+                    .iter()
+                    .map(|&(rank, _)| rank)
+                    .filter(|&rank| last_seen[rank].elapsed() > args.stall_timeout)
+                    .collect();
+                if !stalled.is_empty() {
+                    break;
+                }
+                if total_heartbeats > 0 && last_status.elapsed() >= Duration::from_secs(1) {
+                    last_status = Instant::now();
+                    eprintln!("{}", status_line(start, &last_hb, children.len()));
+                }
+            }
             std::thread::sleep(Duration::from_millis(20));
         }
     }
 
     if args.hostfile.is_none() {
         let _ = std::fs::remove_file(&rendezvous);
+    }
+    if !stalled.is_empty() {
+        // Report the most-behind rank first: it is the likeliest culprit.
+        stalled.sort_by_key(|&rank| last_hb[rank].map_or(0, |h| h.step));
+        for &rank in &stalled {
+            let step = last_hb[rank].map_or(0, |h| h.step);
+            eprintln!(
+                "exawind-launch: rank {rank} stalled at step {step} (no heartbeat for {:.1}s)",
+                last_seen[rank].elapsed().as_secs_f64()
+            );
+        }
+        dump_partial_report(&last_hb);
+        eprintln!("exawind-launch: stopping {} rank(s)", children.len());
+        for (_, mut child) in children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        exit(3);
     }
     match failure {
         Some((rank, code)) => {
@@ -150,10 +236,70 @@ fn main() {
                 let _ = child.kill();
                 let _ = child.wait();
             }
+            dump_partial_report(&last_hb);
+            dump_crash_breadcrumbs(args.ranks);
             exit(if code == 0 { 1 } else { code });
         }
         None => {
-            println!("exawind-launch: {} rank(s) completed", args.ranks);
+            let reporting = last_hb.iter().flatten().count();
+            println!(
+                "exawind-launch: {} rank(s) completed; monitor received {total_heartbeats} \
+                 heartbeat(s) from {reporting} rank(s)",
+                args.ranks
+            );
+        }
+    }
+}
+
+/// One-line live status: elapsed time, per-rank completed steps, the
+/// worst reported residual, and aggregate message traffic.
+fn status_line(start: Instant, last_hb: &[Option<Heartbeat>], live: usize) -> String {
+    let steps: Vec<String> = last_hb
+        .iter()
+        .map(|h| h.map_or_else(|| "-".to_string(), |h| h.step.to_string()))
+        .collect();
+    let worst_res = last_hb
+        .iter()
+        .flatten()
+        .map(|h| h.residual)
+        .fold(0.0_f64, f64::max);
+    let msgs: u64 = last_hb.iter().flatten().map(|h| h.msgs).sum();
+    let bytes: u64 = last_hb.iter().flatten().map(|h| h.bytes).sum();
+    format!(
+        "exawind-launch: [{:6.1}s] steps [{}] residual {:.2e} msgs {} bytes {} ({} rank(s) live)",
+        start.elapsed().as_secs_f64(),
+        steps.join(" "),
+        worst_res,
+        msgs,
+        bytes,
+        live
+    )
+}
+
+/// Last known progress per rank, printed on any abnormal exit — this is
+/// the partial comm report a post-mortem starts from.
+fn dump_partial_report(last_hb: &[Option<Heartbeat>]) {
+    eprintln!("exawind-launch: last known progress per rank:");
+    for (rank, hb) in last_hb.iter().enumerate() {
+        match hb {
+            Some(h) => eprintln!(
+                "  rank {rank}: step {} picard {} residual {:.2e} msgs {} bytes {} collectives {}",
+                h.step, h.picard, h.residual, h.msgs, h.bytes, h.collectives
+            ),
+            None => eprintln!("  rank {rank}: no heartbeat received"),
+        }
+    }
+}
+
+/// Surface the workers' `crash-<rank>.json` breadcrumbs (written to
+/// `EXAWIND_CRASH_DIR`, default cwd) so the failing rank and the phase
+/// it died in appear directly in the launcher's output.
+fn dump_crash_breadcrumbs(ranks: usize) {
+    let dir = std::env::var("EXAWIND_CRASH_DIR").unwrap_or_else(|_| ".".to_string());
+    for rank in 0..ranks {
+        let path = format!("{dir}/crash-{rank}.json");
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            eprintln!("exawind-launch: rank {rank} breadcrumb ({path}): {}", text.trim());
         }
     }
 }

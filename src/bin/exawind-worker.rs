@@ -20,10 +20,23 @@
 //! `<out>.rank<r>.bits` (one hex u64 per field scalar, in field order)
 //! and, with `--telemetry <path>`, `<path>.rank<r>.jsonl` — rank 0's
 //! stream carries the `run` metadata event the CI smoke greps for.
+//!
+//! When `EXAWIND_MONITOR` names a `host:port` (exported by
+//! `exawind-launch`), each rank heartbeats its progress — one frame after
+//! setup, one per completed step — so the launcher can render a live
+//! status line and flag stalled ranks. On a panic or an unrecoverable
+//! solver error the rank drops a `crash-<rank>.json` breadcrumb (in
+//! `EXAWIND_CRASH_DIR`, default cwd) recording where it died.
+//!
+//! Test hook: `EXAWIND_STALL_RANK=<r>` makes rank `r` sleep
+//! `EXAWIND_STALL_SECS` (default 60) seconds after its first heartbeat,
+//! simulating a hung rank for the launcher's stall-detection smoke.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 use exawind::nalu_core::{Simulation, SolverConfig};
-use exawind::parcomm::Comm;
-use exawind::telemetry;
+use exawind::parcomm::{Comm, Heartbeat, MonitorClient, Rank};
+use exawind::telemetry::{self, Json};
 use exawind::windmesh::generate::{box_mesh, uniform_spacing, BoxBc};
 use exawind::windmesh::Mesh;
 
@@ -74,10 +87,43 @@ fn main() {
             telemetry: telemetry_on,
             ..SolverConfig::default()
         };
+        let picard_iters = cfg.picard_iters as u64;
         let transport = cfg.transport;
         let mut sim = Simulation::new(rank, vec![small_box()], cfg);
-        for _ in 0..steps {
-            sim.step(rank);
+
+        let mut monitor = MonitorClient::from_env();
+        let mut last_hb = heartbeat(rank, 0, 0, 0.0);
+        monitor.send(&last_hb);
+        maybe_stall(rank.rank());
+
+        let stepped = catch_unwind(AssertUnwindSafe(|| {
+            for s in 0..steps {
+                match sim.try_step(rank) {
+                    Ok(report) => {
+                        last_hb =
+                            heartbeat(rank, (s + 1) as u64, picard_iters, report.max_final_rel());
+                        monitor.send(&last_hb);
+                    }
+                    Err(e) => {
+                        write_crash_breadcrumb(rank, "solver_error", &e.to_string(), &last_hb);
+                        panic!("time step failed beyond recovery: {e}");
+                    }
+                }
+            }
+        }));
+        if let Err(payload) = stepped {
+            // A panic that was not a typed solver error still leaves a
+            // breadcrumb (the solver-error path wrote its own above and
+            // re-panics through here with the same message).
+            let detail = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "panic".to_string());
+            if !detail.starts_with("time step failed beyond recovery") {
+                write_crash_breadcrumb(rank, "panic", &detail, &last_hb);
+            }
+            resume_unwind(payload);
         }
 
         let mut bits: Vec<u64> = Vec::new();
@@ -111,4 +157,54 @@ fn main() {
             transport
         );
     });
+}
+
+/// Build a heartbeat from the rank's current comm counters.
+fn heartbeat(rank: &Rank, step: u64, picard: u64, residual: f64) -> Heartbeat {
+    let t = rank.trace_snapshot().total();
+    Heartbeat {
+        rank: rank.rank(),
+        step,
+        picard,
+        residual,
+        msgs: t.msgs,
+        bytes: t.msg_bytes,
+        collectives: t.collectives,
+    }
+}
+
+/// Test hook: deliberately hang one rank so the launcher's
+/// stall-detection smoke has something to catch.
+fn maybe_stall(me: usize) {
+    let Ok(stall) = std::env::var("EXAWIND_STALL_RANK") else { return };
+    if stall.parse::<usize>() == Ok(me) {
+        let secs: u64 = std::env::var("EXAWIND_STALL_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(60);
+        eprintln!("exawind-worker: rank {me} stalling for {secs}s (EXAWIND_STALL_RANK)");
+        std::thread::sleep(std::time::Duration::from_secs(secs));
+    }
+}
+
+/// Drop `crash-<rank>.json` (in `EXAWIND_CRASH_DIR`, default cwd) so the
+/// launcher can report which rank died and where it was at the time.
+fn write_crash_breadcrumb(rank: &Rank, kind: &str, detail: &str, last_hb: &Heartbeat) {
+    let dir = std::env::var("EXAWIND_CRASH_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = format!("{dir}/crash-{}.json", rank.rank());
+    let doc = Json::obj(vec![
+        ("rank", Json::Int(rank.rank() as i128)),
+        ("kind", Json::Str(kind.to_string())),
+        ("detail", Json::Str(detail.to_string())),
+        ("phase", Json::Str(rank.phase_name())),
+        ("last_step", Json::Int(last_hb.step as i128)),
+        ("picard", Json::Int(last_hb.picard as i128)),
+        ("residual", Json::Float(last_hb.residual)),
+        ("msgs", Json::Int(last_hb.msgs as i128)),
+        ("bytes", Json::Int(last_hb.bytes as i128)),
+        ("collectives", Json::Int(last_hb.collectives as i128)),
+    ]);
+    if let Err(e) = std::fs::write(&path, doc.to_string() + "\n") {
+        eprintln!("exawind-worker: cannot write {path}: {e}");
+    }
 }

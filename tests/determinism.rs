@@ -160,6 +160,17 @@ fn step_field_bits(threads: usize, telemetry: bool) -> Vec<Vec<u64>> {
                 // Drain the recorder (also asserts span nesting closed).
                 let events = sim.finish_telemetry(rank);
                 assert!(!events.is_empty());
+                // Comm observability rides the same flag: a 2-rank step
+                // must have recorded traffic edges and collectives.
+                use exawind::telemetry::Event;
+                assert!(
+                    events.iter().any(|e| matches!(e, Event::CommEdge { .. })),
+                    "no comm_edge events with telemetry enabled"
+                );
+                assert!(
+                    events.iter().any(|e| matches!(e, Event::Collective { .. })),
+                    "no collective events with telemetry enabled"
+                );
             }
             let mut out = Vec::new();
             for m in 0..sim.n_meshes() {

@@ -22,8 +22,8 @@ fn every_event_type_round_trips_through_jsonl() {
     let tags: BTreeSet<&str> = examples.iter().map(|e| e.type_tag()).collect();
     // The fixture must cover the whole schema.
     for tag in [
-        "run", "span", "phase_time", "phase_perf", "kernel_perf", "amg", "gmres", "counter",
-        "hist", "bench",
+        "run", "span", "phase_time", "phase_perf", "comm_edge", "collective", "kernel_perf",
+        "amg", "gmres", "counter", "hist", "bench",
     ] {
         assert!(tags.contains(tag), "examples() missing event type {tag}");
     }
@@ -191,8 +191,27 @@ fn simulation_stream_is_schema_valid_and_report_complete() {
     }
     assert!(report.kernels["spmv_csr"].flops > 0);
 
+    // Comm observability: both directed edges of the 2-rank job, each
+    // class-tagged; collective totals with latency samples; the per-phase
+    // imbalance table fed by phase_time + phase_perf wait clocks.
+    assert!(!report.comm_edges.is_empty(), "no comm edges aggregated");
+    let edge_pairs: BTreeSet<(usize, usize)> =
+        report.comm_edges.keys().map(|&(s, d, _)| (s, d)).collect();
+    assert!(edge_pairs.contains(&(0, 1)) && edge_pairs.contains(&(1, 0)), "{edge_pairs:?}");
+    for kind in ["allreduce", "allgather", "sparse_exchange"] {
+        let c = report
+            .collectives
+            .get(kind)
+            .unwrap_or_else(|| panic!("collective totals missing for {kind}"));
+        assert!(c.count > 0, "{kind}: {c:?}");
+        assert!(c.latency.count() > 0, "{kind} latency unsampled with telemetry on");
+    }
+    assert!(report.imbalance.contains_key("solve"), "{:?}", report.imbalance.keys());
+    assert!(report.imbalance["solve"].imbalance() >= 1.0);
+
     // Semantic validation: phase_perf labels must reference real spans,
-    // kernel_perf rows must be sane.
+    // kernel_perf rows must be sane, comm edges symmetric and in range,
+    // collective participation consistent.
     telemetry::validate_stream(&events)
         .unwrap_or_else(|errs| panic!("stream fails validation: {errs:?}"));
 
@@ -206,6 +225,9 @@ fn simulation_stream_is_schema_valid_and_report_complete() {
     assert!(text.contains("kernel throughput"), "{text}");
     assert!(text.contains("spmv_csr"), "{text}");
     assert!(text.contains("%bw"), "{text}");
+    assert!(text.contains("communication matrix"), "{text}");
+    assert!(text.contains("per-phase rank imbalance"), "{text}");
+    assert!(text.contains("collectives (latency"), "{text}");
 }
 
 /// Structural signature of a stream: everything except wall-clock
@@ -225,6 +247,26 @@ fn structure(events: &[Event]) -> Vec<String> {
             // be exact; wall-clock seconds and derived rates vary.
             Event::KernelPerf { rank, kernel, calls, bytes, flops, dofs, .. } => {
                 format!("kernel_perf r{rank} {kernel} c{calls} b{bytes} f{flops} d{dofs}")
+            }
+            // Operation/traffic counts are deterministic; the comm
+            // wait/transfer clocks and latency buckets are wall time.
+            Event::PhasePerf {
+                rank,
+                label,
+                kernel_launches,
+                kernel_bytes,
+                kernel_flops,
+                msgs,
+                msg_bytes,
+                collectives,
+                collective_bytes,
+                ..
+            } => format!(
+                "phase_perf r{rank} {label} k{kernel_launches}/{kernel_bytes}/{kernel_flops} \
+                 m{msgs}/{msg_bytes} c{collectives}/{collective_bytes}"
+            ),
+            Event::Collective { rank, kind, count, bytes, .. } => {
+                format!("collective r{rank} {kind} c{count} b{bytes}")
             }
             // Perf counts, AMG shapes, GMRES iteration counts and
             // residual bits must all be exactly reproducible.

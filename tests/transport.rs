@@ -105,13 +105,18 @@ fn setup_signatures(kind: TransportKind, nparts: usize) -> Vec<SetupSignature> {
     })
 }
 
-/// Per-rank bit pattern of the converged fields after one full time
-/// step (assembly, AMG-preconditioned GMRES solves, projection) — the
-/// same artifact `exawind-worker` writes to its `.bits` files.
-fn step_field_bits(kind: TransportKind, nparts: usize, steps: usize) -> Vec<Vec<u64>> {
+/// Per-rank bit pattern of the converged fields after `steps` full time
+/// steps, plus the rank's telemetry stream when `telemetry` is on (comm
+/// timing, comm edges, collectives all ride that flag).
+fn step_run(
+    kind: TransportKind,
+    nparts: usize,
+    steps: usize,
+    telemetry: bool,
+) -> Vec<(Vec<u64>, Vec<exawind::telemetry::Event>)> {
     let mesh = small_box();
     Comm::run_with(kind, nparts, move |rank| {
-        let cfg = SolverConfig { picard_iters: 2, ..SolverConfig::default() };
+        let cfg = SolverConfig { picard_iters: 2, telemetry, ..SolverConfig::default() };
         let mut sim = Simulation::new(rank, vec![mesh.clone()], cfg);
         for _ in 0..steps {
             sim.step(rank);
@@ -121,8 +126,16 @@ fn step_field_bits(kind: TransportKind, nparts: usize, steps: usize) -> Vec<Vec<
         field_bits.extend(st.vel.iter().flat_map(|v| v.iter().map(|x| x.to_bits())));
         field_bits.extend(st.p.iter().map(|x| x.to_bits()));
         field_bits.extend(st.nut.iter().map(|x| x.to_bits()));
-        field_bits
+        let events = sim.finish_telemetry(rank);
+        (field_bits, events)
     })
+}
+
+/// Per-rank bit pattern of the converged fields after one full time
+/// step (assembly, AMG-preconditioned GMRES solves, projection) — the
+/// same artifact `exawind-worker` writes to its `.bits` files.
+fn step_field_bits(kind: TransportKind, nparts: usize, steps: usize) -> Vec<Vec<u64>> {
+    step_run(kind, nparts, steps, false).into_iter().map(|(b, _)| b).collect()
 }
 
 #[test]
@@ -161,6 +174,69 @@ fn converged_step_fields_bitwise_identical_across_transports() {
                 "step fields differ on rank {r} of {nparts} over socket transport"
             );
         }
+    }
+}
+
+/// Comm telemetry (edge recording, wait/transfer clocks, collective
+/// latency sampling) must be a pure observer: fields bitwise identical
+/// with telemetry on and off, at every rank count, on both transports.
+#[test]
+fn comm_telemetry_does_not_perturb_fields_on_either_transport() {
+    for kind in [TransportKind::Inproc, TransportKind::Socket] {
+        for nparts in RANK_COUNTS {
+            let off = step_field_bits(kind, nparts, 1);
+            let on: Vec<Vec<u64>> =
+                step_run(kind, nparts, 1, true).into_iter().map(|(b, _)| b).collect();
+            assert!(!off[0].is_empty());
+            assert_eq!(
+                off, on,
+                "comm telemetry perturbed converged fields at {nparts} ranks over {kind:?}"
+            );
+        }
+    }
+}
+
+/// Edge accounting is a property of the communication pattern, not the
+/// wire: per-(src, dst, class) message/byte totals must be identical
+/// between transports, and within a run the sender's and receiver's
+/// records of each edge must agree.
+#[test]
+fn comm_edge_totals_identical_across_transports() {
+    use exawind::telemetry::Event;
+    type Edges = Vec<(usize, usize, String, u64, u64)>;
+    let collect = |kind| -> Vec<Edges> {
+        step_run(kind, 4, 1, true)
+            .into_iter()
+            .map(|(_, events)| {
+                events
+                    .iter()
+                    .filter_map(|e| match e {
+                        Event::CommEdge { src, dst, class, msgs, bytes, .. } => {
+                            Some((*src, *dst, class.clone(), *msgs, *bytes))
+                        }
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    let inproc = collect(TransportKind::Inproc);
+    let socket = collect(TransportKind::Socket);
+    assert!(inproc.iter().all(|s| !s.is_empty()), "no comm edges recorded");
+    assert_eq!(inproc, socket, "comm matrix differs between transports");
+
+    // Sender/receiver symmetry: every edge appears in exactly two rank
+    // streams (its endpoints) with the same totals.
+    let mut views: std::collections::BTreeMap<(usize, usize, String), Vec<(u64, u64)>> =
+        std::collections::BTreeMap::new();
+    for stream in &socket {
+        for (src, dst, class, msgs, bytes) in stream {
+            views.entry((*src, *dst, class.clone())).or_default().push((*msgs, *bytes));
+        }
+    }
+    for (edge, v) in views {
+        assert_eq!(v.len(), 2, "edge {edge:?} not recorded by both endpoints");
+        assert_eq!(v[0], v[1], "edge {edge:?} asymmetric between endpoints");
     }
 }
 
