@@ -87,3 +87,24 @@ cargo run --release -p exawind-bench --bin exawind-perf -- record --out "$perf_t
 cargo run --release -p telemetry --bin validate_telemetry -- "$perf_traj"
 cargo run --release -p exawind-bench --bin exawind-perf -- \
   diff --against "$perf_traj" --tol 25.0
+
+# Kernel-backend leg: the whole suite must stay green with the SELL-C-σ
+# backend forced on (bitwise identity with CSR is pinned by
+# tests/determinism.rs), a quickstart run event must carry the policy
+# label, and two sellcs perf recordings must pass the same regression
+# gate — perf baselines are policy-keyed, so csr/auto and sellcs runs
+# never gate each other.
+kern_out=$(mktemp /tmp/exawind_sellcs.XXXXXX.jsonl)
+trap 'rm -f "$tel_out" "$fault_out" "$perf_traj" "$kern_out"; rm -rf "$mp_dir"' EXIT
+EXAWIND_KERNELS=sellcs cargo test -q --workspace
+EXAWIND_KERNELS=sellcs EXAWIND_TELEMETRY="$kern_out" \
+  cargo run --release --example quickstart
+cargo run --release -p telemetry --bin validate_telemetry -- "$kern_out"
+grep -q '"kernel_policy": *"sellcs"' "$kern_out" \
+  || { echo "kernel smoke: run event not tagged with sellcs policy" >&2; exit 1; }
+EXAWIND_KERNELS=sellcs cargo run --release -p exawind-bench --bin exawind-perf -- \
+  record --out "$perf_traj"
+EXAWIND_KERNELS=sellcs cargo run --release -p exawind-bench --bin exawind-perf -- \
+  record --out "$perf_traj"
+cargo run --release -p exawind-bench --bin exawind-perf -- \
+  diff --against "$perf_traj" --tol 25.0

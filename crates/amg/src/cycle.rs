@@ -88,7 +88,25 @@ impl AmgPrecond {
     /// Propagates [`AmgHierarchy::setup`] failures (non-finite
     /// coefficients, coarsening stagnation).
     pub fn setup(rank: &Rank, a: ParCsr, config: &AmgConfig) -> Result<Self, SolveError> {
-        let hierarchy = AmgHierarchy::setup(rank, a, config)?;
+        Self::setup_with_reuse(rank, a, config, &mut crate::AmgReuse::new())
+    }
+
+    /// [`AmgPrecond::setup`] threading a cross-solve [`crate::AmgReuse`]
+    /// store through hierarchy construction, so repeated setups over the
+    /// same sparsity (Picard re-solves) replay their Galerkin SpGEMMs
+    /// numerically. Collective.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AmgHierarchy::setup`] failures (non-finite
+    /// coefficients, coarsening stagnation).
+    pub fn setup_with_reuse(
+        rank: &Rank,
+        a: ParCsr,
+        config: &AmgConfig,
+        reuse: &mut crate::AmgReuse,
+    ) -> Result<Self, SolveError> {
+        let hierarchy = AmgHierarchy::setup_with_reuse(rank, a, config, reuse)?;
         Ok(AmgPrecond {
             hierarchy,
             cycles: 1,

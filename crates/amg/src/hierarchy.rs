@@ -18,6 +18,7 @@ use crate::coarse::CoarseSolver;
 use crate::config::{AmgConfig, InterpType, SmootherType};
 use crate::interp::build_interpolation;
 use crate::pmis::{pmis, pmis_aggressive, CfSplit, CfState};
+use crate::reuse::AmgReuse;
 use crate::strength::Strength;
 
 /// The smoother bound to one level (selected by
@@ -113,6 +114,26 @@ impl AmgHierarchy {
     /// - [`SolveError::CoarseningStagnation`] — PMIS stopped shrinking
     ///   the grid while it is still far above `max_coarse_size`.
     pub fn setup(rank: &Rank, a: ParCsr, config: &AmgConfig) -> Result<AmgHierarchy, SolveError> {
+        Self::setup_with_reuse(rank, a, config, &mut AmgReuse::new())
+    }
+
+    /// [`AmgHierarchy::setup`] with a cross-solve [`AmgReuse`] store:
+    /// every Galerkin SpGEMM whose operand structure matches the plan
+    /// recorded by the previous setup through the same store replays
+    /// numerically ("spgemm_numeric" kernel) instead of rebuilding.
+    /// Strength, PMIS and interpolation are value-dependent and always
+    /// run fresh. Collective.
+    ///
+    /// # Errors
+    ///
+    /// As [`AmgHierarchy::setup`].
+    pub fn setup_with_reuse(
+        rank: &Rank,
+        a: ParCsr,
+        config: &AmgConfig,
+        reuse: &mut AmgReuse,
+    ) -> Result<AmgHierarchy, SolveError> {
+        reuse.begin();
         let local_bad =
             guard::count_nonfinite(a.diag.vals()) + guard::count_nonfinite(a.offd.vals());
         let bad = rank.allreduce_sum(local_bad);
@@ -165,16 +186,15 @@ impl AmgHierarchy {
                 break;
             }
 
-            let (p, a_next) = if lvl < config.agg_levels {
-                match Self::aggressive_level(rank, &a_cur, &s, &first, config, seed) {
-                    Some(pair) => pair,
-                    None => Self::standard_level(rank, &a_cur, &s, &first, config),
+            let (p, r, a_next) = if lvl < config.agg_levels {
+                match Self::aggressive_level(rank, &a_cur, &s, &first, config, seed, reuse) {
+                    Some(triple) => triple,
+                    None => Self::standard_level(rank, &a_cur, &s, &first, config, reuse),
                 }
             } else {
-                Self::standard_level(rank, &a_cur, &s, &first, config)
+                Self::standard_level(rank, &a_cur, &s, &first, config, reuse)
             };
 
-            let r = ops::par_transpose(rank, &p);
             let smoother = LevelSmoother::build(rank, &a_cur, config);
             levels.push(AmgLevel {
                 a: a_cur,
@@ -215,6 +235,7 @@ impl AmgHierarchy {
             operator_complexity: sum_nnz as f64 / fine_nnz as f64,
         };
         hierarchy.emit_telemetry(rank);
+        reuse.finish();
         Ok(hierarchy)
     }
 
@@ -243,17 +264,23 @@ impl AmgHierarchy {
         });
     }
 
-    /// Standard level: one PMIS pass, one interpolation, one RAP.
+    /// Standard level: one PMIS pass, one interpolation, one RAP with
+    /// both Galerkin legs routed through the reuse store. Returns
+    /// `(P, R, A_next)`; R is the transpose the RAP needed anyway —
+    /// shared instead of recomputed.
     fn standard_level(
         rank: &Rank,
         a: &ParCsr,
         s: &Strength,
         split: &CfSplit,
         config: &AmgConfig,
-    ) -> (ParCsr, ParCsr) {
+        reuse: &mut AmgReuse,
+    ) -> (ParCsr, ParCsr, ParCsr) {
         let p = build_interpolation(rank, a, s, split, config.interp, config.trunc_factor);
-        let a_next = ops::par_rap(rank, a, &p);
-        (p, a_next)
+        let ap = reuse.spgemm(rank, a, &p);
+        let pt = ops::par_transpose(rank, &p);
+        let a_next = reuse.spgemm(rank, &pt, &ap);
+        (p, pt, a_next)
     }
 
     /// Aggressive level: second PMIS on S²+S, two-stage interpolation.
@@ -266,7 +293,8 @@ impl AmgHierarchy {
         first: &CfSplit,
         config: &AmgConfig,
         seed: u64,
-    ) -> Option<(ParCsr, ParCsr)> {
+        reuse: &mut AmgReuse,
+    ) -> Option<(ParCsr, ParCsr, ParCsr)> {
         let agg = pmis_aggressive(rank, a, s, first, seed);
         let n_final = rank.allreduce_sum(agg.n_coarse_local() as u64);
         if n_final == 0 || n_final == first.coarse_dist.global_n() {
@@ -275,7 +303,9 @@ impl AmgHierarchy {
         // Stage 1: interpolate to the first-pass C-points (distance-one
         // BAMG-direct weights are standard for the first stage).
         let p1 = build_interpolation(rank, a, s, first, InterpType::BamgDirect, config.trunc_factor);
-        let a1 = ops::par_rap(rank, a, &p1);
+        let ap1 = reuse.spgemm(rank, a, &p1);
+        let p1t = ops::par_transpose(rank, &p1);
+        let a1 = reuse.spgemm(rank, &p1t, &ap1);
         // Stage 2: CF-split of the first-pass C-points given by the
         // second PMIS pass, interpolated with the configured (MM-based)
         // operator on the intermediate operator A1.
@@ -283,9 +313,12 @@ impl AmgHierarchy {
         let s1 = Strength::classical(rank, &a1, config.strength_threshold);
         let p2 = build_interpolation(rank, &a1, &s1, &split2, config.interp, config.trunc_factor);
         // P = P1·P2; A_next = P2ᵀ A1 P2 = Pᵀ A P.
-        let p = ops::par_spgemm(rank, &p1, &p2);
-        let a_next = ops::par_rap(rank, &a1, &p2);
-        Some((p, a_next))
+        let p = reuse.spgemm(rank, &p1, &p2);
+        let ap2 = reuse.spgemm(rank, &a1, &p2);
+        let p2t = ops::par_transpose(rank, &p2);
+        let a_next = reuse.spgemm(rank, &p2t, &ap2);
+        let r = ops::par_transpose(rank, &p);
+        Some((p, r, a_next))
     }
 
     /// Express the composed aggressive splitting relative to the
@@ -421,6 +454,44 @@ mod tests {
         );
         // Second level must be much smaller under aggressive coarsening.
         assert!(sizes_agg[1] < sizes_std[1]);
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn setup_with_reuse_replays_bitwise() {
+        // Second setup through the same store (values drifted, structure
+        // fixed — the Picard scenario) must replay every Galerkin
+        // product and produce levels bit-identical to a fresh setup.
+        let serial = laplacian_2d(16);
+        for cfg in [AmgConfig::standard(), AmgConfig::pressure_default()] {
+            let s2 = serial.clone();
+            Comm::run(2, move |rank| {
+                let dist = RowDist::block(256, rank.size());
+                let a = distmat::ParCsr::from_serial(rank, dist.clone(), dist.clone(), &s2);
+                let mut reuse = AmgReuse::new();
+                let h0 =
+                    AmgHierarchy::setup_with_reuse(rank, a.clone(), &cfg, &mut reuse).unwrap();
+                let planned = reuse.n_plans();
+                assert!(planned >= 2, "expected recorded Galerkin plans");
+                let mut a2 = a.clone();
+                a2.scale(0.5);
+                let h1 = AmgHierarchy::setup_with_reuse(rank, a2.clone(), &cfg, &mut reuse)
+                    .unwrap();
+                // Uniform scaling preserves the strength pattern, so
+                // every plan must have been reused, not re-recorded.
+                assert_eq!(reuse.n_plans(), planned);
+                let h1_fresh = AmgHierarchy::setup(rank, a2, &cfg).unwrap();
+                assert_eq!(h1.n_levels(), h0.n_levels());
+                assert_eq!(h1.n_levels(), h1_fresh.n_levels());
+                for (lr, lf) in h1.levels.iter().zip(&h1_fresh.levels) {
+                    assert_eq!(bits(lr.a.diag.vals()), bits(lf.a.diag.vals()));
+                    assert_eq!(bits(lr.a.offd.vals()), bits(lf.a.offd.vals()));
+                }
+            });
+        }
     }
 
     #[test]

@@ -26,9 +26,11 @@ pub mod cycle;
 pub mod hierarchy;
 pub mod interp;
 pub mod pmis;
+pub mod reuse;
 pub mod strength;
 
 pub use config::{AmgConfig, InterpType, SmootherType};
 pub use cycle::AmgPrecond;
 pub use hierarchy::{AmgHierarchy, AmgLevel, LevelSmoother};
+pub use reuse::AmgReuse;
 pub use pmis::CfState;

@@ -111,11 +111,11 @@ fn cmd_diff(mut args: Vec<String>) -> ExitCode {
             println!("{traj}: single recorded run — nothing to diff against, trivially ok");
             return ExitCode::SUCCESS;
         }
-        let baseline = baseline_over(&groups, current.threads);
+        let baseline = baseline_over(&groups, current.threads, current.kernel_policy.as_deref());
         if baseline.kernels.is_empty() {
             println!(
-                "{traj}: no earlier runs at threads={:?} — trivially ok",
-                current.threads
+                "{traj}: no earlier runs at threads={:?} kernels={:?} — trivially ok",
+                current.threads, current.kernel_policy
             );
             return ExitCode::SUCCESS;
         }
@@ -165,7 +165,8 @@ fn cmd_report(args: Vec<String>) -> ExitCode {
     for (i, g) in groups.iter().enumerate() {
         let commit = g.git_commit.as_deref().unwrap_or("unknown");
         let threads = g.threads.map_or("?".to_string(), |t| t.to_string());
-        println!("run {i}: commit {commit} threads {threads}");
+        let kernels = g.kernel_policy.as_deref().unwrap_or("?");
+        println!("run {i}: commit {commit} threads {threads} kernels {kernels}");
         for (name, rec) in &g.kernels {
             println!(
                 "  {:<32} min {:>10} ns  median {:>10} ns  ({} samples)",

@@ -3,7 +3,7 @@
 //!
 //! A *trajectory* file (`results/trajectory.jsonl`) is an append-only
 //! JSONL stream of telemetry events: each recorded run contributes one
-//! `run` header (threads + git commit) followed by one `bench` line per
+//! `run` header (threads + git commit + kernel policy) followed by one `bench` line per
 //! hot kernel, where the benched quantity is **nanoseconds per kernel
 //! call** summed over ranks (min/median/mean over repetitions). Reusing
 //! the telemetry schema means `validate_telemetry` validates trajectories
@@ -25,8 +25,11 @@ use telemetry::Event;
 use windmesh::generate::{box_mesh, uniform_spacing, BoxBc};
 use windmesh::NrelCase;
 
-/// Workloads `exawind-perf record` knows how to run.
-pub const WORKLOADS: [&str; 2] = ["quickstart", "turbine"];
+/// Workloads `exawind-perf record` knows how to run. `rap` runs the
+/// quickstart mesh with three Picard iterations so the second and third
+/// continuity re-solves replay recorded Galerkin SpGEMM plans
+/// (`spgemm_numeric`) instead of rebuilding structure.
+pub const WORKLOADS: [&str; 3] = ["quickstart", "turbine", "rap"];
 
 /// Nanoseconds-per-call samples of one kernel in one recorded run.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -41,6 +44,9 @@ pub struct BenchRecord {
 #[derive(Clone, Debug, Default)]
 pub struct BenchGroup {
     pub threads: Option<u64>,
+    /// Kernel policy label from the `run` header (`auto`|`csr`|`sellcs`);
+    /// `None` for legacy groups recorded before the policy existed.
+    pub kernel_policy: Option<String>,
     pub git_commit: Option<String>,
     /// Keyed by bench name (`workload/kernel`).
     pub kernels: BTreeMap<String, BenchRecord>,
@@ -53,9 +59,10 @@ pub fn group_runs(events: &[Event]) -> Vec<BenchGroup> {
     let mut groups: Vec<BenchGroup> = Vec::new();
     for ev in events {
         match ev {
-            Event::Run { threads, git_commit, .. } => {
+            Event::Run { threads, kernel_policy, git_commit, .. } => {
                 groups.push(BenchGroup {
                     threads: Some(*threads as u64),
+                    kernel_policy: Some(kernel_policy.clone()),
                     git_commit: git_commit.clone(),
                     kernels: BTreeMap::new(),
                 });
@@ -64,6 +71,7 @@ pub fn group_runs(events: &[Event]) -> Vec<BenchGroup> {
                 if groups.is_empty() {
                     groups.push(BenchGroup {
                         threads: *threads,
+                        kernel_policy: None,
                         git_commit: git_commit.clone(),
                         kernels: BTreeMap::new(),
                     });
@@ -89,15 +97,28 @@ pub fn group_runs(events: &[Event]) -> Vec<BenchGroup> {
 /// Synthetic baseline: per-kernel **min over all groups** (the best time
 /// any recorded run achieved). Restricting to groups whose thread count
 /// matches `threads` (when given) keeps 1-thread and 4-thread records
-/// from gating each other.
-pub fn baseline_over(groups: &[BenchGroup], threads: Option<u64>) -> BenchGroup {
+/// from gating each other; the same applies to `kernel_policy`, so a
+/// `sellcs` run is never gated against `csr` history (legacy groups with
+/// no recorded policy still participate everywhere).
+pub fn baseline_over(
+    groups: &[BenchGroup],
+    threads: Option<u64>,
+    kernel_policy: Option<&str>,
+) -> BenchGroup {
     let mut base = BenchGroup {
         threads,
+        kernel_policy: kernel_policy.map(str::to_string),
         git_commit: None,
         kernels: BTreeMap::new(),
     };
     for g in groups {
         if threads.is_some() && g.threads.is_some() && g.threads != threads {
+            continue;
+        }
+        if kernel_policy.is_some()
+            && g.kernel_policy.is_some()
+            && g.kernel_policy.as_deref() != kernel_policy
+        {
             continue;
         }
         for (name, rec) in &g.kernels {
@@ -236,6 +257,26 @@ fn run_workload_once(workload: &str) -> BTreeMap<String, f64> {
                 sim.finish_telemetry(rank)
             })
         }
+        "rap" => {
+            Comm::run(2, |rank| {
+                let mesh = box_mesh(
+                    uniform_spacing(0.0, 630.0, 7),
+                    uniform_spacing(-126.0, 126.0, 5),
+                    uniform_spacing(-126.0, 126.0, 5),
+                    BoxBc::wind_tunnel(),
+                );
+                let cfg = SolverConfig {
+                    telemetry: true,
+                    // Three Picard iterations: the first records Galerkin
+                    // SpGEMM plans, the later two replay them numerically.
+                    picard_iters: 3,
+                    ..SolverConfig::default()
+                };
+                let mut sim = Simulation::new(rank, vec![mesh], cfg);
+                sim.step(rank);
+                sim.finish_telemetry(rank)
+            })
+        }
         other => panic!("unknown workload {other:?} (expected one of {WORKLOADS:?})"),
     };
     let mut secs: BTreeMap<String, f64> = BTreeMap::new();
@@ -287,7 +328,13 @@ pub fn record_workload(workload: &str, reps: usize) -> Vec<Event> {
 /// Record every workload in [`WORKLOADS`], prefixed by a `run` header:
 /// the unit `exawind-perf record` appends to the trajectory.
 pub fn record_all(reps: usize) -> Vec<Event> {
-    let mut events = vec![telemetry::run_info(2)];
+    let mut run = telemetry::run_info(2);
+    if let Event::Run { kernel_policy, .. } = &mut run {
+        // run_info reports the raw env string; normalize through the
+        // parser so the trajectory key matches what the kernels ran.
+        *kernel_policy = sparse_kit::KernelPolicy::from_env().label().to_string();
+    }
+    let mut events = vec![run];
     for w in WORKLOADS {
         events.extend(record_workload(w, reps));
     }
@@ -311,10 +358,15 @@ mod tests {
     }
 
     fn run_header(threads: usize) -> Event {
+        run_header_with_policy(threads, "auto")
+    }
+
+    fn run_header_with_policy(threads: usize, policy: &str) -> Event {
         Event::Run {
             ranks: 2,
             threads,
             transport: "inproc".into(),
+            kernel_policy: policy.into(),
             git_commit: Some("abc".into()),
         }
     }
@@ -378,10 +430,30 @@ mod tests {
             run_header(4),
             bench("q/spmv_csr", 30),
         ]);
-        let b1 = baseline_over(&groups, Some(1));
+        let b1 = baseline_over(&groups, Some(1), None);
         assert_eq!(b1.kernels["q/spmv_csr"].min_ns, 80);
-        let any = baseline_over(&groups, None);
+        let any = baseline_over(&groups, None, None);
         assert_eq!(any.kernels["q/spmv_csr"].min_ns, 30);
+    }
+
+    #[test]
+    fn baseline_filters_by_kernel_policy_but_keeps_legacy_groups() {
+        let groups = group_runs(&[
+            run_header_with_policy(1, "csr"),
+            bench("q/spmv_csr", 100),
+            run_header_with_policy(1, "sellcs"),
+            bench("q/spmv_csr", 40),
+        ]);
+        // A csr-policy diff must not be gated against the sellcs record.
+        let b = baseline_over(&groups, Some(1), Some("csr"));
+        assert_eq!(b.kernels["q/spmv_csr"].min_ns, 100);
+        let b = baseline_over(&groups, Some(1), Some("sellcs"));
+        assert_eq!(b.kernels["q/spmv_csr"].min_ns, 40);
+        // Legacy groups (no run header → no recorded policy) participate
+        // in every baseline.
+        let legacy = group_runs(&[bench("q/spmv_csr", 10)]);
+        let b = baseline_over(&legacy, None, Some("sellcs"));
+        assert_eq!(b.kernels["q/spmv_csr"].min_ns, 10);
     }
 
     #[test]
@@ -395,9 +467,16 @@ mod tests {
                 _ => None,
             })
             .collect();
-        for expect in ["quickstart/spmv_csr", "quickstart/spgemm", "quickstart/halo_pack"] {
+        for expect in ["quickstart/spgemm", "quickstart/halo_pack"] {
             assert!(names.contains(&expect), "{expect} missing from {names:?}");
         }
+        // Which SpMV kernel fires depends on the active backend policy
+        // (EXAWIND_KERNELS leaks into test processes by design — the CI
+        // sellcs leg runs this very suite under the forced policy).
+        assert!(
+            names.contains(&"quickstart/spmv_csr") || names.contains(&"quickstart/spmv_sellcs"),
+            "no SpMV bench in {names:?}"
+        );
         // Round-trips through the schema (trajectory lines stay valid).
         let text: String = events.iter().map(|e| e.to_line() + "\n").collect();
         let back = telemetry::read_jsonl_str(&text).unwrap();

@@ -11,10 +11,11 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use amg::{AmgConfig, AmgPrecond};
+use amg::{AmgConfig, AmgPrecond, AmgReuse};
 use distmat::{ParCsr, ParVector};
 use krylov::{Gmres, JacobiPrecond, OrthoStrategy, Preconditioner, Sgs2};
 use parcomm::{Rank, TransportKind};
+use sparse_kit::{policy, KernelPolicy};
 use resilience::faults::{FaultGuard, FaultPlan};
 use resilience::{guard, RecoveryAction, RecoveryPolicy, RecoveryRecord, SolveError};
 use windmesh::overset::assemble_overset;
@@ -77,6 +78,11 @@ pub struct SolverConfig {
     /// transport-agnostic and produces bitwise-identical results on
     /// every backend.
     pub transport: TransportKind,
+    /// SpMV kernel backend policy (defaults to the `EXAWIND_KERNELS`
+    /// environment selection, itself defaulting to `auto`). Installed on
+    /// the rank thread by [`Simulation::new`]; every backend produces
+    /// bitwise-identical results, the policy only moves bytes.
+    pub kernels: KernelPolicy,
 }
 
 impl Default for SolverConfig {
@@ -99,6 +105,7 @@ impl Default for SolverConfig {
             faults: None,
             recovery: RecoveryPolicy::default(),
             transport: TransportKind::from_env(),
+            kernels: KernelPolicy::from_env(),
         }
     }
 }
@@ -168,6 +175,10 @@ pub struct Simulation {
     /// Keeps the fault-injection plan installed as this rank thread's
     /// injector for the lifetime of the simulation (None = no faults).
     _fault_guard: Option<FaultGuard>,
+    /// Per-mesh stores of AMG-setup SpGEMM plans: each Picard re-solve
+    /// of the pressure system replays the Galerkin products numerically
+    /// while the sparsity (fixed by the mesh graph) is unchanged.
+    amg_reuse: BTreeMap<usize, AmgReuse>,
 }
 
 impl Simulation {
@@ -175,6 +186,10 @@ impl Simulation {
     /// connectivity is assembled here when there are component meshes.
     /// Collective (partitioning is deterministic and replicated).
     pub fn new(rank: &Rank, mut meshes: Vec<Mesh>, cfg: SolverConfig) -> Simulation {
+        // Install the kernel-backend policy on this rank thread before
+        // any matrix is built, so every ParCsr constructed below picks
+        // its SpMV storage consistently.
+        policy::install(cfg.kernels);
         let overset = if meshes.len() > 1 {
             assemble_overset(&mut meshes, cfg.overset_margin)
         } else {
@@ -218,6 +233,7 @@ impl Simulation {
             telemetry: tel,
             tel_guard,
             _fault_guard: fault_guard,
+            amg_reuse: BTreeMap::new(),
         }
     }
 
@@ -621,14 +637,17 @@ impl Simulation {
         Self::check_system_finite(rank, &a, &[&b])?;
         // Preconditioner setup: AMG, demoted to SGS2 by the recovery
         // ladder (a stalled or corrupted hierarchy must not take the
-        // whole step down).
+        // whole step down). The reuse store carries last setup's Galerkin
+        // SpGEMM plans; a structure change (mesh motion on this mesh)
+        // re-records them collectively inside `setup_with_reuse`.
+        let reuse = self.amg_reuse.entry(m).or_default();
         let precond: Box<dyn Preconditioner> =
             Self::phased(rank, t, eq, Phase::PrecondSetup, || {
                 if mods.fallback_smoother {
                     Ok(Box::new(Sgs2::with_sweeps(&a, cfg.sgs_inner, cfg.sgs_outer))
                         as Box<dyn Preconditioner>)
                 } else {
-                    AmgPrecond::setup(rank, a.clone(), &cfg.amg)
+                    AmgPrecond::setup_with_reuse(rank, a.clone(), &cfg.amg, reuse)
                         .map(|p| Box::new(p) as Box<dyn Preconditioner>)
                 }
             })?;

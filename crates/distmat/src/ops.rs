@@ -38,6 +38,10 @@ pub fn par_transpose(rank: &Rank, a: &ParCsr) -> ParCsr {
 /// is `(global col ids, values)`.
 pub type ExtRows = HashMap<u64, (Vec<u64>, Vec<f64>)>;
 
+/// Per-peer (row-entry counts, flattened values) payload of a
+/// values-only external-row exchange ([`fetch_external_vals`]).
+type ValsPayload = (Vec<u64>, Vec<f64>);
+
 /// Fetch the rows of `b` whose global ids appear in `needed` (all owned by
 /// other ranks). Two sparse exchanges: requests out, rows back. Collective.
 pub fn fetch_external_rows(rank: &Rank, b: &ParCsr, needed: &[u64]) -> ExtRows {
@@ -128,7 +132,9 @@ pub fn par_spgemm(rank: &Rank, a: &ParCsr, b: &ParCsr) -> ParCsr {
     let row_start = a.row_dist().start(me);
     // Expansion (products computed) is known from the inputs; nnz(C) only
     // after the multiply, so the model is finalized post-loop.
-    let expansion = spgemm_flops(&a.diag, &b.diag);
+    // `spgemm_flops` counts 2 flops per product — halve it back to the
+    // product count the models take.
+    let expansion = spgemm_flops(&a.diag, &b.diag) / 2;
     let mut kguard = telemetry::kernel(
         "spgemm",
         perfmodel::spgemm(a.local_rows(), a.local_nnz(), expansion, 0),
@@ -183,6 +189,262 @@ pub fn par_rap(rank: &Rank, a: &ParCsr, p: &ParCsr) -> ParCsr {
     let ap = par_spgemm(rank, a, p);
     let pt = par_transpose(rank, p);
     par_spgemm(rank, &pt, &ap)
+}
+
+/// Fetch only the **values** of external rows of `b`, in exactly the
+/// per-row order [`fetch_external_rows`] returns them (diag entries in
+/// CSR order, then offd). Used by numeric-only SpGEMM replay, where the
+/// column structure is already baked into the plan. Collective.
+pub fn fetch_external_vals(rank: &Rank, b: &ParCsr, needed: &[u64]) -> HashMap<u64, Vec<f64>> {
+    let me = rank.rank();
+    let dist = b.row_dist().clone();
+    let mut requests: Vec<(usize, Vec<u64>)> = Vec::new();
+    let mut i = 0;
+    while i < needed.len() {
+        let owner = dist.owner(needed[i]);
+        assert_ne!(owner, me, "external row owned locally");
+        let begin = i;
+        while i < needed.len() && dist.owner(needed[i]) == owner {
+            i += 1;
+        }
+        requests.push((owner, needed[begin..i].to_vec()));
+    }
+    let incoming = rank.sparse_exchange(requests);
+
+    let responses: Vec<(usize, ValsPayload)> = incoming
+        .into_iter()
+        .map(|(src, gids)| {
+            let mut counts = Vec::with_capacity(gids.len());
+            let mut vals = Vec::new();
+            for gid in gids {
+                let li = dist.to_local(me, gid);
+                let (dc, dv) = b.diag.row(li);
+                let (oc, ov) = b.offd.row(li);
+                counts.push((dc.len() + oc.len()) as u64);
+                vals.extend_from_slice(dv);
+                vals.extend_from_slice(ov);
+            }
+            (src, (counts, vals))
+        })
+        .collect();
+    let rows_back = rank.sparse_exchange(responses);
+
+    let mut by_src: HashMap<usize, (Vec<u64>, Vec<f64>)> = HashMap::new();
+    for (src, payload) in rows_back {
+        by_src.insert(src, payload);
+    }
+    let mut out: HashMap<u64, Vec<f64>> = HashMap::new();
+    let mut cursor: HashMap<usize, (usize, usize)> = HashMap::new();
+    for &gid in needed {
+        let owner = dist.owner(gid);
+        let (counts, vals) = by_src
+            .get(&owner)
+            .unwrap_or_else(|| panic!("missing response from rank {owner}"));
+        let entry = cursor.entry(owner).or_insert((0, 0));
+        let n = counts[entry.0] as usize;
+        out.insert(gid, vals[entry.1..entry.1 + n].to_vec());
+        entry.0 += 1;
+        entry.1 += n;
+    }
+    out
+}
+
+/// Structural fingerprint of a [`ParCsr`]: everything that determines a
+/// SpGEMM output's sparsity and the expansion order, without the values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatPattern {
+    diag_indptr: Vec<usize>,
+    diag_indices: Vec<usize>,
+    offd_indptr: Vec<usize>,
+    offd_indices: Vec<usize>,
+    col_map_offd: Vec<u64>,
+}
+
+impl MatPattern {
+    /// Capture the pattern of `a`.
+    pub fn of(a: &ParCsr) -> Self {
+        MatPattern {
+            diag_indptr: a.diag.indptr().to_vec(),
+            diag_indices: a.diag.indices().to_vec(),
+            offd_indptr: a.offd.indptr().to_vec(),
+            offd_indices: a.offd.indices().to_vec(),
+            col_map_offd: a.col_map_offd.clone(),
+        }
+    }
+
+    /// Does `a` still have exactly this structure?
+    pub fn matches(&self, a: &ParCsr) -> bool {
+        self.diag_indptr == a.diag.indptr()
+            && self.diag_indices == a.diag.indices()
+            && self.offd_indptr == a.offd.indptr()
+            && self.offd_indices == a.offd.indices()
+            && self.col_map_offd == a.col_map_offd
+    }
+}
+
+/// A recorded symbolic pass of [`par_spgemm`]: the output structure plus
+/// one destination slot per expansion product, so later triple products
+/// with unchanged structure (every Picard re-solve) replay the numeric
+/// pass alone — no hash probing, no per-row sort, no COO assembly, no
+/// structural reassembly, and only values on the wire for external rows.
+///
+/// Bitwise contract: [`par_spgemm`] accumulates each output entry with
+/// `*acc.entry(j).or_insert(0.0) += a·b` — the first contribution is
+/// added to +0.0 — and replay seeds every slot with +0.0 and adds the
+/// products in the identical expansion order, so the float sums are
+/// reproduced bit for bit (`tests` prove it on -0.0 hazards too).
+#[derive(Clone, Debug)]
+pub struct ParSpgemmPlan {
+    a_pat: MatPattern,
+    b_pat: MatPattern,
+    /// Structure of C; values are rewritten by every [`Self::execute`].
+    template: ParCsr,
+    /// One destination per expansion product, in expansion order:
+    /// `(flat value index << 1) | is_offd`.
+    slots: Vec<u64>,
+    /// Products per replay (the flop/traffic driver).
+    expansion: u64,
+}
+
+impl ParSpgemmPlan {
+    /// Do `a` and `b` still match the recorded patterns **on every
+    /// rank**? Collective — all ranks must agree before branching
+    /// between replay and a fresh multiply, or the sparse exchanges
+    /// deadlock.
+    pub fn matches(&self, rank: &Rank, a: &ParCsr, b: &ParCsr) -> bool {
+        let ok = self.a_pat.matches(a) && self.b_pat.matches(b);
+        rank.allreduce_sum(ok as u64) == rank.size() as u64
+    }
+
+    /// Expansion products per replay.
+    pub fn expansion(&self) -> u64 {
+        self.expansion
+    }
+
+    /// Numeric-only replay: C = A·B with A, B holding new values in the
+    /// recorded structure. Collective.
+    pub fn execute(&self, rank: &Rank, a: &ParCsr, b: &ParCsr) -> ParCsr {
+        let ext_vals = fetch_external_vals(rank, b, &a.col_map_offd);
+        let c_nnz = self.template.local_nnz();
+        let _k = telemetry::kernel(
+            "spgemm_numeric",
+            perfmodel::spgemm_numeric(a.local_rows(), a.local_nnz(), self.expansion, c_nnz),
+        );
+        // +0.0 seeds: the fresh path's first contribution per entry is
+        // `0.0 + a·b` (see the type-level docs), and replay must repeat
+        // that exact operation sequence.
+        let mut diag_vals = vec![0.0f64; self.template.diag.nnz()];
+        let mut offd_vals = vec![0.0f64; self.template.offd.nnz()];
+        let mut scatter = |slot: u64, prod: f64| {
+            let idx = (slot >> 1) as usize;
+            if slot & 1 == 1 {
+                offd_vals[idx] += prod;
+            } else {
+                diag_vals[idx] += prod;
+            }
+        };
+        let mut cursor = 0usize;
+        for li in 0..a.local_rows() {
+            let (dc, dv) = a.diag.row(li);
+            for (&k, &av) in dc.iter().zip(dv) {
+                let (_, bv) = b.diag.row(k);
+                for &bvv in bv {
+                    scatter(self.slots[cursor], av * bvv);
+                    cursor += 1;
+                }
+                let (_, bv) = b.offd.row(k);
+                for &bvv in bv {
+                    scatter(self.slots[cursor], av * bvv);
+                    cursor += 1;
+                }
+            }
+            let (oc, ov) = a.offd.row(li);
+            for (&k, &av) in oc.iter().zip(ov) {
+                let gk = a.global_offd_col(k);
+                for &bvv in &ext_vals[&gk] {
+                    scatter(self.slots[cursor], av * bvv);
+                    cursor += 1;
+                }
+            }
+        }
+        debug_assert_eq!(cursor, self.slots.len(), "plan is stale for these inputs");
+        let mut c = self.template.clone();
+        c.diag.vals_mut().copy_from_slice(&diag_vals);
+        c.offd.vals_mut().copy_from_slice(&offd_vals);
+        c.refresh_diag_sell();
+        let (bytes, flops) = (
+            (c_nnz as u64) * 16,
+            2 * (self.expansion + c_nnz as u64),
+        );
+        rank.kernel(KernelKind::SpGemm, bytes, flops);
+        c
+    }
+}
+
+/// [`par_spgemm`] plus a recorded plan for numeric-only replays: the
+/// fresh multiply runs unchanged, then the expansion is walked once more
+/// symbolically to bind every product to its slot in C. Collective.
+pub fn par_spgemm_planned(rank: &Rank, a: &ParCsr, b: &ParCsr) -> (ParSpgemmPlan, ParCsr) {
+    let c = par_spgemm(rank, a, b);
+    let ext = fetch_external_rows(rank, b, &a.col_map_offd);
+    let me = rank.rank();
+    let b_col_start = b.col_dist().start(me);
+    let c_col_start = c.col_dist().start(me);
+    let c_col_end = c.col_dist().end(me);
+
+    // (local row, global col) → encoded slot, via binary search in the
+    // output structure.
+    let slot_of = |li: usize, gj: u64| -> u64 {
+        if (c_col_start..c_col_end).contains(&gj) {
+            let j = (gj - c_col_start) as usize;
+            let (lo, hi) = (c.diag.indptr()[li], c.diag.indptr()[li + 1]);
+            let pos = c.diag.indices()[lo..hi]
+                .binary_search(&j)
+                .unwrap_or_else(|_| panic!("diag slot ({li}, {gj}) missing from product"));
+            ((lo + pos) as u64) << 1
+        } else {
+            let cj = c
+                .col_map_offd
+                .binary_search(&gj)
+                .unwrap_or_else(|_| panic!("offd col {gj} missing from product"));
+            let (lo, hi) = (c.offd.indptr()[li], c.offd.indptr()[li + 1]);
+            let pos = c.offd.indices()[lo..hi]
+                .binary_search(&cj)
+                .unwrap_or_else(|_| panic!("offd slot ({li}, {gj}) missing from product"));
+            (((lo + pos) as u64) << 1) | 1
+        }
+    };
+
+    let mut slots = Vec::new();
+    for li in 0..a.local_rows() {
+        let (dc, _) = a.diag.row(li);
+        for &k in dc {
+            let (bc, _) = b.diag.row(k);
+            for &j in bc {
+                slots.push(slot_of(li, b_col_start + j as u64));
+            }
+            let (bc, _) = b.offd.row(k);
+            for &j in bc {
+                slots.push(slot_of(li, b.global_offd_col(j)));
+            }
+        }
+        let (oc, _) = a.offd.row(li);
+        for &k in oc {
+            let gk = a.global_offd_col(k);
+            for &gj in &ext[&gk].0 {
+                slots.push(slot_of(li, gj));
+            }
+        }
+    }
+    let expansion = slots.len() as u64;
+    let plan = ParSpgemmPlan {
+        a_pat: MatPattern::of(a),
+        b_pat: MatPattern::of(b),
+        template: c.clone(),
+        slots,
+        expansion,
+    };
+    (plan, c)
 }
 
 /// Per-rank nonzero counts of a distributed matrix (for the Fig. 5/10
@@ -338,6 +600,97 @@ mod tests {
                 assert!((x - y).abs() < 1e-10);
             }
         });
+    }
+
+    /// Bit pattern of a float vector (bitwise comparisons below).
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn spgemm_plan_replay_is_bitwise_identical_to_fresh() {
+        let n = 16;
+        for nranks in [1, 2, 3] {
+            let out = Comm::run(nranks, move |rank| {
+                let rd = RowDist::block(n as u64, rank.size());
+                let cd = RowDist::block((n / 2) as u64, rank.size());
+                let a = ParCsr::from_serial(rank, rd.clone(), rd.clone(), &laplacian(n));
+                let p = ParCsr::from_serial(rank, rd.clone(), cd.clone(), &half_interp(n));
+                let (plan, c0) = par_spgemm_planned(rank, &a, &p);
+                assert!(plan.matches(rank, &a, &p));
+                // Same values: replay must equal the fresh product bit
+                // for bit.
+                let c1 = plan.execute(rank, &a, &p);
+                assert_eq!(bits(c0.diag.vals()), bits(c1.diag.vals()));
+                assert_eq!(bits(c0.offd.vals()), bits(c1.offd.vals()));
+                // Value-only drift (structure untouched): replay must
+                // match a from-scratch multiply bitwise.
+                let mut a2 = a.clone();
+                a2.scale(1.0 / 3.0);
+                let c2 = plan.execute(rank, &a2, &p);
+                let c2_fresh = par_spgemm(rank, &a2, &p);
+                assert_eq!(bits(c2.diag.vals()), bits(c2_fresh.diag.vals()));
+                assert_eq!(bits(c2.offd.vals()), bits(c2_fresh.offd.vals()));
+                c2.to_serial(rank)
+            });
+            for c in out {
+                assert_eq!(c.nnz(), sparse_kit::spgemm::spgemm_hash(&laplacian(n), &half_interp(n)).nnz());
+            }
+        }
+    }
+
+    #[test]
+    fn spgemm_plan_detects_structure_change_collectively() {
+        Comm::run(2, |rank| {
+            let n = 12;
+            let rd = RowDist::block(n as u64, 2);
+            let cd = RowDist::block((n / 2) as u64, 2);
+            let a = ParCsr::from_serial(rank, rd.clone(), rd.clone(), &laplacian(n));
+            let p = ParCsr::from_serial(rank, rd.clone(), cd.clone(), &half_interp(n));
+            let (plan, _) = par_spgemm_planned(rank, &a, &p);
+            // A different-structure A (dense band of width 2) must be
+            // rejected on every rank.
+            let mut coo = Coo::new();
+            for i in 0..n as u64 {
+                coo.push(i, i, 1.0);
+                if i + 2 < n as u64 {
+                    coo.push(i, i + 2, 0.5);
+                }
+            }
+            let wide = Csr::from_coo(n, n, &coo);
+            let a2 = ParCsr::from_serial(rank, rd.clone(), rd, &wide);
+            assert!(!plan.matches(rank, &a2, &p));
+        });
+    }
+
+    #[test]
+    fn cost_and_perfmodel_spgemm_agree() {
+        // Satellite check: the sparse-kit cost estimator and the
+        // telemetry perfmodel price SpGEMM identically, on both the
+        // fresh path and the numeric-replay path.
+        let a = laplacian(20);
+        let b = half_interp(20);
+        let c = sparse_kit::spgemm::spgemm_hash(&a, &b);
+        let expansion = spgemm_flops(&a, &b) / 2;
+        let (cost_bytes, cost_flops) = cost::spgemm(&a, &b, &c);
+        let model = perfmodel::spgemm(a.nrows(), a.nnz(), expansion, c.nnz());
+        assert_eq!(cost_bytes, model.bytes);
+        assert_eq!(cost_flops, model.flops);
+        let (nb, nf) = cost::spgemm_numeric(a.nnz(), expansion, c.nnz());
+        let nmodel = perfmodel::spgemm_numeric(a.nrows(), a.nnz(), expansion, c.nnz());
+        assert_eq!(nb, nmodel.bytes);
+        assert_eq!(nf, nmodel.flops);
+        assert!(nmodel.bytes < model.bytes, "replay must be cheaper");
+    }
+
+    #[test]
+    fn cost_and_perfmodel_sellcs_spmv_agree() {
+        let a = laplacian(64);
+        let m = sparse_kit::SellCs::from_csr(&a, 16);
+        let (cb, cf) = cost::sellcs_spmv(&m);
+        let model = perfmodel::sellcs_spmv(m.nrows(), m.n_chunks(), m.stored(), m.nnz());
+        assert_eq!(cb, model.bytes);
+        assert_eq!(cf, model.flops);
     }
 
     #[test]

@@ -4,7 +4,8 @@ use parcomm::{KernelKind, Rank, Tag, TagClass};
 use resilience::faults::{self, FaultKind};
 use resilience::SolveError;
 use sparse_kit::cost;
-use sparse_kit::{Coo, Csr};
+use sparse_kit::policy;
+use sparse_kit::{Coo, Csr, KernelChoice, SellCs};
 use telemetry::perfmodel;
 
 use crate::dist::RowDist;
@@ -48,6 +49,11 @@ pub struct ParCsr {
     rank_id: usize,
     /// Local rows × local columns.
     pub diag: Csr,
+    /// SELL-C-σ mirror of `diag`, built at construction when the active
+    /// [`sparse_kit::KernelPolicy`] selects it for this matrix shape.
+    /// Always numerically in sync with `diag` (see [`ParCsr::scale`] and
+    /// the plan-replay refresh in `ops`); `spmv_into` dispatches on it.
+    diag_sell: Option<SellCs>,
     /// Local rows × external columns (compressed).
     pub offd: Csr,
     /// Sorted global ids of the external columns.
@@ -106,11 +112,16 @@ impl ParCsr {
         let diag = Csr::from_coo(local_rows, col_dist.local_n(r), &diag_coo);
         let offd = Csr::from_coo(local_rows, col_map_offd.len(), &offd_coo);
         let comm_pkg = build_comm_pkg(rank, &col_dist, &col_map_offd);
+        let diag_sell = match policy::current().choose(&diag) {
+            KernelChoice::Sellcs => Some(SellCs::from_csr(&diag, policy::sigma_from_env())),
+            KernelChoice::Csr => None,
+        };
         ParCsr {
             row_dist,
             col_dist,
             rank_id: r,
             diag,
+            diag_sell,
             offd,
             col_map_offd,
             comm_pkg,
@@ -192,7 +203,25 @@ impl ParCsr {
     /// Scale every stored value by `s` (local operation).
     pub fn scale(&mut self, s: f64) {
         self.diag.scale(s);
+        if let Some(sell) = &mut self.diag_sell {
+            sell.scale(s);
+        }
         self.offd.scale(s);
+    }
+
+    /// The SELL-C-σ mirror of the diag block, if the active kernel
+    /// policy built one.
+    pub fn diag_sell(&self) -> Option<&SellCs> {
+        self.diag_sell.as_ref()
+    }
+
+    /// Re-copy `diag`'s values into the SELL-C-σ mirror (no-op without
+    /// one). Callers that overwrite `diag` values in place — numeric
+    /// SpGEMM plan replay — must call this before the next SpMV.
+    pub fn refresh_diag_sell(&mut self) {
+        if let Some(sell) = &mut self.diag_sell {
+            sell.refresh_values(&self.diag);
+        }
     }
 
     /// Exchange halo values: returns the external vector aligned with
@@ -285,17 +314,40 @@ impl ParCsr {
             "x distribution does not match columns"
         );
         let ext = self.halo_exchange(rank, &x.local);
-        let _k = telemetry::kernel(
-            "spmv_csr",
-            perfmodel::csr_spmv(self.local_rows(), self.local_nnz()),
-        );
-        let (b, f) = cost::spmv(&self.diag);
-        rank.kernel(KernelKind::SpMV, b, f);
-        self.diag.spmv_into(&x.local, &mut y.local);
-        if self.offd.nnz() > 0 {
-            let (b, f) = cost::spmv(&self.offd);
-            rank.kernel(KernelKind::SpMV, b, f);
-            self.offd.spmv_add_into(&ext, &mut y.local);
+        match &self.diag_sell {
+            // Policy chose SELL-C-σ for the diag block: the compact u32
+            // index streams shrink the dominant traffic term. The offd
+            // block (thin, irregular) stays CSR either way.
+            Some(sell) => {
+                let mut model =
+                    perfmodel::sellcs_spmv(sell.nrows(), sell.n_chunks(), sell.stored(), sell.nnz());
+                if self.offd.nnz() > 0 {
+                    model = model.plus(perfmodel::csr_spmv(self.local_rows(), self.offd.nnz()));
+                }
+                let _k = telemetry::kernel("spmv_sellcs", model);
+                let (b, f) = cost::sellcs_spmv(sell);
+                rank.kernel(KernelKind::SpMV, b, f);
+                sell.spmv_into(&x.local, &mut y.local);
+                if self.offd.nnz() > 0 {
+                    let (b, f) = cost::spmv(&self.offd);
+                    rank.kernel(KernelKind::SpMV, b, f);
+                    self.offd.spmv_add_into(&ext, &mut y.local);
+                }
+            }
+            None => {
+                let _k = telemetry::kernel(
+                    "spmv_csr",
+                    perfmodel::csr_spmv(self.local_rows(), self.local_nnz()),
+                );
+                let (b, f) = cost::spmv(&self.diag);
+                rank.kernel(KernelKind::SpMV, b, f);
+                self.diag.spmv_into(&x.local, &mut y.local);
+                if self.offd.nnz() > 0 {
+                    let (b, f) = cost::spmv(&self.offd);
+                    rank.kernel(KernelKind::SpMV, b, f);
+                    self.offd.spmv_add_into(&ext, &mut y.local);
+                }
+            }
         }
     }
 

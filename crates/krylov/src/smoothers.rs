@@ -167,13 +167,21 @@ impl TwoStageGs {
         let n = r.len();
         let mut g = vec![0.0; n];
         dense::diag_scale(&self.split.inv_diag, r, &mut g);
-        let mut lg = vec![0.0; n];
+        // Fused sweeps: each inner iteration is one matrix pass
+        // (`Csr::jr_sweep_fused`), double-buffered so the sweep stays a
+        // Jacobi update (in-place would silently turn it into GS).
+        let mut next = vec![0.0; n];
         for _ in 0..self.inner {
-            let _k = telemetry::kernel("jr_sweep", perfmodel::jr_sweep(n, self.split.l.nnz()));
-            let (bytes, flops) = cost::spmv(&self.split.l);
+            let _k = telemetry::kernel(
+                "jr_sweep_fused",
+                perfmodel::jr_sweep_fused(n, self.split.l.nnz()),
+            );
+            let (bytes, flops) = cost::jr_sweep_fused(&self.split.l);
             rank.kernel(KernelKind::SpMV, bytes, flops);
-            self.split.l.spmv_into(&g, &mut lg);
-            dense::jacobi_update(r, &lg, &self.split.inv_diag, &mut g);
+            self.split
+                .l
+                .jr_sweep_fused(r, &self.split.inv_diag, &g, &mut next);
+            std::mem::swap(&mut g, &mut next);
         }
         g
     }
@@ -249,15 +257,17 @@ impl Sgs2 {
         let mut tmp = vec![0.0; n];
         {
             let _k = telemetry::kernel(
-                "sgs2_forward",
-                perfmodel::sgs2_stage(n, self.split.l.nnz(), self.inner),
+                "sgs2_forward_fused",
+                perfmodel::sgs2_stage_fused(n, self.split.l.nnz(), self.inner),
             );
             dense::diag_scale(&self.split.inv_diag, r, &mut y);
             for _ in 0..self.inner {
-                let (bytes, flops) = cost::spmv(&self.split.l);
+                let (bytes, flops) = cost::jr_sweep_fused(&self.split.l);
                 rank.kernel(KernelKind::SpMV, bytes, flops);
-                self.split.l.spmv_into(&y, &mut tmp);
-                dense::jacobi_update(r, &tmp, &self.split.inv_diag, &mut y);
+                self.split
+                    .l
+                    .jr_sweep_fused(r, &self.split.inv_diag, &y, &mut tmp);
+                std::mem::swap(&mut y, &mut tmp);
             }
         }
         // Rescale: t = D y.
@@ -267,15 +277,17 @@ impl Sgs2 {
         let mut z = vec![0.0; n];
         {
             let _k = telemetry::kernel(
-                "sgs2_backward",
-                perfmodel::sgs2_stage(n, self.split.u.nnz(), self.inner),
+                "sgs2_backward_fused",
+                perfmodel::sgs2_stage_fused(n, self.split.u.nnz(), self.inner),
             );
             dense::diag_scale(&self.split.inv_diag, &t, &mut z);
             for _ in 0..self.inner {
-                let (bytes, flops) = cost::spmv(&self.split.u);
+                let (bytes, flops) = cost::jr_sweep_fused(&self.split.u);
                 rank.kernel(KernelKind::SpMV, bytes, flops);
-                self.split.u.spmv_into(&z, &mut tmp);
-                dense::jacobi_update(&t, &tmp, &self.split.inv_diag, &mut z);
+                self.split
+                    .u
+                    .jr_sweep_fused(&t, &self.split.inv_diag, &z, &mut tmp);
+                std::mem::swap(&mut z, &mut tmp);
             }
         }
         z

@@ -6,9 +6,12 @@
 //! overhead per kernel).
 
 use crate::csr::Csr;
+use crate::sellcs::SellCs;
 
 const IDX: u64 = std::mem::size_of::<usize>() as u64;
 const VAL: u64 = std::mem::size_of::<f64>() as u64;
+/// SELL-C-σ stores columns, row lengths, and the permutation as u32.
+const IDX32: u64 = std::mem::size_of::<u32>() as u64;
 
 /// (bytes, flops) for y = A·x.
 pub fn spmv(a: &Csr) -> (u64, u64) {
@@ -55,6 +58,43 @@ pub fn spgemm(a: &Csr, b: &Csr, c: &Csr) -> (u64, u64) {
         + (c.nnz() as u64) * (IDX + VAL);
     let flops = 2 * expansion;
     (bytes, flops)
+}
+
+/// (bytes, flops) for y = A·x in SELL-C-σ storage: chunk offsets plus
+/// u32 row lengths/permutation, then one streamed (col, val, gathered x)
+/// triple per *stored* (padding included) slot, and the y write. The
+/// u32 indices are the point: compare [`spmv`]'s `nnz * (IDX + 2*VAL)`
+/// term.
+pub fn sellcs_spmv(m: &SellCs) -> (u64, u64) {
+    let rows = m.nrows() as u64;
+    let stored = m.stored() as u64;
+    let chunks = m.n_chunks() as u64;
+    let bytes = (chunks + 1) * IDX + rows * 2 * IDX32 + stored * (IDX32 + 2 * VAL) + rows * VAL;
+    let flops = 2 * m.nnz() as u64;
+    (bytes, flops)
+}
+
+/// (bytes, flops) for a numeric-only SpGEMM replay through a recorded
+/// plan (`spgemm::SpgemmPlan::execute`): A is streamed with its
+/// structure, each product reads a slot index and a B value, and C is
+/// written once — no hash probing, no sort, no assembly pass. The
+/// savings versus [`spgemm`] are `expansion * VAL + c.nnz * IDX`.
+pub fn spgemm_numeric(a_nnz: usize, expansion: u64, c_nnz: usize) -> (u64, u64) {
+    let bytes =
+        (a_nnz as u64) * (IDX + VAL) + expansion * (IDX + VAL) + (c_nnz as u64) * VAL;
+    let flops = 2 * expansion;
+    (bytes, flops)
+}
+
+/// (bytes, flops) for one fused Jacobi-Richardson sweep over triangle
+/// `t` (`Csr::jr_sweep_fused`): the SpMV pass (its `n*VAL` write is the
+/// `g_next` store) plus reads of `r` and `inv_diag`. The unfused
+/// pipeline pays two extra vector streams (write + re-read of the
+/// `T·g` intermediate).
+pub fn jr_sweep_fused(t: &Csr) -> (u64, u64) {
+    let (sb, sf) = spmv(t);
+    let n = t.nrows() as u64;
+    (sb + 2 * n * VAL, sf + 2 * n)
 }
 
 /// (bytes, flops) for transposing `a`.

@@ -8,6 +8,13 @@ use crate::prims;
 /// Threshold below which row loops run sequentially.
 const PAR_THRESHOLD: usize = 1 << 12;
 
+/// Lane count of the blocked SpMV path (rows per step).
+const LANES: usize = 4;
+
+/// Rows per rayon work item in [`Csr::spmv_into_simd`]; a multiple of
+/// [`LANES`] so every block starts lane-aligned.
+const SIMD_BLOCK: usize = 1 << 10;
+
 /// CSR matrix. Column indices are sorted within each row and duplicate-free
 /// (an invariant every constructor establishes and every operation keeps).
 #[derive(Clone, Debug, PartialEq)]
@@ -241,6 +248,101 @@ impl Csr {
         }
     }
 
+    /// y = A x with explicit 4-wide lane accumulation: four *rows* per
+    /// step, one lane accumulator each. Lanes never mix — every row
+    /// still sums its entries in CSR column order into one scalar — so
+    /// the result is bitwise-identical to [`Csr::spmv_into`]; the lanes
+    /// only buy instruction-level parallelism on the gather-heavy inner
+    /// loop (the same trick SELL-C-σ bakes into its storage).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn spmv_into_simd(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "x length != ncols");
+        assert_eq!(y.len(), self.nrows, "y length != nrows");
+        let block = |r0: usize, ys: &mut [f64]| {
+            let mut r = 0;
+            while r + LANES <= ys.len() {
+                let row = r0 + r;
+                let start = [
+                    self.indptr[row],
+                    self.indptr[row + 1],
+                    self.indptr[row + 2],
+                    self.indptr[row + 3],
+                ];
+                let end = [
+                    self.indptr[row + 1],
+                    self.indptr[row + 2],
+                    self.indptr[row + 3],
+                    self.indptr[row + 4],
+                ];
+                let width = (0..LANES).map(|l| end[l] - start[l]).max().unwrap_or(0);
+                let mut acc = [0.0f64; LANES];
+                for j in 0..width {
+                    for l in 0..LANES {
+                        let k = start[l] + j;
+                        if k < end[l] {
+                            acc[l] += self.vals[k] * x[self.indices[k]];
+                        }
+                    }
+                }
+                ys[r..r + LANES].copy_from_slice(&acc);
+                r += LANES;
+            }
+            // Remainder rows: plain scalar accumulation (same order).
+            for (rr, yr) in ys.iter_mut().enumerate().skip(r) {
+                let row = r0 + rr;
+                let mut acc = 0.0;
+                for k in self.indptr[row]..self.indptr[row + 1] {
+                    acc += self.vals[k] * x[self.indices[k]];
+                }
+                *yr = acc;
+            }
+        };
+        if self.nrows >= PAR_THRESHOLD {
+            // Lane-multiple blocks: every worker sees aligned 4-row
+            // groups, and rows are independent, so any partitioning
+            // yields the same bits.
+            y.par_chunks_mut(SIMD_BLOCK).enumerate().for_each(|(b, ys)| {
+                block(b * SIMD_BLOCK, ys);
+            });
+        } else {
+            block(0, y);
+        }
+    }
+
+    /// One fused Jacobi-Richardson sweep over a split-off triangle `T`
+    /// (`self`): `g_next[i] = (r[i] - Σ_k T[i,k]·g[k]) · inv_diag[i]`
+    /// in a single matrix pass. Operation-for-operation this matches
+    /// `spmv_into` followed by `dense::jacobi_update` — same
+    /// per-row accumulation order, then one subtract and one multiply —
+    /// so the bits are identical; fusing just never materializes the
+    /// `T·g` intermediate (one vector write + one read saved per sweep,
+    /// see `telemetry::perfmodel::jr_sweep_fused`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn jr_sweep_fused(&self, r: &[f64], inv_diag: &[f64], g: &[f64], g_next: &mut [f64]) {
+        assert_eq!(g.len(), self.ncols, "g length != ncols");
+        assert_eq!(g_next.len(), self.nrows, "g_next length != nrows");
+        assert_eq!(r.len(), self.nrows, "r length != nrows");
+        assert_eq!(inv_diag.len(), self.nrows, "inv_diag length != nrows");
+        let run = |(i, out): (usize, &mut f64)| {
+            let mut acc = 0.0;
+            for k in self.indptr[i]..self.indptr[i + 1] {
+                acc += self.vals[k] * g[self.indices[k]];
+            }
+            *out = (r[i] - acc) * inv_diag[i];
+        };
+        if self.nrows >= PAR_THRESHOLD {
+            g_next.par_iter_mut().enumerate().for_each(run);
+        } else {
+            g_next.iter_mut().enumerate().for_each(run);
+        }
+    }
+
     /// y += A x.
     pub fn spmv_add_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "x length != ncols");
@@ -282,6 +384,43 @@ impl Csr {
             indices,
             vals,
         }
+    }
+
+    /// Aᵀ plus the gather permutation: `perm[pos]` is the flat index in
+    /// `self.vals` whose value landed at flat position `pos` of the
+    /// transpose. A structure-reusing caller (`rap::GalerkinPlan`) can
+    /// refresh the transpose after a value-only update with one gather
+    /// instead of re-walking the matrix.
+    pub fn transpose_with_perm(&self) -> (Csr, Vec<usize>) {
+        let mut counts = vec![0usize; self.ncols];
+        for &c in &self.indices {
+            counts[c] += 1;
+        }
+        let indptr = prims::exclusive_scan(&counts);
+        let mut next = indptr.clone();
+        let mut indices = vec![0usize; self.nnz()];
+        let mut vals = vec![0.0; self.nnz()];
+        let mut perm = vec![0usize; self.nnz()];
+        for r in 0..self.nrows {
+            for k in self.indptr[r]..self.indptr[r + 1] {
+                let c = self.indices[k];
+                let pos = next[c];
+                next[c] += 1;
+                indices[pos] = r;
+                vals[pos] = self.vals[k];
+                perm[pos] = k;
+            }
+        }
+        (
+            Csr {
+                nrows: self.ncols,
+                ncols: self.nrows,
+                indptr,
+                indices,
+                vals,
+            },
+            perm,
+        )
     }
 
     /// A + B with matching shapes.

@@ -15,9 +15,13 @@ pub mod coo;
 pub mod cost;
 pub mod csr;
 pub mod dense;
+pub mod policy;
 pub mod prims;
 pub mod rap;
+pub mod sellcs;
 pub mod spgemm;
 
 pub use coo::Coo;
 pub use csr::Csr;
+pub use policy::{KernelChoice, KernelPolicy};
+pub use sellcs::SellCs;

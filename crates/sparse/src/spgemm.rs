@@ -154,6 +154,125 @@ pub fn spgemm_flops(a: &Csr, b: &Csr) -> u64 {
     2 * ops
 }
 
+/// Symbolic/numeric split for repeated products with fixed structure.
+///
+/// The Galerkin RAP in AMG setup re-multiplies matrices whose sparsity
+/// is unchanged between Picard re-solves — only the values move. A
+/// `SpgemmPlan` captures, on the first (fresh) multiply, C's sparsity
+/// plus one preassigned output slot per scalar product in expansion
+/// order; [`SpgemmPlan::execute`] then skips the whole symbolic phase
+/// (hash probing, growth, per-row sort, assembly) and streams values
+/// straight into the slots.
+///
+/// ## Bitwise contract
+///
+/// `execute` reproduces [`spgemm_hash`] bit-for-bit: the hash path
+/// accumulates each output entry in expansion order (A's row entries in
+/// CSR order × B's row entries in CSR order; table growth moves partial
+/// sums intact, and the final sort permutes entries, not their sums),
+/// and the replay performs the same adds in the same order. The one
+/// trap is the *first* contribution: `HashRow` **assigns** it, so the
+/// replay seeds every slot with `-0.0` — the IEEE additive identity —
+/// making `(-0.0) + x` bit-equal to the assignment of `x` even for
+/// `x = -0.0`.
+///
+/// ## Staleness
+///
+/// A plan is valid only for operands whose patterns match the recorded
+/// ones; [`SpgemmPlan::matches`] is the cheap check, and callers fall
+/// back to a fresh [`spgemm_hash`] (and re-plan) on mismatch.
+pub struct SpgemmPlan {
+    a_indptr: Vec<usize>,
+    a_indices: Vec<usize>,
+    b_indptr: Vec<usize>,
+    b_indices: Vec<usize>,
+    c_indptr: Vec<usize>,
+    c_indices: Vec<usize>,
+    c_ncols: usize,
+    /// Flat index into C's values for each product, in expansion order.
+    slots: Vec<usize>,
+}
+
+impl SpgemmPlan {
+    /// Fresh multiply + plan capture. Returns the product exactly as
+    /// [`spgemm_hash`] would.
+    pub fn new(a: &Csr, b: &Csr) -> (SpgemmPlan, Csr) {
+        let c = spgemm_hash(a, b);
+        let mut slots = Vec::new();
+        for r in 0..a.nrows() {
+            let (a_cols, _) = a.row(r);
+            let (c_cols, _) = c.row(r);
+            let c_base = c.indptr()[r];
+            for &k in a_cols {
+                let (b_cols, _) = b.row(k);
+                for &j in b_cols {
+                    let pos = c_cols.binary_search(&j).expect("product column missing from C");
+                    slots.push(c_base + pos);
+                }
+            }
+        }
+        let plan = SpgemmPlan {
+            a_indptr: a.indptr().to_vec(),
+            a_indices: a.indices().to_vec(),
+            b_indptr: b.indptr().to_vec(),
+            b_indices: b.indices().to_vec(),
+            c_indptr: c.indptr().to_vec(),
+            c_indices: c.indices().to_vec(),
+            c_ncols: c.ncols(),
+            slots,
+        };
+        (plan, c)
+    }
+
+    /// Do `a` and `b` still have the structure this plan was built for?
+    pub fn matches(&self, a: &Csr, b: &Csr) -> bool {
+        a.indptr() == self.a_indptr.as_slice()
+            && a.indices() == self.a_indices.as_slice()
+            && b.indptr() == self.b_indptr.as_slice()
+            && b.indices() == self.b_indices.as_slice()
+    }
+
+    /// Products (multiply-add pairs) the numeric pass performs.
+    pub fn expansion(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Stored entries of the output.
+    pub fn c_nnz(&self) -> usize {
+        *self.c_indptr.last().unwrap_or(&0)
+    }
+
+    /// Numeric-only multiply into the recorded structure.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts [`SpgemmPlan::matches`]; callers are expected to
+    /// have checked (collectively, in the distributed setting) first.
+    pub fn execute(&self, a: &Csr, b: &Csr) -> Csr {
+        debug_assert!(self.matches(a, b), "SpgemmPlan executed on stale operands");
+        // -0.0 seed: see the bitwise contract in the type docs.
+        let mut vals = vec![-0.0f64; self.c_nnz()];
+        let mut cursor = 0;
+        for r in 0..a.nrows() {
+            let (a_cols, a_vals) = a.row(r);
+            for (&k, &av) in a_cols.iter().zip(a_vals) {
+                let (_, b_vals) = b.row(k);
+                for &bv in b_vals {
+                    vals[self.slots[cursor]] += av * bv;
+                    cursor += 1;
+                }
+            }
+        }
+        Csr::from_parts(
+            a.nrows(),
+            self.c_ncols,
+            self.c_indptr.clone(),
+            self.c_indices.clone(),
+            vals,
+        )
+    }
+}
+
 fn assemble_rows(nrows: usize, ncols: usize, rows: Vec<(Vec<usize>, Vec<f64>)>) -> Csr {
     let counts: Vec<usize> = rows.iter().map(|(c, _)| c.len()).collect();
     let indptr = prims::exclusive_scan(&counts);
@@ -274,6 +393,83 @@ mod tests {
         assert_eq!(cols.len(), 1000);
         assert!(cols.windows(2).all(|w| w[0] < w[1]));
         assert!(vals.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn plan_reuse_matches_fresh_hash_bitwise() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let (m, k, n) = (
+                rng.gen_range(1..10),
+                rng.gen_range(1..10),
+                rng.gen_range(1..10),
+            );
+            let mk = |rows: usize, cols: usize, rng: &mut rand::rngs::StdRng| {
+                Csr::from_dense(
+                    &(0..rows)
+                        .map(|_| {
+                            (0..cols)
+                                .map(|_| {
+                                    if rng.gen_bool(0.4) {
+                                        rng.gen_range(-2.0..2.0)
+                                    } else {
+                                        0.0
+                                    }
+                                })
+                                .collect::<Vec<f64>>()
+                        })
+                        .collect::<Vec<_>>(),
+                )
+            };
+            let mut a = mk(m, k, &mut rng);
+            let mut b = mk(k, n, &mut rng);
+            let (plan, c0) = SpgemmPlan::new(&a, &b);
+            assert_eq!(c0.to_dense(), spgemm_hash(&a, &b).to_dense());
+            // Value-only update: same structure, new values.
+            for v in a.vals_mut() {
+                *v = *v * 1.7 - 0.3;
+            }
+            for v in b.vals_mut() {
+                *v = -*v * 0.9 + 0.1;
+            }
+            assert!(plan.matches(&a, &b));
+            let fresh = spgemm_hash(&a, &b);
+            let replay = plan.execute(&a, &b);
+            assert_eq!(replay.indptr(), fresh.indptr());
+            assert_eq!(replay.indices(), fresh.indices());
+            let fb: Vec<u64> = fresh.vals().iter().map(|v| v.to_bits()).collect();
+            let rb: Vec<u64> = replay.vals().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(fb, rb, "plan replay diverged from fresh hash");
+        }
+    }
+
+    #[test]
+    fn plan_preserves_negative_zero_products() {
+        // A single product of -1.0 * 0.0 = -0.0 must come out of the
+        // replay with its sign bit, exactly like the hash assignment.
+        let a = Csr::from_parts(1, 1, vec![0, 1], vec![0], vec![-1.0]);
+        let b = Csr::from_parts(1, 1, vec![0, 1], vec![0], vec![0.0]);
+        let (plan, c0) = SpgemmPlan::new(&a, &b);
+        let replay = plan.execute(&a, &b);
+        assert_eq!(c0.vals()[0].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(replay.vals()[0].to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn plan_detects_structure_change() {
+        let a = Csr::identity(3);
+        let (plan, _) = SpgemmPlan::new(&a, &a);
+        assert!(plan.matches(&a, &a));
+        let other = Csr::from_dense(&[
+            vec![1.0, 1.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ]);
+        assert!(!plan.matches(&other, &a));
+        assert!(!plan.matches(&a, &other));
+        assert_eq!(plan.expansion(), 3);
+        assert_eq!(plan.c_nnz(), 3);
     }
 
     #[test]

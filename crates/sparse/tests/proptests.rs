@@ -3,9 +3,11 @@
 use proptest::prelude::*;
 use sparse_kit::coo::Coo;
 use sparse_kit::csr::Csr;
+use sparse_kit::dense;
 use sparse_kit::prims;
 use sparse_kit::rap::galerkin;
-use sparse_kit::spgemm::{spgemm_esc, spgemm_hash};
+use sparse_kit::sellcs::SellCs;
+use sparse_kit::spgemm::{spgemm_esc, spgemm_hash, SpgemmPlan};
 
 /// Random dense matrix strategy with ~35% fill.
 fn dense(rows: usize, cols: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
@@ -73,7 +75,134 @@ fn rounding_sensitive_val(i: usize) -> f64 {
     m * 10f64.powi((i % 9) as i32 - 4)
 }
 
+/// A value set hostile to shortcuts: NaN (poisons anything multiplied
+/// into it), -0.0 (lost by `0.0 +` seeding or value-based filtering),
+/// and rounding-sensitive reals. Paired with an occupancy flag so
+/// structural zeros and stored hazard values are independent.
+fn hazard_csr(rows: usize, cols: usize) -> impl Strategy<Value = Csr> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            (
+                proptest::bool::ANY,
+                prop_oneof![
+                    4 => (-4.0f64..4.0).prop_map(|v| v * 0.37 + 1e-3),
+                    1 => Just(-0.0f64),
+                    1 => Just(0.0f64),
+                    1 => Just(f64::NAN),
+                ],
+            ),
+            cols,
+        ),
+        rows,
+    )
+    .prop_map(move |grid| {
+        let mut indptr = vec![0usize];
+        let mut indices = Vec::new();
+        let mut vals = Vec::new();
+        for row in &grid {
+            for (c, &(stored, v)) in row.iter().enumerate() {
+                if stored {
+                    indices.push(c);
+                    vals.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Csr::from_parts(rows, cols, indptr, indices, vals)
+    })
+}
+
+/// Vector with the same hazards for the SpMV input side.
+fn hazard_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            5 => -3.0f64..3.0,
+            1 => Just(-0.0f64),
+            1 => Just(f64::NAN),
+        ],
+        n,
+    )
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
 proptest! {
+    #[test]
+    fn sellcs_spmv_bitwise_matches_csr(
+        (a, x, sigma) in (1usize..24, 1usize..24).prop_flat_map(|(r, c)| {
+            (hazard_csr(r, c), hazard_vec(c), prop_oneof![Just(4usize), Just(8), Just(64)])
+        })
+    ) {
+        // Random matrices include empty rows (all flags false), singleton
+        // rows, NaN and -0.0 — the conversion + lane kernel must agree
+        // with scalar CSR bit for bit.
+        let s = SellCs::from_csr(&a, sigma);
+        prop_assert_eq!(s.nnz(), a.nnz());
+        let mut y_csr = vec![0.0; a.nrows()];
+        a.spmv_into(&x, &mut y_csr);
+        let mut y_sell = vec![f64::INFINITY; a.nrows()];
+        s.spmv_into(&x, &mut y_sell);
+        prop_assert_eq!(bits(&y_sell), bits(&y_csr));
+    }
+
+    #[test]
+    fn simd_spmv_bitwise_matches_scalar(
+        (a, x) in (1usize..24, 1usize..24).prop_flat_map(|(r, c)| {
+            (hazard_csr(r, c), hazard_vec(c))
+        })
+    ) {
+        let mut y_ref = vec![0.0; a.nrows()];
+        a.spmv_into(&x, &mut y_ref);
+        let mut y_simd = vec![f64::NEG_INFINITY; a.nrows()];
+        a.spmv_into_simd(&x, &mut y_simd);
+        prop_assert_eq!(bits(&y_simd), bits(&y_ref));
+    }
+
+    #[test]
+    fn fused_jr_sweep_bitwise_matches_unfused(
+        (t, r, g, inv_diag) in (2usize..20,).prop_flat_map(|(n,)| {
+            (hazard_csr(n, n), hazard_vec(n), hazard_vec(n), hazard_vec(n))
+        })
+    ) {
+        // Unfused pipeline: lg = T·g, then the element-wise Jacobi update.
+        let n = t.nrows();
+        let mut lg = vec![0.0; n];
+        t.spmv_into(&g, &mut lg);
+        let mut g_ref = vec![0.0; n];
+        dense::jacobi_update(&r, &lg, &inv_diag, &mut g_ref);
+        // Fused single pass.
+        let mut g_fused = vec![0.0; n];
+        t.jr_sweep_fused(&r, &inv_diag, &g, &mut g_fused);
+        prop_assert_eq!(bits(&g_fused), bits(&g_ref));
+    }
+
+    #[test]
+    fn spgemm_plan_reuse_bitwise_matches_fresh(
+        (a, b, new_a_vals, new_b_vals) in (1usize..12, 1usize..12, 1usize..12)
+            .prop_flat_map(|(m, k, n)| (hazard_csr(m, k), hazard_csr(k, n)))
+            .prop_flat_map(|(a, b)| {
+                let (na, nb) = (a.nnz(), b.nnz());
+                (Just(a), Just(b), hazard_vec(na), hazard_vec(nb))
+            })
+    ) {
+        let (plan, c0) = SpgemmPlan::new(&a, &b);
+        let fresh0 = spgemm_hash(&a, &b);
+        prop_assert_eq!(bits(c0.vals()), bits(fresh0.vals()));
+        // Value-only update, then replay vs. fresh.
+        let mut a2 = a.clone();
+        a2.vals_mut().copy_from_slice(&new_a_vals);
+        let mut b2 = b.clone();
+        b2.vals_mut().copy_from_slice(&new_b_vals);
+        prop_assert!(plan.matches(&a2, &b2));
+        let fresh = spgemm_hash(&a2, &b2);
+        let replay = plan.execute(&a2, &b2);
+        prop_assert_eq!(replay.indptr(), fresh.indptr());
+        prop_assert_eq!(replay.indices(), fresh.indices());
+        prop_assert_eq!(bits(replay.vals()), bits(fresh.vals()));
+    }
+
     #[test]
     fn sort_by_key_matches_std_sort(pairs in proptest::collection::vec((0u64..50, -10i64..10), 0..200)) {
         let mut keys: Vec<u64> = pairs.iter().map(|&(k, _)| k).collect();

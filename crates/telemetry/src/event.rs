@@ -49,6 +49,8 @@ pub enum Event {
         threads: usize,
         /// Transport backend label (`inproc` | `socket`).
         transport: String,
+        /// Active kernel policy label (`auto` | `csr` | `sellcs`).
+        kernel_policy: String,
         git_commit: Option<String>,
     },
     /// A closed span: `path` is the `/`-joined stack of open span names.
@@ -210,6 +212,7 @@ impl Event {
                 ranks,
                 threads,
                 transport,
+                kernel_policy,
                 git_commit,
             } => {
                 let mut pairs = vec![
@@ -218,6 +221,7 @@ impl Event {
                     ("ranks", Json::Int(*ranks as i128)),
                     ("threads", Json::Int(*threads as i128)),
                     ("transport", Json::Str(transport.clone())),
+                    ("kernel_policy", Json::Str(kernel_policy.clone())),
                 ];
                 if let Some(c) = git_commit {
                     pairs.push(("git_commit", Json::Str(c.clone())));
@@ -519,6 +523,13 @@ impl Event {
                     .and_then(Json::as_str)
                     .unwrap_or("inproc")
                     .to_string(),
+                // Absent in pre-kernel-policy streams: those ran the CSR
+                // auto default.
+                kernel_policy: obj
+                    .get("kernel_policy")
+                    .and_then(Json::as_str)
+                    .unwrap_or("auto")
+                    .to_string(),
                 git_commit: obj.get("git_commit").and_then(Json::as_str).map(str::to_string),
             }),
             "span" => Ok(Event::Span {
@@ -710,6 +721,7 @@ impl Event {
                 ranks: 4,
                 threads: 8,
                 transport: "inproc".into(),
+                kernel_policy: "auto".into(),
                 git_commit: Some("deadbeef".into()),
             },
             Event::Span {

@@ -394,8 +394,10 @@ pub fn merge_ranks(logs: Vec<Vec<Event>>) -> Vec<Event> {
 /// Run metadata for an exported stream: rank count, worker thread count
 /// (`RAYON_NUM_THREADS` or hardware parallelism), the transport backend
 /// (`EXAWIND_TRANSPORT`, read as a string so this crate stays below
-/// `parcomm` in the dependency graph), and the git commit if
-/// discoverable (`GIT_COMMIT` env or `.git/HEAD`).
+/// `parcomm` in the dependency graph), the kernel policy label
+/// (`EXAWIND_KERNELS`, same string treatment so we stay below
+/// `sparse-kit`), and the git commit if discoverable (`GIT_COMMIT` env
+/// or `.git/HEAD`).
 pub fn run_info(ranks: usize) -> Event {
     Event::Run {
         ranks,
@@ -404,6 +406,10 @@ pub fn run_info(ranks: usize) -> Event {
             .ok()
             .filter(|v| !v.is_empty())
             .unwrap_or_else(|| "inproc".to_string()),
+        kernel_policy: std::env::var("EXAWIND_KERNELS")
+            .ok()
+            .filter(|v| !v.is_empty())
+            .unwrap_or_else(|| "auto".to_string()),
         git_commit: git_commit(),
     }
 }
@@ -864,6 +870,7 @@ mod tests {
             ranks: 3,
             threads: 1,
             transport: "inproc".into(),
+            kernel_policy: "auto".into(),
             git_commit: None,
         };
         let edge = |rank: usize, src: usize, dst: usize, bytes: u64| Event::CommEdge {

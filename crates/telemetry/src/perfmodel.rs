@@ -30,6 +30,8 @@
 pub const IDX: u64 = std::mem::size_of::<usize>() as u64;
 /// Bytes per matrix/vector value.
 pub const VAL: u64 = std::mem::size_of::<f64>() as u64;
+/// Bytes per compact (u32) index — SELL-C-σ columns/lengths/permutation.
+pub const IDX32: u64 = std::mem::size_of::<u32>() as u64;
 
 /// Predicted cost of one kernel invocation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -75,6 +77,21 @@ pub fn csr_spmv(rows: usize, nnz: usize) -> KernelModel {
     }
 }
 
+/// y = A·x in SELL-C-σ storage (`sparse_kit::sellcs`): chunk offsets
+/// (`usize`), u32 per-slot row lengths and row permutation, one
+/// (u32 col, val, gathered x) triple per **stored** slot — `stored`
+/// includes the chunk padding, which is streamed whether used or not —
+/// and the y write. `nnz` (real entries) sets the flop count. The win
+/// over [`csr_spmv`] is the u32 index stream.
+pub fn sellcs_spmv(rows: usize, chunks: usize, stored: usize, nnz: usize) -> KernelModel {
+    let (rows, chunks, stored) = (rows as u64, chunks as u64, stored as u64);
+    KernelModel {
+        bytes: (chunks + 1) * IDX + rows * 2 * IDX32 + stored * (IDX32 + 2 * VAL) + rows * VAL,
+        flops: 2 * nnz as u64,
+        dofs: rows,
+    }
+}
+
 /// One Jacobi-Richardson inner iteration of the two-stage smoothers
 /// (Eqs. 5–7): a triangular SpMV (`tri_nnz` = nnz of the strict L or U
 /// factor) followed by the element-wise Jacobi update
@@ -83,6 +100,20 @@ pub fn jr_sweep(rows: usize, tri_nnz: usize) -> KernelModel {
     let spmv = csr_spmv(rows, tri_nnz);
     KernelModel {
         bytes: spmv.bytes + 4 * rows as u64 * VAL,
+        flops: spmv.flops + 2 * rows as u64,
+        dofs: rows as u64,
+    }
+}
+
+/// One **fused** Jacobi-Richardson sweep (`Csr::jr_sweep_fused`):
+/// `g_next ← D⁻¹(r − T·g)` in a single matrix pass. The SpMV's vector
+/// write *is* the `g_next` store, and the `T·g` intermediate is never
+/// materialized, so only r and D⁻¹ are extra streams — two fewer than
+/// [`jr_sweep`]'s four (the intermediate's write + re-read are gone).
+pub fn jr_sweep_fused(rows: usize, tri_nnz: usize) -> KernelModel {
+    let spmv = csr_spmv(rows, tri_nnz);
+    KernelModel {
+        bytes: spmv.bytes + 2 * rows as u64 * VAL,
         flops: spmv.flops + 2 * rows as u64,
         dofs: rows as u64,
     }
@@ -98,6 +129,17 @@ pub fn sgs2_stage(rows: usize, tri_nnz: usize, inner: usize) -> KernelModel {
         dofs: rows as u64,
     };
     scale.plus(jr_sweep(rows, tri_nnz).times(inner as u64))
+}
+
+/// One SGS2 triangular stage built from **fused** sweeps: the diagonal
+/// scale plus `inner` fused Jacobi-Richardson passes.
+pub fn sgs2_stage_fused(rows: usize, tri_nnz: usize, inner: usize) -> KernelModel {
+    let scale = KernelModel {
+        bytes: 3 * rows as u64 * VAL,
+        flops: rows as u64,
+        dofs: rows as u64,
+    };
+    scale.plus(jr_sweep_fused(rows, tri_nnz).times(inner as u64))
 }
 
 /// Algorithm 1/2 global-assembly `stable_sort_by_key` + `reduce_by_key`
@@ -123,6 +165,20 @@ pub fn spgemm(rows: usize, a_nnz: usize, expansion: u64, c_nnz: usize) -> Kernel
         bytes: a_nnz as u64 * (IDX + VAL)
             + expansion * (IDX + 2 * VAL)
             + c_nnz as u64 * (IDX + VAL),
+        flops: 2 * expansion,
+        dofs: rows as u64,
+    }
+}
+
+/// Numeric-only SpGEMM replay through a recorded plan
+/// (`sparse_kit::spgemm::SpgemmPlan::execute`): A streamed with its
+/// structure, one (slot index, B value) pair per expansion product, C
+/// written once (values only — the structure is already in the plan).
+/// No hash probing, no per-row sort, no assembly — the per-call saving
+/// versus [`spgemm`] is `expansion·VAL + c_nnz·IDX`.
+pub fn spgemm_numeric(rows: usize, a_nnz: usize, expansion: u64, c_nnz: usize) -> KernelModel {
+    KernelModel {
+        bytes: a_nnz as u64 * (IDX + VAL) + expansion * (IDX + VAL) + c_nnz as u64 * VAL,
         flops: 2 * expansion,
         dofs: rows as u64,
     }
@@ -224,6 +280,50 @@ mod tests {
         assert_eq!(m.flops, 8);
         assert_eq!(m.bytes, 4 * 16 + 4 * 24 + 4 * 16);
         assert_eq!(m.dofs, 4);
+    }
+
+    #[test]
+    fn fused_sweep_saves_two_vector_streams() {
+        // Fused drops the T·g intermediate: one write + one read of a
+        // `rows`-long vector per sweep, flops unchanged.
+        let (rows, nnz) = (100, 480);
+        let unfused = jr_sweep(rows, nnz);
+        let fused = jr_sweep_fused(rows, nnz);
+        assert_eq!(unfused.bytes - fused.bytes, 2 * rows as u64 * VAL);
+        assert_eq!(unfused.flops, fused.flops);
+        let s2 = sgs2_stage(rows, nnz, 2);
+        let s2f = sgs2_stage_fused(rows, nnz, 2);
+        assert_eq!(s2.bytes - s2f.bytes, 2 * 2 * rows as u64 * VAL);
+        assert_eq!(s2.flops, s2f.flops);
+    }
+
+    #[test]
+    fn sellcs_spmv_hand_counted() {
+        // 8 rows in 2 chunks, 24 real entries padded to 32 stored slots:
+        // bytes = 3·8 chunk_ptr + 8·(4+4) len+perm + 32·(4 + 16) + 8·8 y
+        //       = 24 + 64 + 640 + 64 = 792.
+        let m = sellcs_spmv(8, 2, 32, 24);
+        assert_eq!(m.bytes, 792);
+        assert_eq!(m.flops, 48);
+        assert_eq!(m.dofs, 8);
+        // Beats CSR on the same logical matrix once padding is modest:
+        // csr_spmv(8, 24) = 9·8 + 24·24 + 8·8 = 712... close; with nnz
+        // at scale the u32 stream wins (see the agreement test below).
+        let csr = csr_spmv(1000, 7000);
+        let sell = sellcs_spmv(1000, 250, 7200, 7000);
+        assert!(sell.bytes < csr.bytes);
+    }
+
+    #[test]
+    fn spgemm_numeric_is_cheaper_than_symbolic() {
+        let (rows, a_nnz, expansion, c_nnz) = (100, 700, 3000u64, 900);
+        let full = spgemm(rows, a_nnz, expansion, c_nnz);
+        let numeric = spgemm_numeric(rows, a_nnz, expansion, c_nnz);
+        assert_eq!(
+            full.bytes - numeric.bytes,
+            expansion * VAL + c_nnz as u64 * IDX
+        );
+        assert_eq!(full.flops, numeric.flops);
     }
 
     #[test]

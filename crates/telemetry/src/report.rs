@@ -150,6 +150,9 @@ pub struct Report {
     /// Transport backend label (from the `run` event; empty when the
     /// stream has no `run` event).
     pub transport: String,
+    /// Kernel policy label (from the `run` event; empty when the stream
+    /// has no `run` event).
+    pub kernel_policy: String,
     pub git_commit: Option<String>,
     /// Phase column order: first appearance in the stream (the emitters
     /// walk phases in plot order, so this reproduces it without this
@@ -210,10 +213,11 @@ impl Report {
         let mut edge_receiver: BTreeMap<(usize, usize, String), CommEdgeSummary> = BTreeMap::new();
         for ev in events {
             match ev {
-                Event::Run { ranks, threads, transport, git_commit } => {
+                Event::Run { ranks, threads, transport, kernel_policy, git_commit } => {
                     r.ranks = *ranks;
                     r.threads = *threads;
                     r.transport = transport.clone();
+                    r.kernel_policy = kernel_policy.clone();
                     r.git_commit = git_commit.clone();
                 }
                 Event::PhaseTime { rank, step, eq, phase, secs } => {
@@ -397,10 +401,11 @@ impl Report {
         let commit = self.git_commit.as_deref().unwrap_or("unknown");
         let _ = writeln!(out, "== telemetry report ==");
         let transport = if self.transport.is_empty() { "inproc" } else { &self.transport };
+        let kernels = if self.kernel_policy.is_empty() { "auto" } else { &self.kernel_policy };
         let _ = writeln!(
             out,
-            "ranks: {}   threads: {}   transport: {}   steps: {}   commit: {}",
-            self.ranks, self.threads, transport, self.steps, commit
+            "ranks: {}   threads: {}   transport: {}   kernels: {}   steps: {}   commit: {}",
+            self.ranks, self.threads, transport, kernels, self.steps, commit
         );
 
         // --- Fig. 6/7: per-equation stacked phase breakdown -------------

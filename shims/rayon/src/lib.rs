@@ -247,6 +247,34 @@ impl<'a, T: Send> Producer for IterSliceMut<'a, T> {
     }
 }
 
+/// Disjoint fixed-width mutable chunks of a slice (`par_chunks_mut`).
+/// Chunk boundaries depend only on `chunk`, never on the thread count,
+/// and each chunk is fetched at most once (Producer contract), so the
+/// exclusive sub-slices never alias.
+pub struct ChunksMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    chunk: usize,
+    _marker: PhantomData<&'a mut T>,
+}
+
+unsafe impl<T: Send> Sync for ChunksMut<'_, T> {}
+
+impl<'a, T: Send> Producer for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    fn p_len(&self) -> usize {
+        self.len.div_ceil(self.chunk)
+    }
+    fn p_get(&self, i: usize) -> &'a mut [T] {
+        let lo = i * self.chunk;
+        let hi = ((i + 1) * self.chunk).min(self.len);
+        assert!(lo < hi || (lo == 0 && hi == 0));
+        // Safety: [lo, hi) ranges of distinct chunk indices are disjoint
+        // and in bounds; each index is fetched once.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo) }
+    }
+}
+
 pub struct IterRange {
     start: usize,
     len: usize,
@@ -523,6 +551,24 @@ pub trait ParallelSliceMut<T: Copy + Send + Sync> {
     fn par_sort_by<F: Fn(&T, &T) -> Ordering + Sync>(&mut self, cmp: F) {
         par_merge_sort(self.as_sort_slice_mut(), cmp);
     }
+
+    /// Parallel iterator over disjoint mutable chunks of `chunk_size`
+    /// elements (last chunk may be shorter), matching rayon's
+    /// `par_chunks_mut`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        let s = self.as_sort_slice_mut();
+        ChunksMut {
+            ptr: s.as_mut_ptr(),
+            len: s.len(),
+            chunk: chunk_size,
+            _marker: PhantomData,
+        }
+    }
 }
 
 impl<T: Copy + Send + Sync> ParallelSliceMut<T> for [T] {
@@ -707,6 +753,28 @@ mod tests {
             inner.install(|| assert_eq!(current_num_threads(), 7));
             assert_eq!(current_num_threads(), 3);
         });
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_slice_exactly_once() {
+        let mut v = vec![0u64; 10_123];
+        for t in [1, 2, 8] {
+            v.iter_mut().for_each(|x| *x = 0);
+            with_threads(t, || {
+                v.par_chunks_mut(97).enumerate().for_each(|(c, chunk)| {
+                    for (i, x) in chunk.iter_mut().enumerate() {
+                        *x += (c * 97 + i) as u64 + 1;
+                    }
+                });
+            });
+            assert!(
+                v.iter().enumerate().all(|(i, &x)| x == i as u64 + 1),
+                "threads={t}"
+            );
+        }
+        // Empty slice: no chunks, no panic.
+        let mut e: Vec<u64> = vec![];
+        e.par_chunks_mut(8).for_each(|_| unreachable!());
     }
 
     #[test]

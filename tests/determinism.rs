@@ -20,7 +20,8 @@ use exawind::nalu_core::assemble::{build_matrix, fill_continuity, fill_momentum,
 use exawind::nalu_core::eqsys::MeshSystem;
 use exawind::nalu_core::state::State;
 use exawind::nalu_core::{PartitionMethod, Simulation, SolverConfig};
-use exawind::parcomm::Comm;
+use exawind::parcomm::{Comm, TransportKind};
+use exawind::sparse_kit::KernelPolicy;
 use exawind::windmesh::turbine::generate;
 use exawind::windmesh::NrelCase;
 use rayon::ThreadPoolBuilder;
@@ -206,6 +207,71 @@ fn telemetry_does_not_perturb_solution_bits() {
         assert_eq!(
             baseline, with_tel,
             "telemetry perturbed the solution at {threads} threads"
+        );
+    }
+}
+
+/// One full step under an explicit kernel-backend policy, thread count,
+/// and transport; returns per-rank field bits. The policy is installed
+/// on the rank thread by `Simulation::new` via `SolverConfig::kernels`.
+fn kernel_step_field_bits(
+    kernels: KernelPolicy,
+    threads: usize,
+    transport: TransportKind,
+) -> Vec<Vec<u64>> {
+    let tm = generate(NrelCase::SingleLow, 1e-4);
+    let meshes = tm.meshes;
+    Comm::run_with(transport, 2, move |rank| {
+        let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        pool.install(|| {
+            let cfg = SolverConfig {
+                picard_iters: 2,
+                kernels,
+                ..SolverConfig::default()
+            };
+            let mut sim = Simulation::new(rank, meshes.clone(), cfg);
+            sim.step(rank);
+            let mut out = Vec::new();
+            for m in 0..sim.n_meshes() {
+                let st = sim.state(m);
+                out.extend(st.vel.iter().flat_map(|v| v.iter().map(|x| x.to_bits())));
+                out.extend(st.p.iter().map(|x| x.to_bits()));
+                out.extend(st.nut.iter().map(|x| x.to_bits()));
+            }
+            out
+        })
+    })
+}
+
+/// The kernel backend is a storage/bandwidth decision, never a numerical
+/// one: SELL-C-σ SpMV, plan-replayed Galerkin products, and fused
+/// smoother sweeps must reproduce the CSR fields bit for bit — across
+/// thread counts and on both transports (acceptance criterion of the
+/// kernel-backend PR).
+#[test]
+fn kernel_backends_bitwise_identical_across_threads_and_transports() {
+    let baseline = kernel_step_field_bits(KernelPolicy::Csr, 1, TransportKind::Inproc);
+    for kernels in [KernelPolicy::Csr, KernelPolicy::Sellcs, KernelPolicy::Auto] {
+        for threads in [1, 8] {
+            if kernels == KernelPolicy::Csr && threads == 1 {
+                continue; // the baseline itself
+            }
+            let other = kernel_step_field_bits(kernels, threads, TransportKind::Inproc);
+            assert_eq!(
+                baseline,
+                other,
+                "fields differ under kernels={} at {threads} threads",
+                kernels.label()
+            );
+        }
+    }
+    for kernels in [KernelPolicy::Csr, KernelPolicy::Sellcs] {
+        let other = kernel_step_field_bits(kernels, 1, TransportKind::Socket);
+        assert_eq!(
+            baseline,
+            other,
+            "fields differ under kernels={} on the socket transport",
+            kernels.label()
         );
     }
 }

@@ -175,13 +175,16 @@ fn simulation_stream_is_schema_valid_and_report_complete() {
     // must show up with non-trivial analytic byte/flop totals.
     for kernel in [
         "spmv_csr",
-        "jr_sweep",
-        "sgs2_forward",
-        "sgs2_backward",
+        "jr_sweep_fused",
+        "sgs2_forward_fused",
+        "sgs2_backward_fused",
         "assembly_sort_reduce",
         "halo_pack",
         "halo_unpack",
         "spgemm",
+        // Picard re-solves replay the recorded Galerkin plans, so a
+        // 2-iteration step must have hit the numeric-only SpGEMM path.
+        "spgemm_numeric",
     ] {
         let k = report
             .kernels
