@@ -71,6 +71,31 @@ fi
 grep -q 'stalled at step' "$mp_dir/stall.log" \
   || { echo "stall smoke: no stalled-rank diagnosis in launcher output" >&2; exit 1; }
 
+# Checkpoint/restart smoke: rank 1 is killed at the top of step 3 of a
+# supervised 5-step run checkpointing every 2 steps. The launcher must
+# fence the survivor, relaunch the cohort from generation 2 (the newest
+# complete one), and the resumed run must finish with field bits
+# identical to a never-killed run. The resumed rank-0 telemetry stream
+# must validate and carry both restore and checkpoint events.
+./target/release/exawind-launch -n 2 -- \
+  ./target/release/exawind-worker --steps 5 --out "$mp_dir/clean"
+EXAWIND_FAULTS="kill-rank@rank1:3" EXAWIND_CRASH_DIR="$mp_dir" \
+  ./target/release/exawind-launch -n 2 --checkpoint-every 2 \
+  --checkpoint-dir "$mp_dir/ckpt" --max-restarts 2 -- \
+  ./target/release/exawind-worker --steps 5 --out "$mp_dir/killed" \
+  --telemetry "$mp_dir/ckpt-tel" 2> "$mp_dir/ckpt.log"
+grep -q 'relaunching cohort from checkpoint generation 2' "$mp_dir/ckpt.log" \
+  || { echo "checkpoint smoke: launcher did not relaunch from generation 2" >&2; exit 1; }
+cmp "$mp_dir/killed.rank0.bits" "$mp_dir/clean.rank0.bits" \
+  || { echo "checkpoint smoke: rank 0 fields differ after restart" >&2; exit 1; }
+cmp "$mp_dir/killed.rank1.bits" "$mp_dir/clean.rank1.bits" \
+  || { echo "checkpoint smoke: rank 1 fields differ after restart" >&2; exit 1; }
+cargo run --release -p telemetry --bin validate_telemetry -- "$mp_dir/ckpt-tel.rank0.jsonl"
+grep -q '"type":"restore"' "$mp_dir/ckpt-tel.rank0.jsonl" \
+  || { echo "checkpoint smoke: no restore event in resumed rank-0 stream" >&2; exit 1; }
+grep -q '"type":"checkpoint"' "$mp_dir/ckpt-tel.rank0.jsonl" \
+  || { echo "checkpoint smoke: no checkpoint event in resumed rank-0 stream" >&2; exit 1; }
+
 # Perf-smoke: two back-to-back recordings onto a scratch copy of the
 # committed trajectory must pass the regression gate. The tolerance is
 # generous — shared single-core CI containers jitter by integer factors;

@@ -36,5 +36,5 @@ pub mod timing;
 pub use dofmap::{DofMap, PartitionMethod};
 pub use eqsys::EqKind;
 pub use resilience::{FaultPlan, RecoveryAction, RecoveryPolicy, RecoveryRecord, SolveError};
-pub use sim::{Simulation, SolverConfig, StepReport};
+pub use sim::{CheckpointCfg, Simulation, SolverConfig, StepReport};
 pub use timing::{Phase, Timings};

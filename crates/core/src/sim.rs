@@ -9,6 +9,7 @@
 //! velocity correction, and scalar transport.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::time::Instant;
 
 use amg::{AmgConfig, AmgPrecond, AmgReuse};
@@ -16,7 +17,8 @@ use distmat::{ParCsr, ParVector};
 use krylov::{Gmres, JacobiPrecond, OrthoStrategy, Preconditioner, Sgs2};
 use parcomm::{Rank, TransportKind};
 use sparse_kit::{policy, KernelPolicy};
-use resilience::faults::{FaultGuard, FaultPlan};
+use resilience::checkpoint::{self, MeshCheckpoint, SolverCheckpoint};
+use resilience::faults::{self, FaultGuard, FaultKind, FaultPlan};
 use resilience::{guard, RecoveryAction, RecoveryPolicy, RecoveryRecord, SolveError};
 use windmesh::overset::assemble_overset;
 use windmesh::{Mesh, OversetAssembly, TurbineMeshes};
@@ -29,6 +31,35 @@ use crate::eqsys::{EqKind, MeshSystem};
 use crate::graph::dirichlet_momentum;
 use crate::state::{overset_exchange, State};
 use crate::timing::{Phase, Timings};
+
+/// Periodic checkpoint configuration (see [`resilience::checkpoint`]).
+#[derive(Clone, Debug)]
+pub struct CheckpointCfg {
+    /// Write a checkpoint generation every `every` completed steps.
+    pub every: usize,
+    /// Directory holding the per-rank files and the cohort manifest.
+    pub dir: PathBuf,
+}
+
+impl CheckpointCfg {
+    /// Read the `EXAWIND_CHECKPOINT_EVERY` / `EXAWIND_CHECKPOINT_DIR`
+    /// environment selection. `None` unless EVERY parses to a positive
+    /// interval; the directory defaults to `exawind-checkpoints`.
+    pub fn from_env() -> Option<CheckpointCfg> {
+        let every = std::env::var(checkpoint::ENV_EVERY)
+            .ok()?
+            .trim()
+            .parse::<usize>()
+            .ok()?;
+        if every == 0 {
+            return None;
+        }
+        let dir = std::env::var(checkpoint::ENV_DIR)
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("exawind-checkpoints"));
+        Some(CheckpointCfg { every, dir })
+    }
+}
 
 /// Solver configuration.
 #[derive(Clone, Debug)]
@@ -83,6 +114,12 @@ pub struct SolverConfig {
     /// the rank thread by [`Simulation::new`]; every backend produces
     /// bitwise-identical results, the policy only moves bytes.
     pub kernels: KernelPolicy,
+    /// Periodic checkpointing (defaults to the
+    /// `EXAWIND_CHECKPOINT_EVERY` / `EXAWIND_CHECKPOINT_DIR`
+    /// environment selection; `None` disables). A complete generation
+    /// is published every `every` steps; [`Simulation::resume`] restores
+    /// the newest one bitwise-exactly.
+    pub checkpoint: Option<CheckpointCfg>,
 }
 
 impl Default for SolverConfig {
@@ -106,6 +143,7 @@ impl Default for SolverConfig {
             recovery: RecoveryPolicy::default(),
             transport: TransportKind::from_env(),
             kernels: KernelPolicy::from_env(),
+            checkpoint: CheckpointCfg::from_env(),
         }
     }
 }
@@ -179,6 +217,9 @@ pub struct Simulation {
     /// of the pressure system replays the Galerkin products numerically
     /// while the sparsity (fixed by the mesh graph) is unchanged.
     amg_reuse: BTreeMap<usize, AmgReuse>,
+    /// Newest complete checkpoint this rank wrote or restored from:
+    /// `(generation, step)`.
+    last_ckpt: Option<(u64, u64)>,
 }
 
 impl Simulation {
@@ -234,6 +275,7 @@ impl Simulation {
             tel_guard,
             _fault_guard: fault_guard,
             amg_reuse: BTreeMap::new(),
+            last_ckpt: None,
         }
     }
 
@@ -322,6 +364,24 @@ impl Simulation {
         let me = rank.rank();
         let _step_span = telemetry::span("timestep");
 
+        // Deterministic process-death fault (`kill-rank@rankN:k`): fires
+        // at the top of a step, so the newest complete checkpoint
+        // generation predates the killed step. The occurrence counter
+        // advances in every incarnation (keeping restored counter state
+        // aligned across ranks), but the abort itself is suppressed once
+        // the supervisor has relaunched the cohort — the fault models a
+        // transient external kill, not a deterministic crash bug that
+        // would defeat any restart budget.
+        if faults::fire(FaultKind::KillRank, || format!("rank{me}"))
+            && checkpoint::restart_count() == 0
+        {
+            eprintln!(
+                "exawind: kill-rank fault fired on rank {me} at step {}: aborting process",
+                self.step_count
+            );
+            std::process::abort();
+        }
+
         // --- Mesh motion + overset connectivity update ------------------
         if self.meshes.len() > 1 {
             let d_angle = self.cfg.physics.rotor_omega * self.cfg.physics.dt;
@@ -392,6 +452,7 @@ impl Simulation {
             }
         }
         self.step_count += 1;
+        self.maybe_checkpoint(rank)?;
         self.timings.merge(&t);
         Ok(StepReport {
             nli_seconds: start.elapsed().as_secs_f64(),
@@ -400,6 +461,216 @@ impl Simulation {
             recoveries,
             final_rels: self.final_rels.clone(),
         })
+    }
+
+    /// Completed time steps (the step cursor a checkpoint captures).
+    pub fn steps_completed(&self) -> usize {
+        self.step_count
+    }
+
+    /// Newest complete checkpoint this rank wrote or restored from, as
+    /// `(generation, step)`. Feeds the launcher heartbeat and the crash
+    /// breadcrumb, so a supervisor knows where a dead rank could resume.
+    pub fn last_checkpoint(&self) -> Option<(u64, u64)> {
+        self.last_ckpt
+    }
+
+    /// Capture this rank's complete solver state at the current step
+    /// boundary (see [`resilience::checkpoint`] for what is — and
+    /// deliberately is not — serialized).
+    fn capture(&self) -> SolverCheckpoint {
+        SolverCheckpoint {
+            step: self.step_count as u64,
+            meshes: self
+                .states
+                .iter()
+                .map(|st| MeshCheckpoint {
+                    vel: st.vel.iter().flat_map(|v| v.iter().copied()).collect(),
+                    vel_old: st.vel_old.iter().flat_map(|v| v.iter().copied()).collect(),
+                    p: st.p.clone(),
+                    dp: st.dp.clone(),
+                    nut: st.nut.clone(),
+                    nut_old: st.nut_old.clone(),
+                })
+                .collect(),
+            final_rels: self
+                .final_rels
+                .iter()
+                .map(|(k, &v)| (k.clone().into_bytes(), v))
+                .collect(),
+            fault_counters: faults::counters(),
+            amg_plans: self
+                .amg_reuse
+                .iter()
+                .map(|(&m, r)| (m as u64, r.n_plans() as u64))
+                .collect(),
+        }
+    }
+
+    /// Write one checkpoint generation if the configured interval is
+    /// due. Collective: the failure branch is allreduced, so every rank
+    /// returns the same result, and that allreduce doubles as the
+    /// completion fence — after it, all rank files of this generation
+    /// are on disk and rank 0 may publish it to the manifest.
+    fn maybe_checkpoint(&mut self, rank: &Rank) -> Result<(), SolveError> {
+        let Some(ck_cfg) = self.cfg.checkpoint.clone() else {
+            return Ok(());
+        };
+        if ck_cfg.every == 0 || !self.step_count.is_multiple_of(ck_cfg.every) {
+            return Ok(());
+        }
+        let t0 = Instant::now();
+        let me = rank.rank();
+        let generation = self.step_count as u64;
+        let ck = self.capture();
+        let (bytes, write_err) =
+            match checkpoint::write_rank(&ck_cfg.dir, me, rank.size(), generation, &ck) {
+                Ok(b) => (b, None),
+                Err(e) => (0, Some(e)),
+            };
+        let failed = rank.allreduce_sum(u64::from(write_err.is_some()));
+        if failed > 0 {
+            return Err(SolveError::Checkpoint {
+                detail: write_err.map_or_else(
+                    || format!("{failed} rank(s) failed writing generation {generation}"),
+                    |e| e.to_string(),
+                ),
+            });
+        }
+        // A generation exists only once the manifest names it; the
+        // publish outcome is allreduced too, keeping the error branch
+        // collectively consistent.
+        let pub_err = if me == 0 {
+            checkpoint::publish_generation(&ck_cfg.dir, rank.size(), generation).err()
+        } else {
+            None
+        };
+        let pub_failed = rank.allreduce_sum(u64::from(pub_err.is_some()));
+        if pub_failed > 0 {
+            return Err(SolveError::Checkpoint {
+                detail: pub_err.map_or_else(
+                    || format!("rank 0 failed publishing generation {generation}"),
+                    |e| e.to_string(),
+                ),
+            });
+        }
+        self.last_ckpt = Some((generation, generation));
+        self.telemetry.record(telemetry::Event::Checkpoint {
+            rank: me,
+            step: self.step_count,
+            generation,
+            bytes,
+            secs: t0.elapsed().as_secs_f64(),
+        });
+        Ok(())
+    }
+
+    /// Resume from the newest complete checkpoint generation, restoring
+    /// this rank's state **bitwise identically** to a run that was never
+    /// interrupted. `Ok(None)` when checkpointing is unconfigured or no
+    /// generation has been published (cold start); `Ok(Some(gen))` after
+    /// a successful restore.
+    ///
+    /// Mesh geometry is not stored in the checkpoint: the restore
+    /// replays the per-step rotor rotations on the freshly generated
+    /// mesh (bit-for-bit the sequence the uninterrupted run performed —
+    /// overset assembly never mutates coordinates) and reassembles the
+    /// overset connectivity once. Fault-injector occurrence counters are
+    /// restored so seeded fault windows keep advancing where the
+    /// interrupted run left off. AMG SpGEMM plans are re-recorded by the
+    /// first post-restore setup with bitwise-identical numerics.
+    ///
+    /// Call right after [`Simulation::new`], before the first step.
+    /// Collective (every rank reads the same manifest).
+    pub fn resume(&mut self, rank: &Rank) -> Result<Option<u64>, SolveError> {
+        let Some(ck_cfg) = self.cfg.checkpoint.clone() else {
+            return Ok(None);
+        };
+        let me = rank.rank();
+        let Some(manifest) = checkpoint::read_manifest(&ck_cfg.dir)? else {
+            return Ok(None);
+        };
+        if manifest.ranks != rank.size() {
+            return Err(SolveError::Checkpoint {
+                detail: format!(
+                    "manifest is for a {}-rank cohort, this run has {}",
+                    manifest.ranks,
+                    rank.size()
+                ),
+            });
+        }
+        let Some(generation) = manifest.latest() else {
+            return Ok(None);
+        };
+        let ck = checkpoint::read_rank(&ck_cfg.dir, me, rank.size(), generation)?;
+        if ck.meshes.len() != self.meshes.len() {
+            return Err(SolveError::Checkpoint {
+                detail: format!(
+                    "checkpoint has {} mesh(es), simulation has {}",
+                    ck.meshes.len(),
+                    self.meshes.len()
+                ),
+            });
+        }
+        for (m, (st, mk)) in self.states.iter().zip(&ck.meshes).enumerate() {
+            let n = st.vel.len();
+            if mk.vel.len() != 3 * n
+                || mk.vel_old.len() != 3 * n
+                || mk.p.len() != n
+                || mk.dp.len() != n
+                || mk.nut.len() != n
+                || mk.nut_old.len() != n
+            {
+                return Err(SolveError::Checkpoint {
+                    detail: format!("mesh {m} field lengths disagree with {n} nodes"),
+                });
+            }
+        }
+        for (st, mk) in self.states.iter_mut().zip(&ck.meshes) {
+            for (i, v) in st.vel.iter_mut().enumerate() {
+                *v = [mk.vel[3 * i], mk.vel[3 * i + 1], mk.vel[3 * i + 2]];
+            }
+            for (i, v) in st.vel_old.iter_mut().enumerate() {
+                *v = [mk.vel_old[3 * i], mk.vel_old[3 * i + 1], mk.vel_old[3 * i + 2]];
+            }
+            st.p.copy_from_slice(&mk.p);
+            st.dp.copy_from_slice(&mk.dp);
+            st.nut.copy_from_slice(&mk.nut);
+            st.nut_old.copy_from_slice(&mk.nut_old);
+        }
+        self.final_rels = ck
+            .final_rels
+            .iter()
+            .map(|(name, rel)| {
+                String::from_utf8(name.clone())
+                    .map(|n| (n, *rel))
+                    .map_err(|_| SolveError::Checkpoint {
+                        detail: "final-residual equation name is not UTF-8".into(),
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+        self.step_count = ck.step as usize;
+        // Replay rotor motion: one rotation per completed step, exactly
+        // the calls the uninterrupted run made, then reassemble the
+        // overset connectivity (a pure function of the coordinates).
+        if self.meshes.len() > 1 {
+            let d_angle = self.cfg.physics.rotor_omega * self.cfg.physics.dt;
+            for _ in 0..ck.step {
+                for m in self.meshes.iter_mut().skip(1) {
+                    windmesh::motion::rotate_annulus(m, d_angle);
+                }
+            }
+            self.overset = assemble_overset(&mut self.meshes, self.cfg.overset_margin);
+        }
+        faults::restore_counters(&ck.fault_counters)
+            .map_err(|detail| SolveError::Checkpoint { detail })?;
+        self.last_ckpt = Some((generation, ck.step));
+        self.telemetry.record(telemetry::Event::Restore {
+            rank: me,
+            step: ck.step as usize,
+            generation,
+        });
+        Ok(Some(generation))
     }
 
     /// Run one equation solve, escalating through the recovery ladder on
@@ -819,6 +1090,55 @@ mod tests {
             let global = tr.phase("momentum/global assembly");
             assert!(global.collectives > 0, "no assembly allgather");
         }
+    }
+
+    #[test]
+    fn checkpoint_then_resume_is_bitwise_identical() {
+        let dir = std::env::temp_dir().join(format!("exawind-sim-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ck_cfg = SolverConfig {
+            picard_iters: 2,
+            checkpoint: Some(CheckpointCfg { every: 2, dir: dir.clone() }),
+            ..SolverConfig::default()
+        };
+        let field_bits = |sim: &Simulation| {
+            sim.state(0)
+                .vel
+                .iter()
+                .flat_map(|v| v.iter().map(|x| x.to_bits()))
+                .collect::<Vec<u64>>()
+        };
+        // Uninterrupted reference: 3 steps, no checkpointing.
+        let reference = Comm::run(2, |rank| {
+            let cfg = SolverConfig { checkpoint: None, ..ck_cfg.clone() };
+            let mut sim = Simulation::new(rank, vec![small_box()], cfg);
+            for _ in 0..3 {
+                sim.step(rank);
+            }
+            field_bits(&sim)
+        });
+        // Interrupted run: 2 steps publish generation 2, then the
+        // process "dies" (the simulation is dropped).
+        Comm::run(2, |rank| {
+            let mut sim = Simulation::new(rank, vec![small_box()], ck_cfg.clone());
+            for _ in 0..2 {
+                sim.step(rank);
+            }
+            assert_eq!(sim.last_checkpoint(), Some((2, 2)));
+        });
+        // Restarted run: resume from generation 2, finish step 3.
+        let resumed = Comm::run(2, |rank| {
+            let mut sim = Simulation::new(rank, vec![small_box()], ck_cfg.clone());
+            let gen = sim.resume(rank).expect("resume failed");
+            assert_eq!(gen, Some(2));
+            assert_eq!(sim.steps_completed(), 2);
+            sim.step(rank);
+            field_bits(&sim)
+        });
+        for (r, u) in resumed.iter().zip(&reference) {
+            assert_eq!(r, u, "restart diverged from the uninterrupted run");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

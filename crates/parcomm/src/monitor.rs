@@ -23,7 +23,7 @@ use crate::transport::{read_frame, send_frame, Frame, FrameError, FrameKind};
 pub const MONITOR_ENV: &str = "EXAWIND_MONITOR";
 
 /// Number of `u64` words in a heartbeat payload.
-const HEARTBEAT_WORDS: usize = 6;
+const HEARTBEAT_WORDS: usize = 8;
 
 /// One compact progress frame. Workers send one after initialization
 /// (`step == 0`) and one after every completed timestep.
@@ -44,6 +44,11 @@ pub struct Heartbeat {
     pub bytes: u64,
     /// Collective operations entered so far.
     pub collectives: u64,
+    /// Newest complete checkpoint `(generation, step)` this rank wrote
+    /// or restored from; `None` before the first generation. On the
+    /// wire each word travels offset by one (`0` encodes `None`), so an
+    /// all-zero tail stays a valid "no checkpoint yet" frame.
+    pub checkpoint: Option<(u64, u64)>,
 }
 
 impl Heartbeat {
@@ -51,6 +56,10 @@ impl Heartbeat {
     /// same bit-exact message codec the transport uses, with the rank in
     /// the frame's `src` field.
     pub fn to_frame(&self) -> Frame {
+        let (ckpt_gen, ckpt_step) = match self.checkpoint {
+            Some((g, s)) => (g + 1, s + 1),
+            None => (0, 0),
+        };
         let words: Vec<u64> = vec![
             self.step,
             self.picard,
@@ -58,6 +67,8 @@ impl Heartbeat {
             self.msgs,
             self.bytes,
             self.collectives,
+            ckpt_gen,
+            ckpt_step,
         ];
         Frame {
             kind: FrameKind::Msg,
@@ -87,6 +98,10 @@ impl Heartbeat {
             msgs: words[3],
             bytes: words[4],
             collectives: words[5],
+            checkpoint: match (words[6], words[7]) {
+                (0, _) | (_, 0) => None,
+                (g, s) => Some((g - 1, s - 1)),
+            },
         })
     }
 }
@@ -212,6 +227,7 @@ mod tests {
             msgs: 42,
             bytes: 4096,
             collectives: 9,
+            checkpoint: None,
         }
     }
 
@@ -220,6 +236,16 @@ mod tests {
         let h = hb(3, 17);
         let decoded = Heartbeat::from_frame(&h.to_frame()).unwrap();
         assert_eq!(decoded, h);
+    }
+
+    #[test]
+    fn heartbeat_checkpoint_round_trips_including_generation_zero() {
+        for ck in [None, Some((0, 0)), Some((4, 4)), Some((10, 12))] {
+            let mut h = hb(1, 5);
+            h.checkpoint = ck;
+            let decoded = Heartbeat::from_frame(&h.to_frame()).unwrap();
+            assert_eq!(decoded.checkpoint, ck, "checkpoint {ck:?} mangled");
+        }
     }
 
     #[test]

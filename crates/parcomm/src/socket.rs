@@ -166,10 +166,14 @@ fn dial(addr: SocketAddr) -> TcpStream {
     s
 }
 
-/// Dial with retry until the deadlock timeout: worker processes come up
-/// in arbitrary order, so a peer's listener may not exist yet.
+/// Dial with retry until the deadlock timeout, backing off
+/// exponentially (10 ms doubling to a 500 ms cap): worker processes
+/// come up in arbitrary order — and after a rank death an entire
+/// supervised cohort may be relaunching — so a peer's listener may not
+/// exist yet, possibly for a while.
 fn dial_retry(addr: SocketAddr) -> TcpStream {
     let deadline = Instant::now() + recv_timeout();
+    let mut backoff = Duration::from_millis(10);
     loop {
         match TcpStream::connect(addr) {
             Ok(s) => {
@@ -177,13 +181,46 @@ fn dial_retry(addr: SocketAddr) -> TcpStream {
                 return s;
             }
             Err(e) => {
-                if Instant::now() >= deadline {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
                     panic!("dial {addr}: {e} (gave up after {:?})", recv_timeout());
                 }
-                std::thread::sleep(Duration::from_millis(20));
+                std::thread::sleep(backoff.min(left));
+                backoff = (backoff * 2).min(Duration::from_millis(500));
             }
         }
     }
+}
+
+/// Accept with a deadline: a peer that dies before dialing must turn
+/// mesh construction into a loud, bounded failure rather than a hang a
+/// supervisor cannot distinguish from a slow start. The listener is
+/// flipped to non-blocking and polled with exponential backoff; both
+/// the listener and the accepted stream are returned to blocking mode.
+fn accept_timeout(listener: &TcpListener, me: usize) -> TcpStream {
+    let deadline = Instant::now() + recv_timeout();
+    listener.set_nonblocking(true).expect("listener nonblocking");
+    let mut backoff = Duration::from_millis(1);
+    let stream = loop {
+        match listener.accept() {
+            Ok((s, _)) => break s,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    panic!(
+                        "rank {me}: mesh accept timed out after {:?} — a peer died before dialing",
+                        recv_timeout()
+                    );
+                }
+                std::thread::sleep(backoff.min(left));
+                backoff = (backoff * 2).min(Duration::from_millis(100));
+            }
+            Err(e) => panic!("rank {me}: mesh accept: {e}"),
+        }
+    };
+    listener.set_nonblocking(false).expect("listener blocking");
+    stream.set_nonblocking(false).expect("stream blocking");
+    stream
 }
 
 fn write_hello(s: &mut TcpStream, me: usize) {
@@ -217,7 +254,7 @@ fn mesh_streams(
         *slot = Some(s);
     }
     for _ in me + 1..size {
-        let (mut s, _) = listener.accept().expect("mesh accept");
+        let mut s = accept_timeout(listener, me);
         s.set_nodelay(true).ok();
         let peer = read_hello(&mut s);
         assert!(
@@ -277,7 +314,7 @@ fn rendezvous_streams(me: usize, size: usize, path: &Path) -> Vec<Option<TcpStre
 
         let mut table: Vec<Option<SocketAddr>> = (0..size).map(|_| None).collect();
         for _ in 1..size {
-            let (mut s, _) = listener.accept().expect("registration accept");
+            let mut s = accept_timeout(&listener, 0);
             s.set_nodelay(true).ok();
             let peer = read_hello(&mut s);
             assert!(

@@ -46,6 +46,10 @@ pub enum SolveError {
     /// A message failed to decode (type mismatch or timeout) on a path
     /// that has been converted from a panic to a typed error.
     Comm { detail: String },
+    /// A checkpoint write or restore failed: I/O, a corrupt or
+    /// truncated file, or a mismatch between the checkpoint and the
+    /// live run (cohort size, mesh shapes, fault-plan shape).
+    Checkpoint { detail: String },
 }
 
 impl SolveError {
@@ -60,6 +64,7 @@ impl SolveError {
             SolveError::CoarseningStagnation { .. } => "coarsening_stagnation",
             SolveError::HaloCorruption { .. } => "halo_corruption",
             SolveError::Comm { .. } => "comm",
+            SolveError::Checkpoint { .. } => "checkpoint",
         }
     }
 }
@@ -86,6 +91,7 @@ impl fmt::Display for SolveError {
                 write!(f, "halo corruption in {context} from rank {src}: {detail}")
             }
             SolveError::Comm { detail } => write!(f, "communication error: {detail}"),
+            SolveError::Checkpoint { detail } => write!(f, "checkpoint error: {detail}"),
         }
     }
 }
@@ -95,6 +101,12 @@ impl std::error::Error for SolveError {}
 impl From<parcomm::CommError> for SolveError {
     fn from(e: parcomm::CommError) -> Self {
         SolveError::Comm { detail: e.to_string() }
+    }
+}
+
+impl From<crate::checkpoint::CheckpointError> for SolveError {
+    fn from(e: crate::checkpoint::CheckpointError) -> Self {
+        SolveError::Checkpoint { detail: e.to_string() }
     }
 }
 
@@ -112,6 +124,7 @@ mod tests {
             SolveError::CoarseningStagnation { level: 0, rows: 100 },
             SolveError::HaloCorruption { context: "c".into(), src: 1, detail: "d".into() },
             SolveError::Comm { detail: "d".into() },
+            SolveError::Checkpoint { detail: "d".into() },
         ];
         let kinds: Vec<&str> = errs.iter().map(|e| e.kind()).collect();
         let mut dedup = kinds.clone();

@@ -24,6 +24,7 @@
 //! EXAWIND_FAULTS="spec(;spec)*"
 //! spec  = kind '@' ctx [ ':' at [ 'x' count ] ]
 //! kind  = 'assembly-nan' | 'halo-nan' | 'coarsen-stall' | 'socket-drop'
+//!       | 'kill-rank'
 //! ctx   = substring matched against the phase label (e.g. "continuity")
 //! at    = 1-based index of the first matching occurrence to corrupt (default 1)
 //! count = number of consecutive occurrences to corrupt (default 1)
@@ -31,7 +32,9 @@
 //!
 //! Example: `assembly-nan@continuity:1` corrupts the first continuity
 //! assembly; `halo-nan@momentum:2x3` flips halo payloads to NaN on the
-//! 2nd, 3rd and 4th momentum halo exchanges.
+//! 2nd, 3rd and 4th momentum halo exchanges; `kill-rank@rank1:3` kills
+//! the rank-1 worker process at the top of its 3rd timestep (the hook
+//! context is `rank<r>`, evaluated once per step).
 //!
 //! Occurrences are counted per matching hook invocation, so a broad
 //! context can hit more sites than expected: `assembly-nan@continuity`
@@ -63,6 +66,14 @@ pub enum FaultKind {
     /// stale in-flight messages to mis-match); the counters are
     /// replicated per rank, so every rank aborts the same exchange.
     SocketDrop,
+    /// Kill the worker *process* (simulated SIGKILL via `abort`) at the
+    /// top of a timestep. The hook context is `rank<r>` and the
+    /// occurrence counter advances once per step, so
+    /// `kill-rank@rank1:3` deterministically kills rank 1 at step 3.
+    /// Unlike the other kinds this fault is intentionally *not*
+    /// collective — the point is one dead process, with the supervisor
+    /// (`exawind-launch`) fencing and relaunching the cohort.
+    KillRank,
 }
 
 impl FaultKind {
@@ -73,6 +84,7 @@ impl FaultKind {
             FaultKind::HaloNan => "halo-nan",
             FaultKind::CoarsenStall => "coarsen-stall",
             FaultKind::SocketDrop => "socket-drop",
+            FaultKind::KillRank => "kill-rank",
         }
     }
 
@@ -82,9 +94,10 @@ impl FaultKind {
             "halo-nan" => Ok(FaultKind::HaloNan),
             "coarsen-stall" => Ok(FaultKind::CoarsenStall),
             "socket-drop" => Ok(FaultKind::SocketDrop),
+            "kill-rank" => Ok(FaultKind::KillRank),
             other => Err(format!(
                 "unknown fault kind {other:?} (expected assembly-nan, halo-nan, \
-                 coarsen-stall, or socket-drop)"
+                 coarsen-stall, socket-drop, or kill-rank)"
             )),
         }
     }
@@ -306,6 +319,55 @@ pub fn fire(kind: FaultKind, ctx: impl FnOnce() -> String) -> bool {
     })
 }
 
+/// Snapshot the per-rule `(hits, fired)` occurrence counters of the
+/// injector installed on this thread, in spec order. Empty when no
+/// injector is armed. Checkpointed so a restarted run's occurrence
+/// windows continue exactly where the interrupted run left off — a
+/// `halo-nan@momentum:7` spec that had seen 5 momentum exchanges before
+/// the checkpoint still fires on the 7th overall, not the 7th
+/// post-restart.
+pub fn counters() -> Vec<(u64, u64)> {
+    CURRENT.with(|c| {
+        c.borrow().as_ref().map_or_else(Vec::new, |inj| {
+            inj.borrow().rules.iter().map(|r| (r.hits, r.fired)).collect()
+        })
+    })
+}
+
+/// Restore occurrence counters captured by [`counters`] into the
+/// injector installed on this thread. Errors when the snapshot's rule
+/// count does not match the installed plan (the restart must run under
+/// the same `EXAWIND_FAULTS` plan that was checkpointed); restoring an
+/// empty snapshot into an unarmed thread is a no-op.
+pub fn restore_counters(snapshot: &[(u64, u64)]) -> Result<(), String> {
+    CURRENT.with(|c| {
+        let borrow = c.borrow();
+        match borrow.as_ref() {
+            None if snapshot.is_empty() => Ok(()),
+            None => Err(format!(
+                "checkpoint carries {} fault-counter entries but no fault plan is armed",
+                snapshot.len()
+            )),
+            Some(inj) => {
+                let mut inj = inj.borrow_mut();
+                if inj.rules.len() != snapshot.len() {
+                    return Err(format!(
+                        "checkpoint carries {} fault-counter entries but the armed plan \
+                         has {} specs",
+                        snapshot.len(),
+                        inj.rules.len()
+                    ));
+                }
+                for (rule, &(hits, fired)) in inj.rules.iter_mut().zip(snapshot) {
+                    rule.hits = hits;
+                    rule.fired = fired;
+                }
+                Ok(())
+            }
+        }
+    })
+}
+
 /// Total faults fired by the injector installed on this thread (0 when
 /// none is armed). Used by tests to assert a plan actually triggered.
 pub fn fired_count() -> u64 {
@@ -418,6 +480,53 @@ mod tests {
         assert!(!fire(FaultKind::CoarsenStall, || "amg".into()));
         drop(g1);
         assert!(!armed());
+    }
+
+    #[test]
+    fn kill_rank_parses_and_fires_on_step_window() {
+        let plan = FaultPlan::parse("kill-rank@rank1:3").unwrap();
+        assert_eq!(
+            plan.specs,
+            vec![FaultSpec {
+                kind: FaultKind::KillRank,
+                ctx: "rank1".into(),
+                at: 3,
+                count: 1
+            }]
+        );
+        assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+        let _g = plan.install();
+        // Another rank's step hook never advances this rule.
+        assert!(!fire(FaultKind::KillRank, || "rank0".into()));
+        assert!(!fire(FaultKind::KillRank, || "rank1".into())); // step 1
+        assert!(!fire(FaultKind::KillRank, || "rank1".into())); // step 2
+        assert!(fire(FaultKind::KillRank, || "rank1".into())); // step 3 → dies
+    }
+
+    #[test]
+    fn counters_snapshot_and_restore_resume_windows() {
+        let plan = FaultPlan::parse("halo-nan@continuity:3").unwrap();
+        let snapshot = {
+            let _g = plan.install();
+            assert!(!fire(FaultKind::HaloNan, || "continuity/halo".into()));
+            assert!(!fire(FaultKind::HaloNan, || "continuity/halo".into()));
+            counters()
+        };
+        assert_eq!(snapshot, vec![(2, 0)]);
+        // A fresh install (the restarted process) resumes mid-window.
+        let _g = plan.install();
+        restore_counters(&snapshot).unwrap();
+        assert!(fire(FaultKind::HaloNan, || "continuity/halo".into())); // hit 3 → fires
+        assert_eq!(counters(), vec![(3, 1)]);
+        // Mismatched plan shape is a typed error, not a silent skip.
+        assert!(restore_counters(&[(1, 0), (2, 0)]).is_err());
+    }
+
+    #[test]
+    fn counters_unarmed_is_empty_and_restores_trivially() {
+        assert!(counters().is_empty());
+        restore_counters(&[]).unwrap();
+        assert!(restore_counters(&[(1, 0)]).is_err());
     }
 
     #[test]

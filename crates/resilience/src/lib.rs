@@ -15,6 +15,11 @@
 //! - [`recovery`] — the bounded escalation ladder the Picard driver
 //!   walks on failure (fresh rebuild → fallback smoother → timestep
 //!   cut) and the [`RecoveryRecord`]s it emits.
+//! - [`checkpoint`] — versioned, bitwise-exact checkpoint/restart: per
+//!   rank files on the parcomm wire codec (checksummed header, atomic
+//!   tmp+rename) plus a cohort manifest naming only *complete*
+//!   generations, so a killed process resumes bit-for-bit where the last
+//!   finished generation left off.
 //! - [`faults`] — a seeded, deterministic fault-injection harness
 //!   ([`FaultPlan`], enabled via the `EXAWIND_FAULTS` environment
 //!   variable or `SolverConfig::faults`; a no-op by default) that can
@@ -27,6 +32,7 @@
 //! clean-run solve path is bit-for-bit unperturbed — proven by
 //! `tests/determinism.rs`.
 
+pub mod checkpoint;
 pub mod error;
 pub mod faults;
 pub mod guard;

@@ -14,6 +14,8 @@
 //! | `amg`        | `amg::AmgHierarchy::setup`| Tables 2–4 per-level rows |
 //! | `gmres`      | `krylov::Gmres::solve`    | convergence trajectories  |
 //! | `recovery`   | `nalu_core` Picard driver | solver-fault escalations  |
+//! | `checkpoint` | `nalu_core` periodic trigger | restart-file writes    |
+//! | `restore`    | `nalu_core` resume path   | restart provenance        |
 //! | `kernel_perf`| [`crate::Telemetry::kernel`] scopes | achieved GB/s / GFLOP/s roofline rows |
 //! | `counter`    | subsystem counters        | —                         |
 //! | `hist`       | log₂ histograms           | —                         |
@@ -27,9 +29,10 @@ use crate::json::Json;
 /// Schema version stamped into `run` events. Version 2 added the
 /// `kernel_perf` event type; version 3 added `comm_edge` and
 /// `collective` plus the `wait_secs`/`transfer_secs` fields on
-/// `phase_perf` (all purely additive; older streams still parse, with
-/// the new phase_perf fields defaulting to 0).
-pub const SCHEMA_VERSION: u64 = 3;
+/// `phase_perf`; version 4 added `checkpoint` and `restore` (all purely
+/// additive; older streams still parse, with the new phase_perf fields
+/// defaulting to 0).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// One row of an AMG hierarchy: global rows and nonzeros of a level
 /// operator.
@@ -145,6 +148,23 @@ pub enum Event {
         attempt: usize,
         outcome: String,
     },
+    /// One completed checkpoint write on one rank: the generation it
+    /// contributes to, the step it captures, the file size, and the
+    /// wall-clock spent serializing + fsyncing.
+    Checkpoint {
+        rank: usize,
+        step: usize,
+        generation: u64,
+        bytes: u64,
+        secs: f64,
+    },
+    /// One restore: this rank resumed from `generation`, continuing
+    /// after `step` completed steps.
+    Restore {
+        rank: usize,
+        step: usize,
+        generation: u64,
+    },
     /// Aggregate of one hot kernel on one rank: call count, wall-clock,
     /// modeled bytes/flops/DOFs (see [`crate::perfmodel`]) and the
     /// achieved throughputs they imply. Flushed per rank at
@@ -197,6 +217,8 @@ impl Event {
             Event::AmgSetup { .. } => "amg",
             Event::Gmres { .. } => "gmres",
             Event::Recovery { .. } => "recovery",
+            Event::Checkpoint { .. } => "checkpoint",
+            Event::Restore { .. } => "restore",
             Event::KernelPerf { .. } => "kernel_perf",
             Event::Counter { .. } => "counter",
             Event::Hist { .. } => "hist",
@@ -386,6 +408,30 @@ impl Event {
                 ("action", Json::Str(action.clone())),
                 ("attempt", Json::Int(*attempt as i128)),
                 ("outcome", Json::Str(outcome.clone())),
+            ]),
+            Event::Checkpoint {
+                rank,
+                step,
+                generation,
+                bytes,
+                secs,
+            } => Json::obj(vec![
+                ("type", tag),
+                ("rank", Json::Int(*rank as i128)),
+                ("step", Json::Int(*step as i128)),
+                ("generation", Json::Int(*generation as i128)),
+                ("bytes", Json::Int(*bytes as i128)),
+                ("secs", Json::Float(*secs)),
+            ]),
+            Event::Restore {
+                rank,
+                step,
+                generation,
+            } => Json::obj(vec![
+                ("type", tag),
+                ("rank", Json::Int(*rank as i128)),
+                ("step", Json::Int(*step as i128)),
+                ("generation", Json::Int(*generation as i128)),
             ]),
             Event::KernelPerf {
                 rank,
@@ -656,6 +702,18 @@ impl Event {
                 attempt: usize_field("attempt")?,
                 outcome: str_field("outcome")?,
             }),
+            "checkpoint" => Ok(Event::Checkpoint {
+                rank: usize_field("rank")?,
+                step: usize_field("step")?,
+                generation: u64_field("generation")?,
+                bytes: u64_field("bytes")?,
+                secs: f64_field("secs")?,
+            }),
+            "restore" => Ok(Event::Restore {
+                rank: usize_field("rank")?,
+                step: usize_field("step")?,
+                generation: u64_field("generation")?,
+            }),
             "kernel_perf" => Ok(Event::KernelPerf {
                 rank: usize_field("rank")?,
                 kernel: str_field("kernel")?,
@@ -792,6 +850,18 @@ impl Event {
                 action: "rebuild".into(),
                 attempt: 1,
                 outcome: "recovered".into(),
+            },
+            Event::Checkpoint {
+                rank: 0,
+                step: 4,
+                generation: 4,
+                bytes: 183_472,
+                secs: 0.0021,
+            },
+            Event::Restore {
+                rank: 1,
+                step: 4,
+                generation: 4,
             },
             Event::KernelPerf {
                 rank: 1,

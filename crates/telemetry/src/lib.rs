@@ -580,6 +580,47 @@ pub fn validate_stream(events: &[Event]) -> Result<(), Vec<String>> {
                     }
                 }
             }
+            Event::Checkpoint { rank, step, generation, bytes, secs } => {
+                if *bytes == 0 {
+                    errors.push(format!(
+                        "checkpoint rank {rank} generation {generation}: zero bytes written"
+                    ));
+                }
+                if !secs.is_finite() || *secs < 0.0 {
+                    errors.push(format!(
+                        "checkpoint rank {rank} generation {generation}: non-finite or \
+                         negative secs"
+                    ));
+                }
+                if (*generation as usize) > *step {
+                    errors.push(format!(
+                        "checkpoint rank {rank}: generation {generation} captured after \
+                         only {step} steps"
+                    ));
+                }
+                if let Some(n) = run_ranks {
+                    if *rank >= n {
+                        errors.push(format!(
+                            "checkpoint rank {rank} out of range for run with {n} ranks"
+                        ));
+                    }
+                }
+            }
+            Event::Restore { rank, step, generation } => {
+                if (*generation as usize) > *step {
+                    errors.push(format!(
+                        "restore rank {rank}: resumed generation {generation} is newer \
+                         than its own step cursor {step}"
+                    ));
+                }
+                if let Some(n) = run_ranks {
+                    if *rank >= n {
+                        errors.push(format!(
+                            "restore rank {rank} out of range for run with {n} ranks"
+                        ));
+                    }
+                }
+            }
             Event::CommEdge { rank, src, dst, class, msgs, bytes } => {
                 if src == dst {
                     errors.push(format!("comm_edge rank {rank}: self-edge {src}->{dst}"));

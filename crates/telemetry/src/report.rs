@@ -58,6 +58,31 @@ pub struct RecoverySummary {
     pub last_outcome: String,
 }
 
+/// Checkpoint/restart activity aggregated over the stream.
+#[derive(Clone, Debug, Default)]
+pub struct CheckpointSummary {
+    /// Completed generations (rank-0 `checkpoint` events; a generation
+    /// is collective, every rank writes one file).
+    pub generations: u64,
+    /// Newest generation written.
+    pub last_generation: Option<u64>,
+    /// Checkpoint bytes written, summed over ranks and generations.
+    pub bytes: u64,
+    /// Seconds spent serializing + syncing, summed over ranks.
+    pub secs: f64,
+    /// Restores observed (rank-0 `restore` events).
+    pub restores: u64,
+    /// Generation the most recent restore resumed from.
+    pub restored_from: Option<u64>,
+}
+
+impl CheckpointSummary {
+    /// Whether the stream carried any checkpoint/restart activity.
+    pub fn is_empty(&self) -> bool {
+        self.generations == 0 && self.restores == 0 && self.bytes == 0
+    }
+}
+
 /// Per-path span aggregate.
 #[derive(Clone, Debug, Default)]
 pub struct SpanSummary {
@@ -167,6 +192,8 @@ pub struct Report {
     pub spans: BTreeMap<String, SpanSummary>,
     /// Recovery escalations keyed by `(equation, fault kind)`.
     pub recoveries: BTreeMap<(String, String), RecoverySummary>,
+    /// Checkpoint writes and restores.
+    pub checkpoints: CheckpointSummary,
     /// Counters summed over ranks.
     pub counters: BTreeMap<String, u64>,
     /// Histograms merged over ranks.
@@ -293,6 +320,26 @@ impl Report {
                         s.actions.push(action.clone());
                     }
                     s.last_outcome = outcome.clone();
+                }
+                Event::Checkpoint { rank, generation, bytes, secs, .. } => {
+                    max_rank = max_rank.max(*rank);
+                    r.checkpoints.bytes += bytes;
+                    r.checkpoints.secs += secs;
+                    // A generation is collective (one file per rank);
+                    // count it once via rank 0.
+                    if *rank == 0 {
+                        r.checkpoints.generations += 1;
+                        r.checkpoints.last_generation = Some(
+                            r.checkpoints.last_generation.map_or(*generation, |g| g.max(*generation)),
+                        );
+                    }
+                }
+                Event::Restore { rank, generation, .. } => {
+                    max_rank = max_rank.max(*rank);
+                    if *rank == 0 {
+                        r.checkpoints.restores += 1;
+                        r.checkpoints.restored_from = Some(*generation);
+                    }
                 }
                 Event::Counter { rank, name, value } => {
                     max_rank = max_rank.max(*rank);
@@ -643,6 +690,28 @@ impl Report {
             }
         }
 
+        // --- Checkpoint/restart ------------------------------------------
+        if !self.checkpoints.is_empty() {
+            let c = &self.checkpoints;
+            let _ = writeln!(out, "\n-- checkpoint/restart --");
+            let _ = writeln!(
+                out,
+                "generations written {:>4}   newest {:>6}   {:>10.1} KiB total   {:>8.4}s rank-seconds",
+                c.generations,
+                c.last_generation.map_or("-".to_string(), |g| g.to_string()),
+                c.bytes as f64 / 1024.0,
+                c.secs,
+            );
+            if c.restores > 0 {
+                let _ = writeln!(
+                    out,
+                    "restores            {:>4}   resumed from generation {}",
+                    c.restores,
+                    c.restored_from.map_or("-".to_string(), |g| g.to_string()),
+                );
+            }
+        }
+
         // --- Span tree ----------------------------------------------------
         if !self.spans.is_empty() {
             let _ = writeln!(out, "\n-- span tree (seconds summed over ranks) --");
@@ -891,6 +960,27 @@ impl Report {
             ("amg", Json::Arr(amg)),
             ("gmres", Json::Arr(gmres)),
             ("recoveries", Json::Arr(recoveries)),
+            (
+                "checkpoints",
+                Json::obj(vec![
+                    ("generations", Json::Int(self.checkpoints.generations as i128)),
+                    (
+                        "last_generation",
+                        self.checkpoints
+                            .last_generation
+                            .map_or(Json::Null, |g| Json::Int(g as i128)),
+                    ),
+                    ("bytes", Json::Int(self.checkpoints.bytes as i128)),
+                    ("secs", Json::Float(self.checkpoints.secs)),
+                    ("restores", Json::Int(self.checkpoints.restores as i128)),
+                    (
+                        "restored_from",
+                        self.checkpoints
+                            .restored_from
+                            .map_or(Json::Null, |g| Json::Int(g as i128)),
+                    ),
+                ]),
+            ),
             ("kernels", Json::Arr(kernels)),
             ("comm_matrix", Json::Arr(comm_matrix)),
             ("collectives", Json::Arr(collectives)),
@@ -1050,6 +1140,41 @@ mod tests {
         assert!(ascii.contains("rebuild -> fallback_smoother"), "{ascii}");
         let json = r.to_json().to_string();
         assert!(json.contains("\"recoveries\""), "{json}");
+    }
+
+    #[test]
+    fn checkpoint_events_aggregate_into_report_section() {
+        let mut evs = sample_events();
+        // Two ranks each write two generations, then rank 1 dies and the
+        // whole cohort restores from generation 4.
+        for rank in 0..2usize {
+            for generation in [2u64, 4] {
+                evs.push(Event::Checkpoint {
+                    rank,
+                    step: generation as usize,
+                    generation,
+                    bytes: 1000,
+                    secs: 0.001,
+                });
+            }
+            evs.push(Event::Restore { rank, step: 4, generation: 4 });
+        }
+        let r = Report::from_events(&evs);
+        let c = &r.checkpoints;
+        assert_eq!(c.generations, 2, "generations counted once via rank 0");
+        assert_eq!(c.last_generation, Some(4));
+        assert_eq!(c.bytes, 4000, "bytes summed over ranks and generations");
+        assert_eq!(c.restores, 1);
+        assert_eq!(c.restored_from, Some(4));
+        let ascii = r.render_ascii();
+        assert!(ascii.contains("checkpoint/restart"), "{ascii}");
+        assert!(ascii.contains("resumed from generation 4"), "{ascii}");
+        let json = r.to_json().to_string();
+        assert!(json.contains("\"checkpoints\""), "{json}");
+        assert!(json.contains("\"restored_from\":4"), "{json}");
+        // A stream without checkpoint activity renders no section.
+        let quiet = Report::from_events(&sample_events()).render_ascii();
+        assert!(!quiet.contains("checkpoint/restart"), "{quiet}");
     }
 
     #[test]

@@ -7,16 +7,17 @@
 //! # explicit endpoints, one host:port line per rank (how remote
 //! # machines are named — run the matching rank's launcher on each):
 //! exawind-launch -n 4 --hostfile hosts.txt -- path/to/worker
+//! # supervised with checkpoint/restart: a dead rank fences the cohort
+//! # and relaunches it from the newest complete checkpoint generation:
+//! exawind-launch -n 4 --checkpoint-every 5 --checkpoint-dir ckpt \
+//!     --max-restarts 2 -- path/to/worker
 //! ```
 //!
 //! Every child inherits this environment plus `EXAWIND_TRANSPORT=socket`,
 //! its `EXAWIND_RANK`, the shared `EXAWIND_SIZE`, and the rendezvous
-//! path (`EXAWIND_RENDEZVOUS`, a fresh temp file) or the host file path
-//! (`EXAWIND_HOSTFILE`) — see `parcomm::socket` for the wire-up the
-//! workers then perform. Stdout/stderr pass through. The launcher exits
-//! with the first non-zero child status (killing the remaining ranks,
-//! which could only deadlock against the dead one) or 0 when all ranks
-//! complete.
+//! path (`EXAWIND_RENDEZVOUS`, a fresh temp file per incarnation) or the
+//! host file path (`EXAWIND_HOSTFILE`) — see `parcomm::socket` for the
+//! wire-up the workers then perform. Stdout/stderr pass through.
 //!
 //! The launcher also opens a loopback monitor endpoint and exports its
 //! address as `EXAWIND_MONITOR`. Workers that heartbeat (exawind-worker
@@ -24,9 +25,22 @@
 //! status line on stderr, stall detection — a live rank silent for
 //! `--stall-timeout` seconds (default 120) takes the job down with exit
 //! code 3 — and, on any abnormal exit, a partial per-rank progress
-//! report plus each dead rank's `crash-<rank>.json` breadcrumb.
+//! report (including each rank's newest complete checkpoint) plus each
+//! dead rank's `crash-<rank>.json` breadcrumb.
+//!
+//! With `--checkpoint-every` the launcher becomes a supervisor:
+//! `EXAWIND_CHECKPOINT_EVERY`/`EXAWIND_CHECKPOINT_DIR` are exported so
+//! workers publish checkpoint generations, and a rank death no longer
+//! ends the job — the surviving ranks are fenced (killed; they could
+//! only deadlock against the dead peer), and the whole cohort is
+//! relaunched with `EXAWIND_RESUME=1` and an incremented
+//! `EXAWIND_RESTART_COUNT`, resuming bitwise-identically from the
+//! newest complete generation. At most `--max-restarts` relaunches
+//! (default 2) are attempted; a cohort that keeps dying exits with the
+//! original failure code. Stalls are never restarted: a hung rank is a
+//! bug, not a transient death.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{exit, Child, Command};
 use std::time::{Duration, Instant};
 
@@ -34,17 +48,22 @@ use exawind::parcomm::{
     Heartbeat, MonitorServer, HOSTFILE_ENV, MONITOR_ENV, RANK_ENV, RENDEZVOUS_ENV, SIZE_ENV,
     TRANSPORT_ENV,
 };
+use exawind::resilience::checkpoint;
 
 struct Args {
     ranks: usize,
     hostfile: Option<PathBuf>,
     stall_timeout: Duration,
+    checkpoint_every: usize,
+    checkpoint_dir: PathBuf,
+    max_restarts: u64,
     command: Vec<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: exawind-launch -n <ranks> [--hostfile <path>] [--stall-timeout <secs>] \
+         [--checkpoint-every <steps>] [--checkpoint-dir <path>] [--max-restarts <n>] \
          [--] <command> [args...]"
     );
     exit(2);
@@ -55,6 +74,9 @@ fn parse_args() -> Args {
     let mut ranks = None;
     let mut hostfile = None;
     let mut stall_timeout = Duration::from_secs(120);
+    let mut checkpoint_every = 0usize;
+    let mut checkpoint_dir = PathBuf::from("exawind-checkpoints");
+    let mut max_restarts = 2u64;
     let mut command = Vec::new();
     let mut i = 0;
     while i < argv.len() {
@@ -79,6 +101,26 @@ fn parse_args() -> Args {
                 }));
                 i += 2;
             }
+            "--checkpoint-every" => {
+                let v = argv.get(i + 1).unwrap_or_else(|| usage());
+                checkpoint_every = v.parse().unwrap_or_else(|_| {
+                    eprintln!("exawind-launch: bad checkpoint interval {v:?}");
+                    exit(2);
+                });
+                i += 2;
+            }
+            "--checkpoint-dir" => {
+                checkpoint_dir = PathBuf::from(argv.get(i + 1).unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--max-restarts" => {
+                let v = argv.get(i + 1).unwrap_or_else(|| usage());
+                max_restarts = v.parse().unwrap_or_else(|_| {
+                    eprintln!("exawind-launch: bad restart budget {v:?}");
+                    exit(2);
+                });
+                i += 2;
+            }
             "--" => {
                 command.extend(argv[i + 1..].iter().cloned());
                 break;
@@ -97,24 +139,33 @@ fn parse_args() -> Args {
     if ranks == 0 || command.is_empty() {
         usage();
     }
-    Args { ranks, hostfile, stall_timeout, command }
+    Args {
+        ranks,
+        hostfile,
+        stall_timeout,
+        checkpoint_every,
+        checkpoint_dir,
+        max_restarts,
+        command,
+    }
+}
+
+/// How one incarnation of the cohort ended.
+enum Outcome {
+    /// Every rank exited 0.
+    Done,
+    /// A rank died or exited non-zero (first observed).
+    Failed { rank: usize, code: i32 },
+    /// Live ranks went silent past the stall timeout.
+    Stalled(Vec<usize>),
 }
 
 fn main() {
     let args = parse_args();
 
-    // A fresh rendezvous path per launch; rank 0 of the job creates the
-    // file, so any stale one from a crashed previous job must go first.
-    let rendezvous = std::env::temp_dir().join(format!(
-        "exawind-rendezvous-{}.addr",
-        std::process::id()
-    ));
-    if args.hostfile.is_none() {
-        let _ = std::fs::remove_file(&rendezvous);
-    }
-
-    // Live-monitoring endpoint. A failed bind degrades to the old
-    // unmonitored behavior rather than refusing to launch.
+    // Live-monitoring endpoint, shared by every incarnation. A failed
+    // bind degrades to the old unmonitored behavior rather than
+    // refusing to launch.
     let monitor = match MonitorServer::bind() {
         Ok(m) => Some(m),
         Err(e) => {
@@ -123,6 +174,104 @@ fn main() {
         }
     };
 
+    let start = Instant::now();
+    let mut last_hb: Vec<Option<Heartbeat>> = vec![None; args.ranks];
+    let mut total_heartbeats: u64 = 0;
+    let mut incarnation: u64 = 0;
+    loop {
+        // A fresh rendezvous path per incarnation: rank 0 of the new
+        // cohort must never read the dead cohort's endpoint table.
+        let rendezvous = std::env::temp_dir().join(format!(
+            "exawind-rendezvous-{}-{incarnation}.addr",
+            std::process::id()
+        ));
+        if args.hostfile.is_none() {
+            let _ = std::fs::remove_file(&rendezvous);
+        }
+        let children = spawn_cohort(&args, monitor.as_ref(), &rendezvous, incarnation);
+        let (outcome, survivors) = supervise(
+            &args,
+            monitor.as_ref(),
+            children,
+            &mut last_hb,
+            &mut total_heartbeats,
+            start,
+        );
+        if args.hostfile.is_none() {
+            let _ = std::fs::remove_file(&rendezvous);
+        }
+        match outcome {
+            Outcome::Done => {
+                let reporting = last_hb.iter().flatten().count();
+                let restarts = if incarnation > 0 {
+                    format!(" after {incarnation} restart(s)")
+                } else {
+                    String::new()
+                };
+                println!(
+                    "exawind-launch: {} rank(s) completed{restarts}; monitor received \
+                     {total_heartbeats} heartbeat(s) from {reporting} rank(s)",
+                    args.ranks
+                );
+                return;
+            }
+            Outcome::Stalled(mut stalled) => {
+                // Report the most-behind rank first: likeliest culprit.
+                // A stall is a hang, not a death — never restarted.
+                stalled.sort_by_key(|&rank| last_hb[rank].map_or(0, |h| h.step));
+                for &rank in &stalled {
+                    let step = last_hb[rank].map_or(0, |h| h.step);
+                    eprintln!(
+                        "exawind-launch: rank {rank} stalled at step {step} (no heartbeat)"
+                    );
+                }
+                dump_partial_report(&last_hb);
+                fence(survivors);
+                exit(3);
+            }
+            Outcome::Failed { rank, code } => {
+                eprintln!(
+                    "exawind-launch: rank {rank} exited with code {code}; fencing {} \
+                     surviving rank(s)",
+                    survivors.len()
+                );
+                fence(survivors);
+                dump_partial_report(&last_hb);
+                dump_crash_breadcrumbs(args.ranks);
+                let supervised = args.checkpoint_every > 0;
+                if supervised && incarnation < args.max_restarts {
+                    incarnation += 1;
+                    let from = newest_generation(&args.checkpoint_dir).map_or_else(
+                        || "a cold start (no complete generation)".to_string(),
+                        |g| format!("checkpoint generation {g}"),
+                    );
+                    eprintln!(
+                        "exawind-launch: relaunching cohort from {from} \
+                         (restart {incarnation}/{})",
+                        args.max_restarts
+                    );
+                    continue;
+                }
+                if supervised {
+                    eprintln!(
+                        "exawind-launch: restart budget exhausted ({} restart(s))",
+                        args.max_restarts
+                    );
+                }
+                exit(if code == 0 { 1 } else { code });
+            }
+        }
+    }
+}
+
+/// Spawn one worker per rank with the incarnation's environment.
+/// Exits the launcher (killing already-spawned ranks) on spawn failure.
+fn spawn_cohort(
+    args: &Args,
+    monitor: Option<&MonitorServer>,
+    rendezvous: &Path,
+    incarnation: u64,
+) -> Vec<(usize, Child)> {
     let mut children: Vec<(usize, Child)> = Vec::with_capacity(args.ranks);
     for rank in 0..args.ranks {
         let mut cmd = Command::new(&args.command[0]);
@@ -130,42 +279,54 @@ fn main() {
             .env(TRANSPORT_ENV, "socket")
             .env(RANK_ENV, rank.to_string())
             .env(SIZE_ENV, args.ranks.to_string());
-        if let Some(m) = &monitor {
+        if let Some(m) = monitor {
             cmd.env(MONITOR_ENV, m.addr());
         }
         match &args.hostfile {
             Some(hf) => cmd.env(HOSTFILE_ENV, hf),
-            None => cmd.env(RENDEZVOUS_ENV, &rendezvous),
+            None => cmd.env(RENDEZVOUS_ENV, rendezvous),
         };
+        if args.checkpoint_every > 0 {
+            cmd.env(checkpoint::ENV_EVERY, args.checkpoint_every.to_string())
+                .env(checkpoint::ENV_DIR, &args.checkpoint_dir)
+                .env(checkpoint::ENV_RESTART_COUNT, incarnation.to_string());
+            if incarnation > 0 {
+                cmd.env(checkpoint::ENV_RESUME, "1");
+            }
+        }
         match cmd.spawn() {
             Ok(child) => children.push((rank, child)),
             Err(e) => {
                 eprintln!("exawind-launch: cannot spawn rank {rank} ({}): {e}", args.command[0]);
-                for (_, mut c) in children {
-                    let _ = c.kill();
-                    let _ = c.wait();
-                }
+                fence(children);
                 exit(1);
             }
         }
     }
+    children
+}
 
-    // Poll instead of waiting in rank order: a mid-job death must take
-    // the surviving ranks down before they block on the dead peer.
-    // Between waits, drain the monitor queue, render a periodic status
-    // line, and flag ranks that have gone silent past the stall timeout.
-    let start = Instant::now();
-    let mut last_hb: Vec<Option<Heartbeat>> = vec![None; args.ranks];
+/// Poll one incarnation to its end. Polling instead of waiting in rank
+/// order means a mid-job death is observed promptly, before survivors
+/// block forever on the dead peer. Between waits, drain the monitor
+/// queue, render a periodic status line, and flag ranks that have gone
+/// silent past the stall timeout. Returns the outcome and whichever
+/// children are still running (for the caller to fence).
+fn supervise(
+    args: &Args,
+    monitor: Option<&MonitorServer>,
+    mut children: Vec<(usize, Child)>,
+    last_hb: &mut [Option<Heartbeat>],
+    total_heartbeats: &mut u64,
+    start: Instant,
+) -> (Outcome, Vec<(usize, Child)>) {
     let mut last_seen: Vec<Instant> = vec![Instant::now(); args.ranks];
-    let mut total_heartbeats: u64 = 0;
     let mut last_status = Instant::now();
-    let mut failure: Option<(usize, i32)> = None;
-    let mut stalled: Vec<usize> = Vec::new();
-    while failure.is_none() && stalled.is_empty() && !children.is_empty() {
-        if let Some(m) = &monitor {
+    while !children.is_empty() {
+        if let Some(m) = monitor {
             for hb in m.poll() {
                 if hb.rank < args.ranks {
-                    total_heartbeats += 1;
+                    *total_heartbeats += 1;
                     last_seen[hb.rank] = Instant::now();
                     last_hb[hb.rank] = Some(hb);
                 }
@@ -176,79 +337,54 @@ fn main() {
             match child.try_wait() {
                 Ok(Some(status)) if status.success() => {}
                 Ok(Some(status)) => {
-                    failure = failure.or(Some((rank, status.code().unwrap_or(1))));
+                    return (
+                        Outcome::Failed { rank, code: status.code().unwrap_or(1) },
+                        still_running,
+                    );
                 }
                 Ok(None) => still_running.push((rank, child)),
                 Err(e) => {
                     eprintln!("exawind-launch: waiting on rank {rank}: {e}");
-                    failure = failure.or(Some((rank, 1)));
+                    return (Outcome::Failed { rank, code: 1 }, still_running);
                 }
             }
         }
         children = still_running;
-        if failure.is_none() && !children.is_empty() {
-            if monitor.is_some() {
-                stalled = children
-                    .iter()
-                    .map(|&(rank, _)| rank)
-                    .filter(|&rank| last_seen[rank].elapsed() > args.stall_timeout)
-                    .collect();
-                if !stalled.is_empty() {
-                    break;
-                }
-                if total_heartbeats > 0 && last_status.elapsed() >= Duration::from_secs(1) {
-                    last_status = Instant::now();
-                    eprintln!("{}", status_line(start, &last_hb, children.len()));
-                }
+        if monitor.is_some() && !children.is_empty() {
+            let stalled: Vec<usize> = children
+                .iter()
+                .map(|&(rank, _)| rank)
+                .filter(|&rank| last_seen[rank].elapsed() > args.stall_timeout)
+                .collect();
+            if !stalled.is_empty() {
+                return (Outcome::Stalled(stalled), children);
             }
+            if *total_heartbeats > 0 && last_status.elapsed() >= Duration::from_secs(1) {
+                last_status = Instant::now();
+                eprintln!("{}", status_line(start, last_hb, children.len()));
+            }
+        }
+        if !children.is_empty() {
             std::thread::sleep(Duration::from_millis(20));
         }
     }
+    (Outcome::Done, Vec::new())
+}
 
-    if args.hostfile.is_none() {
-        let _ = std::fs::remove_file(&rendezvous);
+/// Kill and reap the surviving ranks of a broken cohort: they could
+/// only deadlock against the dead peer, and a relaunch needs the old
+/// processes gone before new ones rendezvous.
+fn fence(children: Vec<(usize, Child)>) {
+    for (_, mut child) in children {
+        let _ = child.kill();
+        let _ = child.wait();
     }
-    if !stalled.is_empty() {
-        // Report the most-behind rank first: it is the likeliest culprit.
-        stalled.sort_by_key(|&rank| last_hb[rank].map_or(0, |h| h.step));
-        for &rank in &stalled {
-            let step = last_hb[rank].map_or(0, |h| h.step);
-            eprintln!(
-                "exawind-launch: rank {rank} stalled at step {step} (no heartbeat for {:.1}s)",
-                last_seen[rank].elapsed().as_secs_f64()
-            );
-        }
-        dump_partial_report(&last_hb);
-        eprintln!("exawind-launch: stopping {} rank(s)", children.len());
-        for (_, mut child) in children {
-            let _ = child.kill();
-            let _ = child.wait();
-        }
-        exit(3);
-    }
-    match failure {
-        Some((rank, code)) => {
-            eprintln!(
-                "exawind-launch: rank {rank} exited with code {code}; stopping {} remaining rank(s)",
-                children.len()
-            );
-            for (_, mut child) in children {
-                let _ = child.kill();
-                let _ = child.wait();
-            }
-            dump_partial_report(&last_hb);
-            dump_crash_breadcrumbs(args.ranks);
-            exit(if code == 0 { 1 } else { code });
-        }
-        None => {
-            let reporting = last_hb.iter().flatten().count();
-            println!(
-                "exawind-launch: {} rank(s) completed; monitor received {total_heartbeats} \
-                 heartbeat(s) from {reporting} rank(s)",
-                args.ranks
-            );
-        }
-    }
+}
+
+/// Newest complete checkpoint generation in `dir`, if a readable
+/// manifest names one.
+fn newest_generation(dir: &Path) -> Option<u64> {
+    checkpoint::read_manifest(dir).ok().flatten().and_then(|m| m.latest())
 }
 
 /// One-line live status: elapsed time, per-rank completed steps, the
@@ -277,15 +413,24 @@ fn status_line(start: Instant, last_hb: &[Option<Heartbeat>], live: usize) -> St
 }
 
 /// Last known progress per rank, printed on any abnormal exit — this is
-/// the partial comm report a post-mortem starts from.
+/// the partial comm report a post-mortem starts from. Includes the
+/// newest complete checkpoint each rank reported, i.e. where a
+/// relaunch would resume.
 fn dump_partial_report(last_hb: &[Option<Heartbeat>]) {
     eprintln!("exawind-launch: last known progress per rank:");
     for (rank, hb) in last_hb.iter().enumerate() {
         match hb {
-            Some(h) => eprintln!(
-                "  rank {rank}: step {} picard {} residual {:.2e} msgs {} bytes {} collectives {}",
-                h.step, h.picard, h.residual, h.msgs, h.bytes, h.collectives
-            ),
+            Some(h) => {
+                let ckpt = h.checkpoint.map_or_else(
+                    || "none".to_string(),
+                    |(g, s)| format!("generation {g} (step {s})"),
+                );
+                eprintln!(
+                    "  rank {rank}: step {} picard {} residual {:.2e} msgs {} bytes {} \
+                     collectives {} checkpoint {ckpt}",
+                    h.step, h.picard, h.residual, h.msgs, h.bytes, h.collectives
+                );
+            }
             None => eprintln!("  rank {rank}: no heartbeat received"),
         }
     }

@@ -36,6 +36,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 use exawind::nalu_core::{Simulation, SolverConfig};
 use exawind::parcomm::{Comm, Heartbeat, MonitorClient, Rank};
+use exawind::resilience::checkpoint;
 use exawind::telemetry::{self, Json};
 use exawind::windmesh::generate::{box_mesh, uniform_spacing, BoxBc};
 use exawind::windmesh::Mesh;
@@ -91,17 +92,40 @@ fn main() {
         let transport = cfg.transport;
         let mut sim = Simulation::new(rank, vec![small_box()], cfg);
 
+        // Supervised relaunch: restore the newest complete generation
+        // before the first step; the loop below then runs only the
+        // steps the interrupted run had not finished.
+        if checkpoint::resume_requested() {
+            match sim.resume(rank) {
+                Ok(Some(generation)) => eprintln!(
+                    "exawind-worker: rank {} resumed from checkpoint generation {generation}",
+                    rank.rank()
+                ),
+                Ok(None) => eprintln!(
+                    "exawind-worker: rank {} found no complete checkpoint, cold start",
+                    rank.rank()
+                ),
+                Err(e) => panic!("resume failed: {e}"),
+            }
+        }
+        let done = sim.steps_completed();
+
         let mut monitor = MonitorClient::from_env();
-        let mut last_hb = heartbeat(rank, 0, 0, 0.0);
+        let mut last_hb = heartbeat(rank, &sim, done as u64, 0, 0.0);
         monitor.send(&last_hb);
         maybe_stall(rank.rank());
 
         let stepped = catch_unwind(AssertUnwindSafe(|| {
-            for s in 0..steps {
+            for s in done..steps {
                 match sim.try_step(rank) {
                     Ok(report) => {
-                        last_hb =
-                            heartbeat(rank, (s + 1) as u64, picard_iters, report.max_final_rel());
+                        last_hb = heartbeat(
+                            rank,
+                            &sim,
+                            (s + 1) as u64,
+                            picard_iters,
+                            report.max_final_rel(),
+                        );
                         monitor.send(&last_hb);
                     }
                     Err(e) => {
@@ -159,8 +183,9 @@ fn main() {
     });
 }
 
-/// Build a heartbeat from the rank's current comm counters.
-fn heartbeat(rank: &Rank, step: u64, picard: u64, residual: f64) -> Heartbeat {
+/// Build a heartbeat from the rank's current comm counters and newest
+/// complete checkpoint.
+fn heartbeat(rank: &Rank, sim: &Simulation, step: u64, picard: u64, residual: f64) -> Heartbeat {
     let t = rank.trace_snapshot().total();
     Heartbeat {
         rank: rank.rank(),
@@ -170,6 +195,7 @@ fn heartbeat(rank: &Rank, step: u64, picard: u64, residual: f64) -> Heartbeat {
         msgs: t.msgs,
         bytes: t.msg_bytes,
         collectives: t.collectives,
+        checkpoint: sim.last_checkpoint(),
     }
 }
 
@@ -203,6 +229,14 @@ fn write_crash_breadcrumb(rank: &Rank, kind: &str, detail: &str, last_hb: &Heart
         ("msgs", Json::Int(last_hb.msgs as i128)),
         ("bytes", Json::Int(last_hb.bytes as i128)),
         ("collectives", Json::Int(last_hb.collectives as i128)),
+        (
+            "ckpt_generation",
+            last_hb.checkpoint.map_or(Json::Null, |(g, _)| Json::Int(g as i128)),
+        ),
+        (
+            "ckpt_step",
+            last_hb.checkpoint.map_or(Json::Null, |(_, s)| Json::Int(s as i128)),
+        ),
     ]);
     if let Err(e) = std::fs::write(&path, doc.to_string() + "\n") {
         eprintln!("exawind-worker: cannot write {path}: {e}");

@@ -19,7 +19,7 @@ use exawind::amg::{AmgConfig, AmgHierarchy, CfState};
 use exawind::nalu_core::assemble::{build_matrix, fill_continuity, fill_momentum, PhysicsParams};
 use exawind::nalu_core::eqsys::MeshSystem;
 use exawind::nalu_core::state::State;
-use exawind::nalu_core::{PartitionMethod, Simulation, SolverConfig};
+use exawind::nalu_core::{CheckpointCfg, PartitionMethod, Simulation, SolverConfig};
 use exawind::parcomm::{Comm, TransportKind};
 use exawind::sparse_kit::KernelPolicy;
 use exawind::windmesh::turbine::generate;
@@ -273,6 +273,121 @@ fn kernel_backends_bitwise_identical_across_threads_and_transports() {
             "fields differ under kernels={} on the socket transport",
             kernels.label()
         );
+    }
+}
+
+/// Per-rank field bits of every mesh after the simulation's current step.
+fn sim_field_bits(sim: &Simulation) -> Vec<u64> {
+    let mut out = Vec::new();
+    for m in 0..sim.n_meshes() {
+        let st = sim.state(m);
+        out.extend(st.vel.iter().flat_map(|v| v.iter().map(|x| x.to_bits())));
+        out.extend(st.p.iter().map(|x| x.to_bits()));
+        out.extend(st.nut.iter().map(|x| x.to_bits()));
+    }
+    out
+}
+
+/// Run the turbine case to `steps` in one uninterrupted simulation;
+/// returns per-rank field bits.
+fn uninterrupted_run_bits(steps: usize) -> Vec<Vec<u64>> {
+    let tm = generate(NrelCase::SingleLow, 1e-4);
+    let meshes = tm.meshes;
+    Comm::run(2, move |rank| {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| {
+            let cfg = SolverConfig { picard_iters: 2, ..SolverConfig::default() };
+            let mut sim = Simulation::new(rank, meshes.clone(), cfg);
+            for _ in 0..steps {
+                sim.step(rank);
+            }
+            sim_field_bits(&sim)
+        })
+    })
+}
+
+/// Interrupt-at-k then restart: run `kill_at` steps with checkpointing
+/// every 2 steps, drop the simulation (the "crash"), build a fresh one,
+/// restore the newest complete generation, and run the remaining steps.
+/// Returns per-rank field bits after `steps` total.
+fn checkpointed_restart_bits(
+    steps: usize,
+    kill_at: usize,
+    threads: usize,
+    transport: TransportKind,
+    dir: &std::path::Path,
+) -> Vec<Vec<u64>> {
+    let _ = std::fs::remove_dir_all(dir);
+    let tm = generate(NrelCase::SingleLow, 1e-4);
+    let meshes = tm.meshes;
+    let cfg = SolverConfig {
+        picard_iters: 2,
+        checkpoint: Some(CheckpointCfg { every: 2, dir: dir.to_path_buf() }),
+        ..SolverConfig::default()
+    };
+    {
+        // First incarnation: step to the interruption point and die
+        // (dropping the Simulation loses all in-memory state).
+        let meshes = meshes.clone();
+        let cfg = cfg.clone();
+        Comm::run_with(transport, 2, move |rank| {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| {
+                let mut sim = Simulation::new(rank, meshes.clone(), cfg.clone());
+                for _ in 0..kill_at {
+                    sim.step(rank);
+                }
+                assert_eq!(
+                    sim.last_checkpoint(),
+                    Some((kill_at as u64, kill_at as u64)),
+                    "interrupted run must have published generation {kill_at}"
+                );
+            })
+        });
+    }
+    // Second incarnation: cold-construct, restore, finish. The restart
+    // must replay the rotor motion onto the freshly generated meshes and
+    // land bitwise on the uninterrupted trajectory.
+    Comm::run_with(transport, 2, move |rank| {
+        let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        pool.install(|| {
+            let mut sim = Simulation::new(rank, meshes.clone(), cfg.clone());
+            let generation = sim.resume(rank).expect("restore must succeed");
+            assert_eq!(generation, Some(kill_at as u64));
+            assert_eq!(sim.steps_completed(), kill_at);
+            for _ in kill_at..steps {
+                sim.step(rank);
+            }
+            sim_field_bits(&sim)
+        })
+    })
+}
+
+/// Checkpoint/restart is bitwise-exact: a run interrupted at step k and
+/// resumed from its newest complete generation finishes with exactly the
+/// field bits of a run that was never interrupted — across thread counts
+/// and on both transports (acceptance criterion of the checkpoint PR).
+/// The turbine case has rotating component meshes, so this also covers
+/// the motion-replay path of `Simulation::resume`.
+#[test]
+fn interrupted_restart_bitwise_identical_across_threads_and_transports() {
+    const STEPS: usize = 3;
+    const KILL_AT: usize = 2;
+    let reference = uninterrupted_run_bits(STEPS);
+    for threads in [1, 8] {
+        for transport in [TransportKind::Inproc, TransportKind::Socket] {
+            let dir = std::env::temp_dir().join(format!(
+                "exawind-restart-det-{}-t{threads}-{transport:?}",
+                std::process::id()
+            ));
+            let resumed = checkpointed_restart_bits(STEPS, KILL_AT, threads, transport, &dir);
+            let _ = std::fs::remove_dir_all(&dir);
+            assert_eq!(
+                reference, resumed,
+                "restarted fields differ from uninterrupted run at \
+                 {threads} threads on the {transport:?} transport"
+            );
+        }
     }
 }
 
