@@ -28,8 +28,11 @@
 //! round-trip exactly. The header carries an FNV-1a-64 checksum over its
 //! own bytes and one over the payload; a truncated or bit-flipped file
 //! is a typed [`CheckpointError`], never a silent partial restore.
-//! Files are written to a `.tmp` sibling and atomically renamed, so a
-//! crash mid-write never leaves a plausible-looking corpse.
+//! Files are written to a `.tmp` sibling, fsynced, atomically renamed,
+//! and the parent directory is fsynced after the rename — so neither a
+//! process crash mid-write nor a whole-machine crash right after a
+//! publish leaves a plausible-looking corpse or a manifest naming rank
+//! files whose directory entries never became durable.
 //!
 //! # Manifest / generation protocol
 //!
@@ -250,6 +253,13 @@ fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
         f.sync_all()?;
     }
     fs::rename(&tmp, path)?;
+    // The rename lives in the directory, not the file: without a
+    // directory fsync a whole-machine crash could revert it, leaving a
+    // manifest that names rank files whose directory entries vanished.
+    if let Some(dir) = path.parent() {
+        let dir = if dir.as_os_str().is_empty() { Path::new(".") } else { dir };
+        fs::File::open(dir)?.sync_all()?;
+    }
     Ok(())
 }
 

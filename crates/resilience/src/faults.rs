@@ -25,7 +25,8 @@
 //! spec  = kind '@' ctx [ ':' at [ 'x' count ] ]
 //! kind  = 'assembly-nan' | 'halo-nan' | 'coarsen-stall' | 'socket-drop'
 //!       | 'kill-rank'
-//! ctx   = substring matched against the phase label (e.g. "continuity")
+//! ctx   = substring matched against the phase label (e.g. "continuity");
+//!         kill-rank contexts are matched exactly (ctx == "rank<r>")
 //! at    = 1-based index of the first matching occurrence to corrupt (default 1)
 //! count = number of consecutive occurrences to corrupt (default 1)
 //! ```
@@ -70,6 +71,8 @@ pub enum FaultKind {
     /// top of a timestep. The hook context is `rank<r>` and the
     /// occurrence counter advances once per step, so
     /// `kill-rank@rank1:3` deterministically kills rank 1 at step 3.
+    /// Unlike the other kinds the context is matched *exactly*, never as
+    /// a substring — `rank1` must not also count steps on ranks 10-19.
     /// Unlike the other kinds this fault is intentionally *not*
     /// collective — the point is one dead process, with the supervisor
     /// (`exawind-launch`) fencing and relaunching the cohort.
@@ -292,9 +295,10 @@ pub fn armed() -> bool {
 /// `ctx` is evaluated lazily (typically `|| rank.phase_name()`) and only
 /// when an injector is installed; with no plan armed this is one
 /// thread-local read. A spec matches when its kind equals `kind` and its
-/// context string is a substring of `ctx()`; every match advances that
-/// spec's occurrence counter, and the hook fires when the counter lands
-/// in the spec's `at..at+count` window.
+/// context string is a substring of `ctx()` (equal to it, for
+/// `kill-rank`); every match advances that spec's occurrence counter,
+/// and the hook fires when the counter lands in the spec's
+/// `at..at+count` window.
 pub fn fire(kind: FaultKind, ctx: impl FnOnce() -> String) -> bool {
     CURRENT.with(|c| {
         let borrow = c.borrow();
@@ -307,7 +311,17 @@ pub fn fire(kind: FaultKind, ctx: impl FnOnce() -> String) -> bool {
         let mut inj = inj.borrow_mut();
         let mut hit = false;
         for rule in &mut inj.rules {
-            if rule.spec.kind == kind && ctx.contains(&rule.spec.ctx) {
+            // kill-rank contexts name exactly one rank (`rank<r>`), so
+            // they compare for equality: a substring match would let
+            // `rank1` also advance on ranks 10-19 and kill the wrong
+            // processes. Every other kind keeps substring semantics so a
+            // spec can target a whole phase family.
+            let matched = if rule.spec.kind == FaultKind::KillRank {
+                ctx == rule.spec.ctx
+            } else {
+                ctx.contains(&rule.spec.ctx)
+            };
+            if rule.spec.kind == kind && matched {
                 rule.hits += 1;
                 if rule.hits >= rule.spec.at && rule.hits < rule.spec.at + rule.spec.count {
                     rule.fired += 1;
@@ -501,6 +515,20 @@ mod tests {
         assert!(!fire(FaultKind::KillRank, || "rank1".into())); // step 1
         assert!(!fire(FaultKind::KillRank, || "rank1".into())); // step 2
         assert!(fire(FaultKind::KillRank, || "rank1".into())); // step 3 → dies
+    }
+
+    #[test]
+    fn kill_rank_ctx_matches_exactly_not_as_substring() {
+        let plan = FaultPlan::parse("kill-rank@rank1:2").unwrap();
+        let _g = plan.install();
+        // In an 11+-rank cohort, ranks 10-19 contain "rank1" as a
+        // substring; their step hooks must neither fire nor advance
+        // rank 1's occurrence counter.
+        assert!(!fire(FaultKind::KillRank, || "rank12".into()));
+        assert!(!fire(FaultKind::KillRank, || "rank1".into())); // step 1
+        assert!(!fire(FaultKind::KillRank, || "rank10".into()));
+        assert!(fire(FaultKind::KillRank, || "rank1".into())); // step 2 → dies
+        assert!(!fire(FaultKind::KillRank, || "rank19".into()));
     }
 
     #[test]

@@ -39,6 +39,12 @@
 //! (default 2) are attempted; a cohort that keeps dying exits with the
 //! original failure code. Stalls are never restarted: a hung rank is a
 //! bug, not a transient death.
+//!
+//! A cold start refuses a checkpoint directory whose manifest already
+//! names generations — stepping from 0 against a previous job's
+//! manifest would fail at the first publish and the relaunch would then
+//! resume the *old* job's state. `--resume` opts into continuing such a
+//! run (the first incarnation is launched with `EXAWIND_RESUME=1`).
 
 use std::path::{Path, PathBuf};
 use std::process::{exit, Child, Command};
@@ -57,6 +63,7 @@ struct Args {
     checkpoint_every: usize,
     checkpoint_dir: PathBuf,
     max_restarts: u64,
+    resume: bool,
     command: Vec<String>,
 }
 
@@ -64,7 +71,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: exawind-launch -n <ranks> [--hostfile <path>] [--stall-timeout <secs>] \
          [--checkpoint-every <steps>] [--checkpoint-dir <path>] [--max-restarts <n>] \
-         [--] <command> [args...]"
+         [--resume] [--] <command> [args...]"
     );
     exit(2);
 }
@@ -77,6 +84,7 @@ fn parse_args() -> Args {
     let mut checkpoint_every = 0usize;
     let mut checkpoint_dir = PathBuf::from("exawind-checkpoints");
     let mut max_restarts = 2u64;
+    let mut resume = false;
     let mut command = Vec::new();
     let mut i = 0;
     while i < argv.len() {
@@ -121,6 +129,10 @@ fn parse_args() -> Args {
                 });
                 i += 2;
             }
+            "--resume" => {
+                resume = true;
+                i += 1;
+            }
             "--" => {
                 command.extend(argv[i + 1..].iter().cloned());
                 break;
@@ -139,6 +151,10 @@ fn parse_args() -> Args {
     if ranks == 0 || command.is_empty() {
         usage();
     }
+    if resume && checkpoint_every == 0 {
+        eprintln!("exawind-launch: --resume requires --checkpoint-every");
+        exit(2);
+    }
     Args {
         ranks,
         hostfile,
@@ -146,6 +162,7 @@ fn parse_args() -> Args {
         checkpoint_every,
         checkpoint_dir,
         max_restarts,
+        resume,
         command,
     }
 }
@@ -162,6 +179,37 @@ enum Outcome {
 
 fn main() {
     let args = parse_args();
+
+    // A checkpoint directory left over from a previous job must never be
+    // picked up by accident: the cold-started cohort would step from 0,
+    // die at its first publish ("generation not newer than manifest
+    // latest"), and the supervised relaunch would then silently resume
+    // the *old* job's state while appearing to succeed. A cold start
+    // therefore refuses a manifest that already names generations;
+    // --resume opts into continuing that run.
+    if args.checkpoint_every > 0 && !args.resume {
+        match checkpoint::read_manifest(&args.checkpoint_dir) {
+            Ok(Some(m)) if m.latest().is_some() => {
+                eprintln!(
+                    "exawind-launch: checkpoint dir {} already names generation {} \
+                     (a previous run); pass --resume to continue it or point \
+                     --checkpoint-dir at a fresh directory",
+                    args.checkpoint_dir.display(),
+                    m.latest().unwrap()
+                );
+                exit(2);
+            }
+            Err(e) => {
+                eprintln!(
+                    "exawind-launch: checkpoint dir {} has an unreadable manifest ({e}); \
+                     refusing to overwrite it",
+                    args.checkpoint_dir.display()
+                );
+                exit(2);
+            }
+            _ => {}
+        }
+    }
 
     // Live-monitoring endpoint, shared by every incarnation. A failed
     // bind degrades to the old unmonitored behavior rather than
@@ -290,7 +338,7 @@ fn spawn_cohort(
             cmd.env(checkpoint::ENV_EVERY, args.checkpoint_every.to_string())
                 .env(checkpoint::ENV_DIR, &args.checkpoint_dir)
                 .env(checkpoint::ENV_RESTART_COUNT, incarnation.to_string());
-            if incarnation > 0 {
+            if incarnation > 0 || args.resume {
                 cmd.env(checkpoint::ENV_RESUME, "1");
             }
         }
@@ -332,22 +380,32 @@ fn supervise(
                 }
             }
         }
+        // Scan the WHOLE cohort before acting on a failure: returning
+        // early would drop the not-yet-checked Child handles, leaving
+        // those ranks unkilled and unreaped — orphans that outlive the
+        // relaunch, keep heartbeating into the new incarnation's monitor
+        // slots, and overwrite its crash breadcrumbs.
         let mut still_running = Vec::with_capacity(children.len());
+        let mut failed: Option<(usize, i32)> = None;
         for (rank, mut child) in children {
             match child.try_wait() {
                 Ok(Some(status)) if status.success() => {}
                 Ok(Some(status)) => {
-                    return (
-                        Outcome::Failed { rank, code: status.code().unwrap_or(1) },
-                        still_running,
-                    );
+                    if failed.is_none() {
+                        failed = Some((rank, status.code().unwrap_or(1)));
+                    }
                 }
                 Ok(None) => still_running.push((rank, child)),
                 Err(e) => {
                     eprintln!("exawind-launch: waiting on rank {rank}: {e}");
-                    return (Outcome::Failed { rank, code: 1 }, still_running);
+                    if failed.is_none() {
+                        failed = Some((rank, 1));
+                    }
                 }
             }
+        }
+        if let Some((rank, code)) = failed {
+            return (Outcome::Failed { rank, code }, still_running);
         }
         children = still_running;
         if monitor.is_some() && !children.is_empty() {

@@ -34,7 +34,7 @@
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
-use exawind::nalu_core::{Simulation, SolverConfig};
+use exawind::nalu_core::{CheckpointCfg, Simulation, SolverConfig};
 use exawind::parcomm::{Comm, Heartbeat, MonitorClient, Rank};
 use exawind::resilience::checkpoint;
 use exawind::telemetry::{self, Json};
@@ -80,6 +80,27 @@ fn main() {
         })
     });
     let nranks = Comm::env_size(default_ranks);
+
+    // Cold-start guard, mirroring the launcher's: with checkpointing
+    // configured but no resume requested, a manifest that already names
+    // generations belongs to a previous job — stepping from 0 would die
+    // at the first publish, and a supervisor would then resume the *old*
+    // state while appearing to succeed.
+    if let Some(ck) = CheckpointCfg::from_env() {
+        if !checkpoint::resume_requested() {
+            if let Ok(Some(m)) = checkpoint::read_manifest(&ck.dir) {
+                if let Some(g) = m.latest() {
+                    eprintln!(
+                        "exawind-worker: checkpoint dir {} already names generation {g} \
+                         (a previous run); set {}=1 to resume it or use a fresh directory",
+                        ck.dir.display(),
+                        checkpoint::ENV_RESUME
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
 
     let telemetry_on = tel.is_some();
     Comm::run(nranks, move |rank| {
