@@ -58,6 +58,36 @@ cargo run --release -p telemetry --bin validate_telemetry -- "$mp_dir/merged.jso
 grep -q 'communication matrix' "$mp_dir/report.txt" \
   || { echo "transport smoke: comm-matrix report section missing" >&2; exit 1; }
 
+# Timeline-trace smoke: the per-rank streams of the socket run merge
+# into a structurally valid Chrome trace-event / Perfetto JSON
+# (exawind-perf trace exits non-zero when the structural validator
+# finds unbalanced events or non-monotone tracks), and every step wrote
+# a solver-health row that a clean run must NOT escalate to a verdict.
+cargo run --release -p exawind-bench --bin exawind-perf -- \
+  trace --out "$mp_dir/trace.json" "$mp_dir/tel.rank0.jsonl" "$mp_dir/tel.rank1.jsonl"
+grep -q '"traceEvents"' "$mp_dir/trace.json" \
+  || { echo "trace smoke: no traceEvents array in $mp_dir/trace.json" >&2; exit 1; }
+grep -q '"type":"step_health"' "$mp_dir/tel.rank0.jsonl" \
+  || { echo "trace smoke: no step_health event in $mp_dir/tel.rank0.jsonl" >&2; exit 1; }
+if grep -q '"type":"health_verdict"' "$mp_dir/tel.rank0.jsonl"; then
+  echo "trace smoke: clean run produced a degradation verdict" >&2
+  exit 1
+fi
+
+# Health-detector smoke: seed a persistent coarsening stall from the
+# first AMG setup of step 4 (occurrence 7 = 2 pressure setups/step × 3
+# clean warmup steps + 1 on the big box) — fatal at this grid size, so
+# the recovery ladder fires every later step and the detector must
+# emit a recovery-storm degradation verdict after its clean baseline.
+EXAWIND_FAULTS="coarsen-stall@continuity:7x999" \
+  ./target/release/exawind-launch -n 2 -- \
+  ./target/release/exawind-worker --mesh big --steps 5 \
+  --telemetry "$mp_dir/health-tel"
+cargo run --release -p telemetry --bin validate_telemetry -- "$mp_dir/health-tel.rank0.jsonl"
+grep '"type":"health_verdict"' "$mp_dir/health-tel.rank0.jsonl" \
+  | grep -q '"kind":"recovery-storm"' \
+  || { echo "health smoke: no recovery-storm verdict in seeded degradation run" >&2; exit 1; }
+
 # Stall-detection smoke: hang rank 1 after its first heartbeat; the
 # launcher must notice the missed heartbeats well before the hang ends,
 # name the stalled rank, and exit 3 — long before the 90 s backstop.

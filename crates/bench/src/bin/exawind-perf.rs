@@ -10,6 +10,8 @@
 //! exawind-perf diff old.jsonl new.jsonl [--tol 3.0]
 //! # Summarize a trajectory:
 //! exawind-perf report results/trajectory.jsonl
+//! # Merge per-rank simulation streams into a Perfetto-loadable trace:
+//! exawind-perf trace --out trace.json tel.rank0.jsonl tel.rank1.jsonl
 //! ```
 //!
 //! `ci.sh` runs `record` + `diff --against` as the perf-smoke gate with
@@ -30,7 +32,8 @@ fn usage() -> ExitCode {
         "usage: exawind-perf record [--out <trajectory.jsonl>] [--reps N]\n\
          \x20      exawind-perf diff --against <trajectory.jsonl> [--tol X]\n\
          \x20      exawind-perf diff <baseline.jsonl> <current.jsonl> [--tol X]\n\
-         \x20      exawind-perf report <trajectory.jsonl>"
+         \x20      exawind-perf report <trajectory.jsonl>\n\
+         \x20      exawind-perf trace [--out <trace.json>] <rank0.jsonl> [<rank1.jsonl> ...]"
     );
     ExitCode::from(2)
 }
@@ -154,13 +157,14 @@ fn cmd_report(args: Vec<String>) -> ExitCode {
     let [path] = args.as_slice() else {
         return usage();
     };
-    let groups = match load_groups(path) {
-        Ok(g) => g,
+    let events = match telemetry::read_jsonl(path) {
+        Ok(e) => e,
         Err(e) => {
             eprintln!("exawind-perf: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let groups = group_runs(&events);
     println!("{path}: {} recorded run(s)", groups.len());
     for (i, g) in groups.iter().enumerate() {
         let commit = g.git_commit.as_deref().unwrap_or("unknown");
@@ -174,6 +178,55 @@ fn cmd_report(args: Vec<String>) -> ExitCode {
             );
         }
     }
+    // A simulation stream (rather than a bench trajectory) carries
+    // step_health events; surface the detector's read in one line so the
+    // perf ledger and the health trend can be scanned together.
+    if let Some(summary) = telemetry::Report::from_events(&events).health_summary() {
+        println!("{summary}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_trace(mut args: Vec<String>) -> ExitCode {
+    let out = take_flag(&mut args, "--out").unwrap_or_else(|| "trace.json".to_string());
+    if args.is_empty() {
+        return usage();
+    }
+    let mut streams = Vec::with_capacity(args.len());
+    for path in &args {
+        match telemetry::read_jsonl(path) {
+            Ok(evs) => streams.push(evs),
+            Err(e) => {
+                eprintln!("exawind-perf: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let events = telemetry::merge_ranks(streams);
+    let doc = telemetry::trace::chrome_trace(&events);
+    let errors = telemetry::trace::validate_chrome(&doc);
+    for e in &errors {
+        eprintln!("exawind-perf: trace: {e}");
+    }
+    if let Err(e) = std::fs::write(&out, doc.to_string() + "\n") {
+        eprintln!("exawind-perf: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if !errors.is_empty() {
+        eprintln!("exawind-perf: {out}: trace written but fails structural validation");
+        return ExitCode::FAILURE;
+    }
+    let n = match &doc {
+        telemetry::Json::Obj(fields) => fields
+            .iter()
+            .find(|(k, _)| *k == "traceEvents")
+            .map_or(0, |(_, v)| match v {
+                telemetry::Json::Arr(a) => a.len(),
+                _ => 0,
+            }),
+        _ => 0,
+    };
+    println!("{out}: {n} trace events from {} rank stream(s) — open at ui.perfetto.dev", args.len());
     ExitCode::SUCCESS
 }
 
@@ -187,6 +240,7 @@ fn main() -> ExitCode {
         "record" => cmd_record(args),
         "diff" => cmd_diff(args),
         "report" => cmd_report(args),
+        "trace" => cmd_trace(args),
         _ => usage(),
     }
 }

@@ -368,6 +368,8 @@ mod tests {
             transport: "inproc".into(),
             kernel_policy: policy.into(),
             git_commit: Some("abc".into()),
+            clock_offsets: None,
+            clock_rtts: None,
         }
     }
 

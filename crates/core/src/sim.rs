@@ -220,6 +220,17 @@ pub struct Simulation {
     /// Newest complete checkpoint this rank wrote or restored from:
     /// `(generation, step)`.
     last_ckpt: Option<(u64, u64)>,
+    /// Clock-alignment table from the startup handshake, identical on
+    /// every rank (`None` with telemetry off). Rank 0 records it in the
+    /// stream's `run` event so trace merging can align timestamps.
+    clock: Option<parcomm::ClockSync>,
+    /// Solver-health degradation detector, fed once per completed step.
+    /// Pure arithmetic over collectively identical solver outputs, so it
+    /// runs whether or not telemetry records the results.
+    health: telemetry::health::HealthDetector,
+    /// Shape of the most recent successful AMG setup:
+    /// `(levels, grid complexity, operator complexity)`.
+    last_amg: Option<(u64, f64, f64)>,
 }
 
 impl Simulation {
@@ -253,6 +264,9 @@ impl Simulation {
             telemetry::Telemetry::from_env(me)
         };
         let tel_guard = tel.is_enabled().then(|| tel.install());
+        // Startup clock alignment over the transport (collective; skips
+        // itself — no clock read, no message — with telemetry off).
+        let clock = rank.clock_sync();
         // Install the fault injector on this rank thread. Plans are
         // replicated per rank (config or env), so occurrence counters
         // advance identically on every rank — injected faults stay
@@ -276,7 +290,22 @@ impl Simulation {
             _fault_guard: fault_guard,
             amg_reuse: BTreeMap::new(),
             last_ckpt: None,
+            clock,
+            health: telemetry::health::HealthDetector::new(),
+            last_amg: None,
         }
+    }
+
+    /// The startup clock-alignment table as `(offsets, rtts)`, the shape
+    /// `telemetry::run_info_with_clock` takes. `None` with telemetry off.
+    pub fn clock_tables(&self) -> Option<(Vec<f64>, Vec<f64>)> {
+        self.clock.clone().map(parcomm::ClockSync::into_tables)
+    }
+
+    /// Most recent solver-health degradation verdict, for status lines
+    /// and the launcher heartbeat. `None` while the detector is quiet.
+    pub fn last_health_verdict(&self) -> Option<&telemetry::health::Verdict> {
+        self.health.last_verdict()
     }
 
     /// Whether this simulation is recording telemetry.
@@ -453,6 +482,43 @@ impl Simulation {
         }
         self.step_count += 1;
         self.maybe_checkpoint(rank)?;
+
+        // --- Solver-health sample + degradation detector ----------------
+        // Fed unconditionally: the detector is pure arithmetic over
+        // collectively identical solver outputs (no clock reads), so the
+        // telemetry-off path stays bitwise identical while the verdict
+        // state is still available to heartbeats.
+        let step = self.step_count - 1;
+        let sample = telemetry::health::HealthSample {
+            eqs: iters
+                .iter()
+                .map(|(eq, &its)| {
+                    let final_rel = self.final_rels.get(eq).copied().unwrap_or(0.0);
+                    telemetry::EqHealthRow {
+                        eq: eq.clone(),
+                        iters: its as u64,
+                        final_rel,
+                        rate: telemetry::health::HealthSample::rate(its as u64, final_rel),
+                    }
+                })
+                .collect(),
+            amg_levels: self.last_amg.map_or(0, |(l, _, _)| l),
+            grid_complexity: self.last_amg.map_or(0.0, |(_, g, _)| g),
+            operator_complexity: self.last_amg.map_or(0.0, |(_, _, o)| o),
+            recoveries: recoveries.len() as u64,
+            checkpoint: self
+                .last_ckpt
+                .filter(|&(_, s)| s == self.step_count as u64)
+                .map(|(g, _)| g),
+        };
+        let verdicts = self.health.observe(step, &sample);
+        if self.telemetry.is_enabled() {
+            self.telemetry.record(sample.to_event(me, step));
+            for v in &verdicts {
+                self.telemetry.record(v.to_event(me));
+            }
+        }
+
         self.timings.merge(&t);
         Ok(StepReport {
             nli_seconds: start.elapsed().as_secs_f64(),
@@ -561,6 +627,7 @@ impl Simulation {
             generation,
             bytes,
             secs: t0.elapsed().as_secs_f64(),
+            t: telemetry::now_secs(),
         });
         Ok(())
     }
@@ -669,6 +736,7 @@ impl Simulation {
             rank: me,
             step: ck.step as usize,
             generation,
+            t: telemetry::now_secs(),
         });
         Ok(Some(generation))
     }
@@ -912,16 +980,27 @@ impl Simulation {
         // SpGEMM plans; a structure change (mesh motion on this mesh)
         // re-records them collectively inside `setup_with_reuse`.
         let reuse = self.amg_reuse.entry(m).or_default();
+        let mut amg_shape: Option<(u64, f64, f64)> = None;
         let precond: Box<dyn Preconditioner> =
             Self::phased(rank, t, eq, Phase::PrecondSetup, || {
                 if mods.fallback_smoother {
                     Ok(Box::new(Sgs2::with_sweeps(&a, cfg.sgs_inner, cfg.sgs_outer))
                         as Box<dyn Preconditioner>)
                 } else {
-                    AmgPrecond::setup_with_reuse(rank, a.clone(), &cfg.amg, reuse)
-                        .map(|p| Box::new(p) as Box<dyn Preconditioner>)
+                    AmgPrecond::setup_with_reuse(rank, a.clone(), &cfg.amg, reuse).map(|p| {
+                        let h = p.hierarchy();
+                        amg_shape = Some((
+                            h.level_stats.len() as u64,
+                            h.grid_complexity,
+                            h.operator_complexity,
+                        ));
+                        Box::new(p) as Box<dyn Preconditioner>
+                    })
                 }
             })?;
+        if amg_shape.is_some() {
+            self.last_amg = amg_shape;
+        }
         let gmres = Self::make_gmres(&cfg, cfg.pressure_tol);
         let mut iters = 0;
         let mut rel = 0.0;

@@ -333,6 +333,11 @@ impl Rank {
             // collective-internal traffic (classified by tag), unlike the
             // legacy msgs/msg_bytes counters which collectives hide.
             rec.edge(me, dst, self.class_of(tag), bytes);
+            // Send-initiation timestamp for the timeline (schema v5);
+            // only read when telemetry is enabled on this thread.
+            if let Some(t) = telemetry::now_secs() {
+                rec.edge_stamp(me, dst, self.class_of(tag), t);
+            }
         }
         let clock = if dst != me { comm_clock() } else { None };
         // Self-sends never cross an address space: keep them local (and
@@ -452,6 +457,10 @@ impl Rank {
                 // the sender counted, on both transports, so a healthy
                 // run's edges are symmetric by construction.
                 rec.edge(src, rank, self.class_of(tag), msg.wire_bytes() as u64);
+                // Receive-completion timestamp for the timeline.
+                if let Some(t) = telemetry::now_secs() {
+                    rec.edge_stamp(src, rank, self.class_of(tag), t);
+                }
             }
             if let Some(t0) = clock {
                 rec.comm_transfer(t0.elapsed().as_secs_f64());
@@ -472,6 +481,9 @@ impl Rank {
             rec.comm_wait(secs);
         }
         rec.collective_kind("barrier", 0, secs);
+        if let Some(t) = telemetry::now_secs() {
+            rec.collective_stamp("barrier", t);
+        }
     }
 
     #[allow(dead_code)]
@@ -539,7 +551,11 @@ impl Rank {
         let clock = comm_clock();
         let (out, bytes) = f();
         let secs = clock.map(|t0| t0.elapsed().as_secs_f64());
-        self.perf.borrow_mut().collective_kind(kind, bytes, secs);
+        let mut rec = self.perf.borrow_mut();
+        rec.collective_kind(kind, bytes, secs);
+        if let Some(t) = telemetry::now_secs() {
+            rec.collective_stamp(kind, t);
+        }
         out
     }
 
@@ -626,6 +642,7 @@ impl Rank {
             .collect();
         let rec = self.perf.borrow();
         for (&(src, dst, class), e) in rec.edges() {
+            let window = rec.edge_times().get(&(src, dst, class));
             events.push(telemetry::Event::CommEdge {
                 rank: me,
                 src,
@@ -633,9 +650,12 @@ impl Rank {
                 class: class.label().to_string(),
                 msgs: e.msgs,
                 bytes: e.bytes,
+                t_first: window.map(|w| w.0),
+                t_last: window.map(|w| w.1),
             });
         }
         for (&kind, s) in rec.collective_kinds() {
+            let window = rec.collective_times().get(kind);
             events.push(telemetry::Event::Collective {
                 rank: me,
                 kind: kind.to_string(),
@@ -643,6 +663,8 @@ impl Rank {
                 bytes: s.bytes,
                 secs: s.latency.total(),
                 buckets: s.latency.buckets(),
+                t_first: window.map(|w| w.0),
+                t_last: window.map(|w| w.1),
             });
         }
         events

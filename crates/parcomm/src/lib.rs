@@ -27,6 +27,7 @@
 //! assert_eq!(sums, vec![6, 6, 6, 6]);
 //! ```
 
+mod clock;
 mod collectives;
 mod comm;
 mod message;
@@ -35,6 +36,7 @@ mod perf;
 mod socket;
 mod transport;
 
+pub use clock::{ClockSync, CLOCK_PROBES};
 pub use comm::{Comm, CommError, Rank, Tag};
 pub use message::{decode_payload, encode_payload, Message, WireCursor, WireError};
 pub use monitor::{Heartbeat, MonitorClient, MonitorServer, MONITOR_ENV};

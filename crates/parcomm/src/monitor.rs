@@ -23,7 +23,7 @@ use crate::transport::{read_frame, send_frame, Frame, FrameError, FrameKind};
 pub const MONITOR_ENV: &str = "EXAWIND_MONITOR";
 
 /// Number of `u64` words in a heartbeat payload.
-const HEARTBEAT_WORDS: usize = 8;
+const HEARTBEAT_WORDS: usize = 10;
 
 /// One compact progress frame. Workers send one after initialization
 /// (`step == 0`) and one after every completed timestep.
@@ -49,6 +49,12 @@ pub struct Heartbeat {
     /// wire each word travels offset by one (`0` encodes `None`), so an
     /// all-zero tail stays a valid "no checkpoint yet" frame.
     pub checkpoint: Option<(u64, u64)>,
+    /// Most recent solver-health degradation verdict as
+    /// `(kind code, step it fired at)` — codes from
+    /// `telemetry::health::DegradationKind::code`. `None` while the
+    /// detector is quiet; same +1 wire offset as `checkpoint`, so the
+    /// kind code 0 stays reserved for "no verdict".
+    pub health: Option<(u64, u64)>,
 }
 
 impl Heartbeat {
@@ -60,6 +66,10 @@ impl Heartbeat {
             Some((g, s)) => (g + 1, s + 1),
             None => (0, 0),
         };
+        let (health_kind, health_step) = match self.health {
+            Some((k, s)) => (k + 1, s + 1),
+            None => (0, 0),
+        };
         let words: Vec<u64> = vec![
             self.step,
             self.picard,
@@ -69,6 +79,8 @@ impl Heartbeat {
             self.collectives,
             ckpt_gen,
             ckpt_step,
+            health_kind,
+            health_step,
         ];
         Frame {
             kind: FrameKind::Msg,
@@ -101,6 +113,10 @@ impl Heartbeat {
             checkpoint: match (words[6], words[7]) {
                 (0, _) | (_, 0) => None,
                 (g, s) => Some((g - 1, s - 1)),
+            },
+            health: match (words[8], words[9]) {
+                (0, _) | (_, 0) => None,
+                (k, s) => Some((k - 1, s - 1)),
             },
         })
     }
@@ -228,6 +244,7 @@ mod tests {
             bytes: 4096,
             collectives: 9,
             checkpoint: None,
+            health: None,
         }
     }
 
@@ -245,6 +262,16 @@ mod tests {
             h.checkpoint = ck;
             let decoded = Heartbeat::from_frame(&h.to_frame()).unwrap();
             assert_eq!(decoded.checkpoint, ck, "checkpoint {ck:?} mangled");
+        }
+    }
+
+    #[test]
+    fn heartbeat_health_round_trips_including_step_zero() {
+        for health in [None, Some((0, 0)), Some((3, 17))] {
+            let mut h = hb(2, 20);
+            h.health = health;
+            let decoded = Heartbeat::from_frame(&h.to_frame()).unwrap();
+            assert_eq!(decoded.health, health, "health {health:?} mangled");
         }
     }
 

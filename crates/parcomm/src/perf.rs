@@ -236,6 +236,14 @@ pub struct PerfRecorder {
     /// Per-kind collective participation (count/bytes always; latency
     /// only when comm timing is enabled).
     coll_kinds: BTreeMap<&'static str, CollectiveStats>,
+    /// First/last timestamp observed per edge (seconds since the rank's
+    /// telemetry epoch): send initiation on the sender, receive
+    /// completion on the receiver. Kept apart from [`EdgeStats`] so the
+    /// deterministic counters stay clock-free; populated only when the
+    /// caller actually read a clock (telemetry enabled).
+    edge_times: BTreeMap<(usize, usize, TagClass), (f64, f64)>,
+    /// Ditto per collective kind (operation-completion times).
+    coll_times: BTreeMap<&'static str, (f64, f64)>,
 }
 
 impl Default for PerfRecorder {
@@ -252,6 +260,8 @@ impl PerfRecorder {
             trace: PhaseTrace::default(),
             edges: BTreeMap::new(),
             coll_kinds: BTreeMap::new(),
+            edge_times: BTreeMap::new(),
+            coll_times: BTreeMap::new(),
         }
     }
 
@@ -325,14 +335,40 @@ impl PerfRecorder {
         }
     }
 
+    /// Widen one edge's observed time window (seconds since the rank's
+    /// telemetry epoch). Callers only invoke this when telemetry is
+    /// enabled, so disabled runs never populate (or allocate) windows.
+    pub fn edge_stamp(&mut self, src: usize, dst: usize, class: TagClass, t: f64) {
+        let w = self.edge_times.entry((src, dst, class)).or_insert((t, t));
+        w.0 = w.0.min(t);
+        w.1 = w.1.max(t);
+    }
+
+    /// Widen one collective kind's observed time window.
+    pub fn collective_stamp(&mut self, kind: &'static str, t: f64) {
+        let w = self.coll_times.entry(kind).or_insert((t, t));
+        w.0 = w.0.min(t);
+        w.1 = w.1.max(t);
+    }
+
     /// Per-edge traffic observed so far.
     pub fn edges(&self) -> &BTreeMap<(usize, usize, TagClass), EdgeStats> {
         &self.edges
     }
 
+    /// Per-edge (first, last) timestamps, where stamped.
+    pub fn edge_times(&self) -> &BTreeMap<(usize, usize, TagClass), (f64, f64)> {
+        &self.edge_times
+    }
+
     /// Per-kind collective stats observed so far.
     pub fn collective_kinds(&self) -> &BTreeMap<&'static str, CollectiveStats> {
         &self.coll_kinds
+    }
+
+    /// Per-kind collective (first, last) timestamps, where stamped.
+    pub fn collective_times(&self) -> &BTreeMap<&'static str, (f64, f64)> {
+        &self.coll_times
     }
 
     /// Finish recording and take the accumulated phase trace.
@@ -443,6 +479,21 @@ mod tests {
         assert_eq!(s.count, 2);
         assert_eq!(s.bytes, 16);
         assert_eq!(s.latency.count(), 1);
+    }
+
+    #[test]
+    fn stamps_widen_first_last_windows() {
+        let mut rec = PerfRecorder::new();
+        rec.edge_stamp(0, 1, TagClass::P2p, 2.0);
+        rec.edge_stamp(0, 1, TagClass::P2p, 0.5);
+        rec.edge_stamp(0, 1, TagClass::P2p, 1.0);
+        assert_eq!(rec.edge_times()[&(0, 1, TagClass::P2p)], (0.5, 2.0));
+        rec.collective_stamp("allreduce", 3.0);
+        rec.collective_stamp("allreduce", 4.0);
+        assert_eq!(rec.collective_times()["allreduce"], (3.0, 4.0));
+        // Counters never gain windows they were not stamped with.
+        rec.edge(1, 0, TagClass::P2p, 8);
+        assert!(!rec.edge_times().contains_key(&(1, 0, TagClass::P2p)));
     }
 
     #[test]

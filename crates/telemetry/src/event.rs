@@ -29,10 +29,13 @@ use crate::json::Json;
 /// Schema version stamped into `run` events. Version 2 added the
 /// `kernel_perf` event type; version 3 added `comm_edge` and
 /// `collective` plus the `wait_secs`/`transfer_secs` fields on
-/// `phase_perf`; version 4 added `checkpoint` and `restore` (all purely
-/// additive; older streams still parse, with the new phase_perf fields
-/// defaulting to 0).
-pub const SCHEMA_VERSION: u64 = 4;
+/// `phase_perf`; version 4 added `checkpoint` and `restore`; version 5
+/// added rank-aligned timestamps (`t0` on `span`, `t_first`/`t_last` on
+/// `comm_edge`/`collective`, `t` on `checkpoint`/`restore`), the per-rank
+/// `clock_offsets`/`clock_rtts` tables on `run`, and the `step_health` /
+/// `health_verdict` event types (all purely additive; older streams
+/// still parse, with the new fields absent/defaulted).
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// One row of an AMG hierarchy: global rows and nonzeros of a level
 /// operator.
@@ -41,6 +44,20 @@ pub struct AmgLevelRow {
     pub level: usize,
     pub rows: u64,
     pub nnz: u64,
+}
+
+/// Per-equation convergence summary inside a `step_health` event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EqHealthRow {
+    pub eq: String,
+    /// GMRES iterations spent on this equation during the step (summed
+    /// over Picard sweeps and meshes).
+    pub iters: u64,
+    /// Final relative residual of the last solve.
+    pub final_rel: f64,
+    /// Residual reduction rate: orders of magnitude gained per GMRES
+    /// iteration, `-log10(final_rel) / iters` (0 when `iters == 0`).
+    pub rate: f64,
 }
 
 /// A telemetry event. See the module docs for the type ↔ source map.
@@ -55,6 +72,14 @@ pub enum Event {
         /// Active kernel policy label (`auto` | `csr` | `sellcs`).
         kernel_policy: String,
         git_commit: Option<String>,
+        /// Per-rank clock offsets (seconds) mapping each rank's telemetry
+        /// epoch onto rank 0's timeline: `t_global = t_rank + offset[rank]`.
+        /// Estimated by the startup NTP-style handshake; absent in pre-v5
+        /// streams or when telemetry was off.
+        clock_offsets: Option<Vec<f64>>,
+        /// Per-rank minimum round-trip times (seconds) of the handshake —
+        /// the offset uncertainty is bounded by `rtt/2`.
+        clock_rtts: Option<Vec<f64>>,
     },
     /// A closed span: `path` is the `/`-joined stack of open span names.
     Span {
@@ -62,6 +87,9 @@ pub enum Event {
         path: String,
         depth: usize,
         secs: f64,
+        /// Span start, seconds since the recording rank's telemetry epoch
+        /// (absent in pre-v5 streams).
+        t0: Option<f64>,
     },
     /// Per-step, per-equation, per-phase wall-clock (from `Timings`).
     PhaseTime {
@@ -102,6 +130,13 @@ pub enum Event {
         class: String,
         msgs: u64,
         bytes: u64,
+        /// Timestamp of the first message this endpoint observed on the
+        /// edge, seconds since the recording rank's telemetry epoch
+        /// (send initiation on the sender, receive completion on the
+        /// receiver; absent in pre-v5 streams).
+        t_first: Option<f64>,
+        /// Timestamp of the last observed message (same convention).
+        t_last: Option<f64>,
     },
     /// One rank's participation in one collective kind: entry count,
     /// contributed bytes, and a log₂ latency histogram over per-entry
@@ -117,6 +152,11 @@ pub enum Event {
         secs: f64,
         /// Log₂ buckets of per-entry latency, as in `hist`.
         buckets: Vec<(i32, u64)>,
+        /// Entry timestamp of this rank's first participation, seconds
+        /// since the recording rank's telemetry epoch (absent pre-v5).
+        t_first: Option<f64>,
+        /// Entry timestamp of the last participation (same convention).
+        t_last: Option<f64>,
     },
     /// One AMG setup: per-level rows/nnz plus the paper's grid and
     /// operator complexities.
@@ -157,6 +197,9 @@ pub enum Event {
         generation: u64,
         bytes: u64,
         secs: f64,
+        /// Write completion, seconds since the recording rank's telemetry
+        /// epoch (absent in pre-v5 streams).
+        t: Option<f64>,
     },
     /// One restore: this rank resumed from `generation`, continuing
     /// after `step` completed steps.
@@ -164,6 +207,41 @@ pub enum Event {
         rank: usize,
         step: usize,
         generation: u64,
+        /// Restore completion, seconds since the recording rank's
+        /// telemetry epoch (absent in pre-v5 streams).
+        t: Option<f64>,
+    },
+    /// Per-timestep solver-health sample: per-equation convergence, AMG
+    /// hierarchy complexity, and resilience activity. Deterministic
+    /// (carries no wall-clock), emitted once per completed step per rank;
+    /// the input of the `telemetry::health` degradation detector.
+    StepHealth {
+        rank: usize,
+        step: usize,
+        eqs: Vec<EqHealthRow>,
+        /// Levels in the pressure AMG hierarchy after the step's last
+        /// setup (0 when no AMG setup ran).
+        amg_levels: u64,
+        grid_complexity: f64,
+        operator_complexity: f64,
+        /// Recovery-ladder attempts during the step.
+        recoveries: u64,
+        /// Checkpoint generation published by this step, if any.
+        checkpoint: Option<u64>,
+    },
+    /// A typed degradation verdict from the `telemetry::health` detector:
+    /// `value` left the EWMA `baseline` envelope for a full detection
+    /// window ending at `step`.
+    HealthVerdict {
+        rank: usize,
+        step: usize,
+        /// Degradation kind label: `gmres-iters` | `residual-rate` |
+        /// `amg-complexity` | `recovery-storm`.
+        kind: String,
+        /// Offending equation, for per-equation kinds.
+        eq: Option<String>,
+        value: f64,
+        baseline: f64,
     },
     /// Aggregate of one hot kernel on one rank: call count, wall-clock,
     /// modeled bytes/flops/DOFs (see [`crate::perfmodel`]) and the
@@ -219,6 +297,8 @@ impl Event {
             Event::Recovery { .. } => "recovery",
             Event::Checkpoint { .. } => "checkpoint",
             Event::Restore { .. } => "restore",
+            Event::StepHealth { .. } => "step_health",
+            Event::HealthVerdict { .. } => "health_verdict",
             Event::KernelPerf { .. } => "kernel_perf",
             Event::Counter { .. } => "counter",
             Event::Hist { .. } => "hist",
@@ -236,6 +316,8 @@ impl Event {
                 transport,
                 kernel_policy,
                 git_commit,
+                clock_offsets,
+                clock_rtts,
             } => {
                 let mut pairs = vec![
                     ("type", tag),
@@ -248,6 +330,18 @@ impl Event {
                 if let Some(c) = git_commit {
                     pairs.push(("git_commit", Json::Str(c.clone())));
                 }
+                if let Some(offs) = clock_offsets {
+                    pairs.push((
+                        "clock_offsets",
+                        Json::Arr(offs.iter().map(|&o| Json::Float(o)).collect()),
+                    ));
+                }
+                if let Some(rtts) = clock_rtts {
+                    pairs.push((
+                        "clock_rtts",
+                        Json::Arr(rtts.iter().map(|&r| Json::Float(r)).collect()),
+                    ));
+                }
                 Json::obj(pairs)
             }
             Event::Span {
@@ -255,13 +349,20 @@ impl Event {
                 path,
                 depth,
                 secs,
-            } => Json::obj(vec![
-                ("type", tag),
-                ("rank", Json::Int(*rank as i128)),
-                ("path", Json::Str(path.clone())),
-                ("depth", Json::Int(*depth as i128)),
-                ("secs", Json::Float(*secs)),
-            ]),
+                t0,
+            } => {
+                let mut pairs = vec![
+                    ("type", tag),
+                    ("rank", Json::Int(*rank as i128)),
+                    ("path", Json::Str(path.clone())),
+                    ("depth", Json::Int(*depth as i128)),
+                    ("secs", Json::Float(*secs)),
+                ];
+                if let Some(t0) = t0 {
+                    pairs.push(("t0", Json::Float(*t0)));
+                }
+                Json::obj(pairs)
+            }
             Event::PhaseTime {
                 rank,
                 step,
@@ -309,15 +410,26 @@ impl Event {
                 class,
                 msgs,
                 bytes,
-            } => Json::obj(vec![
-                ("type", tag),
-                ("rank", Json::Int(*rank as i128)),
-                ("src", Json::Int(*src as i128)),
-                ("dst", Json::Int(*dst as i128)),
-                ("class", Json::Str(class.clone())),
-                ("msgs", Json::Int(*msgs as i128)),
-                ("bytes", Json::Int(*bytes as i128)),
-            ]),
+                t_first,
+                t_last,
+            } => {
+                let mut pairs = vec![
+                    ("type", tag),
+                    ("rank", Json::Int(*rank as i128)),
+                    ("src", Json::Int(*src as i128)),
+                    ("dst", Json::Int(*dst as i128)),
+                    ("class", Json::Str(class.clone())),
+                    ("msgs", Json::Int(*msgs as i128)),
+                    ("bytes", Json::Int(*bytes as i128)),
+                ];
+                if let Some(t) = t_first {
+                    pairs.push(("t_first", Json::Float(*t)));
+                }
+                if let Some(t) = t_last {
+                    pairs.push(("t_last", Json::Float(*t)));
+                }
+                Json::obj(pairs)
+            }
             Event::Collective {
                 rank,
                 kind,
@@ -325,25 +437,36 @@ impl Event {
                 bytes,
                 secs,
                 buckets,
-            } => Json::obj(vec![
-                ("type", tag),
-                ("rank", Json::Int(*rank as i128)),
-                ("kind", Json::Str(kind.clone())),
-                ("count", Json::Int(*count as i128)),
-                ("bytes", Json::Int(*bytes as i128)),
-                ("secs", Json::Float(*secs)),
-                (
-                    "buckets",
-                    Json::Arr(
-                        buckets
-                            .iter()
-                            .map(|&(e, c)| {
-                                Json::Arr(vec![Json::Int(e as i128), Json::Int(c as i128)])
-                            })
-                            .collect(),
+                t_first,
+                t_last,
+            } => {
+                let mut pairs = vec![
+                    ("type", tag),
+                    ("rank", Json::Int(*rank as i128)),
+                    ("kind", Json::Str(kind.clone())),
+                    ("count", Json::Int(*count as i128)),
+                    ("bytes", Json::Int(*bytes as i128)),
+                    ("secs", Json::Float(*secs)),
+                    (
+                        "buckets",
+                        Json::Arr(
+                            buckets
+                                .iter()
+                                .map(|&(e, c)| {
+                                    Json::Arr(vec![Json::Int(e as i128), Json::Int(c as i128)])
+                                })
+                                .collect(),
+                        ),
                     ),
-                ),
-            ]),
+                ];
+                if let Some(t) = t_first {
+                    pairs.push(("t_first", Json::Float(*t)));
+                }
+                if let Some(t) = t_last {
+                    pairs.push(("t_last", Json::Float(*t)));
+                }
+                Json::obj(pairs)
+            }
             Event::AmgSetup {
                 rank,
                 path,
@@ -415,24 +538,98 @@ impl Event {
                 generation,
                 bytes,
                 secs,
-            } => Json::obj(vec![
-                ("type", tag),
-                ("rank", Json::Int(*rank as i128)),
-                ("step", Json::Int(*step as i128)),
-                ("generation", Json::Int(*generation as i128)),
-                ("bytes", Json::Int(*bytes as i128)),
-                ("secs", Json::Float(*secs)),
-            ]),
+                t,
+            } => {
+                let mut pairs = vec![
+                    ("type", tag),
+                    ("rank", Json::Int(*rank as i128)),
+                    ("step", Json::Int(*step as i128)),
+                    ("generation", Json::Int(*generation as i128)),
+                    ("bytes", Json::Int(*bytes as i128)),
+                    ("secs", Json::Float(*secs)),
+                ];
+                if let Some(t) = t {
+                    pairs.push(("t", Json::Float(*t)));
+                }
+                Json::obj(pairs)
+            }
             Event::Restore {
                 rank,
                 step,
                 generation,
-            } => Json::obj(vec![
-                ("type", tag),
-                ("rank", Json::Int(*rank as i128)),
-                ("step", Json::Int(*step as i128)),
-                ("generation", Json::Int(*generation as i128)),
-            ]),
+                t,
+            } => {
+                let mut pairs = vec![
+                    ("type", tag),
+                    ("rank", Json::Int(*rank as i128)),
+                    ("step", Json::Int(*step as i128)),
+                    ("generation", Json::Int(*generation as i128)),
+                ];
+                if let Some(t) = t {
+                    pairs.push(("t", Json::Float(*t)));
+                }
+                Json::obj(pairs)
+            }
+            Event::StepHealth {
+                rank,
+                step,
+                eqs,
+                amg_levels,
+                grid_complexity,
+                operator_complexity,
+                recoveries,
+                checkpoint,
+            } => {
+                let mut pairs = vec![
+                    ("type", tag),
+                    ("rank", Json::Int(*rank as i128)),
+                    ("step", Json::Int(*step as i128)),
+                    (
+                        "eqs",
+                        Json::Arr(
+                            eqs.iter()
+                                .map(|e| {
+                                    Json::obj(vec![
+                                        ("eq", Json::Str(e.eq.clone())),
+                                        ("iters", Json::Int(e.iters as i128)),
+                                        ("final_rel", Json::Float(e.final_rel)),
+                                        ("rate", Json::Float(e.rate)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("amg_levels", Json::Int(*amg_levels as i128)),
+                    ("grid_complexity", Json::Float(*grid_complexity)),
+                    ("operator_complexity", Json::Float(*operator_complexity)),
+                    ("recoveries", Json::Int(*recoveries as i128)),
+                ];
+                if let Some(g) = checkpoint {
+                    pairs.push(("checkpoint", Json::Int(*g as i128)));
+                }
+                Json::obj(pairs)
+            }
+            Event::HealthVerdict {
+                rank,
+                step,
+                kind,
+                eq,
+                value,
+                baseline,
+            } => {
+                let mut pairs = vec![
+                    ("type", tag),
+                    ("rank", Json::Int(*rank as i128)),
+                    ("step", Json::Int(*step as i128)),
+                    ("kind", Json::Str(kind.clone())),
+                    ("value", Json::Float(*value)),
+                    ("baseline", Json::Float(*baseline)),
+                ];
+                if let Some(eq) = eq {
+                    pairs.push(("eq", Json::Str(eq.clone())));
+                }
+                Json::obj(pairs)
+            }
             Event::KernelPerf {
                 rank,
                 kernel,
@@ -559,6 +756,23 @@ impl Event {
                 .ok_or(format!("{tag}: missing/invalid number field \"{k}\""))
         };
 
+        // Optional float-array field (absent in pre-v5 streams).
+        let f64_arr = |k: &str| -> Result<Option<Vec<f64>>, String> {
+            match obj.get(k) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_arr()
+                    .ok_or(format!("{tag}: \"{k}\" is not an array"))?
+                    .iter()
+                    .map(|x| {
+                        x.as_f64().ok_or(format!("{tag}: non-numeric \"{k}\" entry"))
+                    })
+                    .collect::<Result<Vec<_>, String>>()
+                    .map(Some),
+            }
+        };
+        let opt_f64 = |k: &str| obj.get(k).and_then(Json::as_f64);
+
         match tag {
             "run" => Ok(Event::Run {
                 ranks: usize_field("ranks")?,
@@ -577,12 +791,15 @@ impl Event {
                     .unwrap_or("auto")
                     .to_string(),
                 git_commit: obj.get("git_commit").and_then(Json::as_str).map(str::to_string),
+                clock_offsets: f64_arr("clock_offsets")?,
+                clock_rtts: f64_arr("clock_rtts")?,
             }),
             "span" => Ok(Event::Span {
                 rank: usize_field("rank")?,
                 path: str_field("path")?,
                 depth: usize_field("depth")?,
                 secs: f64_field("secs")?,
+                t0: opt_f64("t0"),
             }),
             "phase_time" => Ok(Event::PhaseTime {
                 rank: usize_field("rank")?,
@@ -612,6 +829,8 @@ impl Event {
                 class: str_field("class")?,
                 msgs: u64_field("msgs")?,
                 bytes: u64_field("bytes")?,
+                t_first: opt_f64("t_first"),
+                t_last: opt_f64("t_last"),
             }),
             "collective" => {
                 let buckets = obj
@@ -639,6 +858,8 @@ impl Event {
                     bytes: u64_field("bytes")?,
                     secs: f64_field("secs")?,
                     buckets,
+                    t_first: opt_f64("t_first"),
+                    t_last: opt_f64("t_last"),
                 })
             }
             "amg" => {
@@ -708,11 +929,61 @@ impl Event {
                 generation: u64_field("generation")?,
                 bytes: u64_field("bytes")?,
                 secs: f64_field("secs")?,
+                t: opt_f64("t"),
             }),
             "restore" => Ok(Event::Restore {
                 rank: usize_field("rank")?,
                 step: usize_field("step")?,
                 generation: u64_field("generation")?,
+                t: opt_f64("t"),
+            }),
+            "step_health" => {
+                let eqs = obj
+                    .get("eqs")
+                    .and_then(Json::as_arr)
+                    .ok_or("step_health: missing \"eqs\" array")?
+                    .iter()
+                    .map(|e| {
+                        let eo = e.as_obj().ok_or("step_health: eq is not an object")?;
+                        Ok(EqHealthRow {
+                            eq: eo
+                                .get("eq")
+                                .and_then(Json::as_str)
+                                .ok_or("step_health: bad eq name")?
+                                .to_string(),
+                            iters: eo
+                                .get("iters")
+                                .and_then(Json::as_u64)
+                                .ok_or("step_health: bad eq iters")?,
+                            final_rel: eo
+                                .get("final_rel")
+                                .and_then(Json::as_f64)
+                                .ok_or("step_health: bad eq final_rel")?,
+                            rate: eo
+                                .get("rate")
+                                .and_then(Json::as_f64)
+                                .ok_or("step_health: bad eq rate")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Event::StepHealth {
+                    rank: usize_field("rank")?,
+                    step: usize_field("step")?,
+                    eqs,
+                    amg_levels: u64_field("amg_levels")?,
+                    grid_complexity: f64_field("grid_complexity")?,
+                    operator_complexity: f64_field("operator_complexity")?,
+                    recoveries: u64_field("recoveries")?,
+                    checkpoint: obj.get("checkpoint").and_then(Json::as_u64),
+                })
+            }
+            "health_verdict" => Ok(Event::HealthVerdict {
+                rank: usize_field("rank")?,
+                step: usize_field("step")?,
+                kind: str_field("kind")?,
+                eq: obj.get("eq").and_then(Json::as_str).map(str::to_string),
+                value: f64_field("value")?,
+                baseline: f64_field("baseline")?,
             }),
             "kernel_perf" => Ok(Event::KernelPerf {
                 rank: usize_field("rank")?,
@@ -781,12 +1052,15 @@ impl Event {
                 transport: "inproc".into(),
                 kernel_policy: "auto".into(),
                 git_commit: Some("deadbeef".into()),
+                clock_offsets: Some(vec![0.0, 1.25e-4, -3.0e-5, 7.5e-5]),
+                clock_rtts: Some(vec![0.0, 4.0e-5, 3.5e-5, 6.0e-5]),
             },
             Event::Span {
                 rank: 0,
                 path: "timestep/picard/continuity/solve".into(),
                 depth: 3,
                 secs: 0.0123,
+                t0: Some(0.875),
             },
             Event::PhaseTime {
                 rank: 1,
@@ -815,6 +1089,8 @@ impl Event {
                 class: "halo".into(),
                 msgs: 96,
                 bytes: 786_432,
+                t_first: Some(0.125),
+                t_last: Some(2.5),
             },
             Event::Collective {
                 rank: 1,
@@ -823,6 +1099,8 @@ impl Event {
                 bytes: 512,
                 secs: 0.004,
                 buckets: vec![(-15, 60), (-14, 4)],
+                t_first: Some(0.0625),
+                t_last: Some(2.75),
             },
             Event::AmgSetup {
                 rank: 0,
@@ -857,11 +1135,44 @@ impl Event {
                 generation: 4,
                 bytes: 183_472,
                 secs: 0.0021,
+                t: Some(3.125),
             },
             Event::Restore {
                 rank: 1,
                 step: 4,
                 generation: 4,
+                t: Some(0.03125),
+            },
+            Event::StepHealth {
+                rank: 0,
+                step: 4,
+                eqs: vec![
+                    EqHealthRow {
+                        eq: "continuity".into(),
+                        iters: 12,
+                        final_rel: 3.2e-7,
+                        rate: 0.5413941073971938,
+                    },
+                    EqHealthRow {
+                        eq: "momentum".into(),
+                        iters: 5,
+                        final_rel: 1.0e-9,
+                        rate: 1.8,
+                    },
+                ],
+                amg_levels: 3,
+                grid_complexity: 1.21,
+                operator_complexity: 1.2794117647058822,
+                recoveries: 0,
+                checkpoint: Some(4),
+            },
+            Event::HealthVerdict {
+                rank: 0,
+                step: 9,
+                kind: "gmres-iters".into(),
+                eq: Some("continuity".into()),
+                value: 24.0,
+                baseline: 12.5,
             },
             Event::KernelPerf {
                 rank: 1,
@@ -935,6 +1246,31 @@ mod tests {
                 assert_eq!(wait_secs, 0.0);
                 assert_eq!(transfer_secs, 0.0);
                 assert_eq!(msgs, 4);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_v5_lines_parse_without_timestamps() {
+        let span = r#"{"type":"span","rank":0,"path":"timestep","depth":0,"secs":0.5}"#;
+        match Event::parse_line(span).unwrap() {
+            Event::Span { t0, .. } => assert_eq!(t0, None),
+            other => panic!("{other:?}"),
+        }
+        let edge = r#"{"type":"comm_edge","rank":0,"src":0,"dst":1,"class":"halo","msgs":2,"bytes":64}"#;
+        match Event::parse_line(edge).unwrap() {
+            Event::CommEdge { t_first, t_last, .. } => {
+                assert_eq!(t_first, None);
+                assert_eq!(t_last, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        let run = r#"{"type":"run","ranks":2,"threads":1}"#;
+        match Event::parse_line(run).unwrap() {
+            Event::Run { clock_offsets, clock_rtts, .. } => {
+                assert_eq!(clock_offsets, None);
+                assert_eq!(clock_rtts, None);
             }
             other => panic!("{other:?}"),
         }

@@ -32,12 +32,14 @@
 //! flag.
 
 pub mod event;
+pub mod health;
 pub mod histogram;
 pub mod json;
 pub mod perfmodel;
 pub mod report;
+pub mod trace;
 
-pub use event::{AmgLevelRow, Event, SCHEMA_VERSION};
+pub use event::{AmgLevelRow, EqHealthRow, Event, SCHEMA_VERSION};
 pub use histogram::{LogHistogram, UNDERFLOW_BUCKET};
 pub use json::Json;
 pub use perfmodel::KernelModel;
@@ -67,7 +69,12 @@ pub fn env_path() -> Option<String> {
 
 struct OpenSpan {
     name: String,
-    start: Instant,
+    /// Seconds since the recorder's epoch at span open (schema v5 `t0`).
+    /// The closing timestamp comes from the same epoch, so recorded
+    /// windows nest exactly: a child's open/close clock reads are
+    /// ordered between its parent's even if the OS preempts the thread
+    /// between them.
+    t0: f64,
 }
 
 /// Accumulated cost of one hot kernel on one rank.
@@ -82,6 +89,10 @@ struct KernelStats {
 
 struct Recorder {
     rank: usize,
+    /// Per-rank monotonic epoch; every v5 timestamp (`t0`, `t_first`,
+    /// `t_last`, `t`) is seconds since this instant. Only enabled
+    /// handles own an epoch, so disabled runs never read the clock.
+    epoch: Instant,
     stack: Vec<OpenSpan>,
     events: Vec<Event>,
     counters: BTreeMap<String, u64>,
@@ -114,6 +125,7 @@ impl Telemetry {
         Telemetry {
             inner: Some(Rc::new(RefCell::new(Recorder {
                 rank,
+                epoch: Instant::now(),
                 stack: Vec::new(),
                 events: Vec::new(),
                 counters: BTreeMap::new(),
@@ -141,6 +153,12 @@ impl Telemetry {
         self.inner.as_ref().map_or(0, |r| r.borrow().rank)
     }
 
+    /// Seconds since this handle's epoch, `None` for a disabled handle
+    /// (which never reads the clock).
+    pub fn elapsed_secs(&self) -> Option<f64> {
+        self.inner.as_ref().map(|r| r.borrow().epoch.elapsed().as_secs_f64())
+    }
+
     /// `/`-joined names of the currently open spans.
     pub fn current_path(&self) -> String {
         self.inner.as_ref().map_or_else(String::new, |r| r.borrow().path())
@@ -157,10 +175,9 @@ impl Telemetry {
     /// guard drops. Guards must drop in LIFO order (scopes do this).
     pub fn span(&self, name: &str) -> SpanGuard {
         if let Some(rec) = &self.inner {
-            rec.borrow_mut().stack.push(OpenSpan {
-                name: name.to_string(),
-                start: Instant::now(),
-            });
+            let mut rec = rec.borrow_mut();
+            let t0 = rec.epoch.elapsed().as_secs_f64();
+            rec.stack.push(OpenSpan { name: name.to_string(), t0 });
         }
         SpanGuard {
             inner: self.inner.clone(),
@@ -317,7 +334,7 @@ impl Drop for SpanGuard {
                 debug_assert!(false, "span guard dropped with empty span stack");
                 return;
             };
-            let secs = top.start.elapsed().as_secs_f64();
+            let secs = (rec.epoch.elapsed().as_secs_f64() - top.t0).max(0.0);
             let depth = rec.stack.len();
             let path = if depth == 0 {
                 top.name
@@ -330,6 +347,7 @@ impl Drop for SpanGuard {
                 path,
                 depth,
                 secs,
+                t0: Some(top.t0),
             });
         }
     }
@@ -352,6 +370,14 @@ pub fn current() -> Telemetry {
 /// building expensive event payloads).
 pub fn is_enabled() -> bool {
     CURRENT.with(|c| c.borrow().inner.is_some())
+}
+
+/// Seconds since the current dispatcher's epoch — the schema-v5
+/// timestamp base. `None` when telemetry is disabled, so callers can
+/// gate every clock read on it and keep telemetry-off runs bitwise
+/// identical.
+pub fn now_secs() -> Option<f64> {
+    CURRENT.with(|c| c.borrow().elapsed_secs())
 }
 
 /// Open a span on the current dispatcher.
@@ -399,6 +425,19 @@ pub fn merge_ranks(logs: Vec<Vec<Event>>) -> Vec<Event> {
 /// `sparse-kit`), and the git commit if discoverable (`GIT_COMMIT` env
 /// or `.git/HEAD`).
 pub fn run_info(ranks: usize) -> Event {
+    run_info_with_clock(ranks, None)
+}
+
+/// [`run_info`] carrying the per-rank clock-alignment table from the
+/// startup handshake (schema v5): `offsets[r]` maps rank `r`'s epoch
+/// timestamps onto rank 0's timeline (`t_global = t_rank + offsets[r]`),
+/// and `rtts[r]` is the minimum round-trip observed while estimating it
+/// (offset uncertainty ≤ rtt/2).
+pub fn run_info_with_clock(ranks: usize, clock: Option<(Vec<f64>, Vec<f64>)>) -> Event {
+    let (clock_offsets, clock_rtts) = match clock {
+        Some((o, r)) => (Some(o), Some(r)),
+        None => (None, None),
+    };
     Event::Run {
         ranks,
         threads: configured_threads(),
@@ -411,6 +450,8 @@ pub fn run_info(ranks: usize) -> Event {
             .filter(|v| !v.is_empty())
             .unwrap_or_else(|| "auto".to_string()),
         git_commit: git_commit(),
+        clock_offsets,
+        clock_rtts,
     }
 }
 
@@ -517,30 +558,83 @@ pub fn read_jsonl(path: &str) -> Result<Vec<Event>, String> {
 ///   bulk-synchronous). Partial per-rank streams — where only some ranks
 ///   report at all — still validate; only *inconsistent* participation
 ///   is an error.
+/// - schema-v5 timestamps, where present, must be consistent: span
+///   windows nest (a child span's `[t0, t0+secs]` lies inside some
+///   same-rank parent instance's window), and a `comm_edge`'s receiver
+///   timestamps are ≥ the sender's after clock-offset correction, with
+///   slack for the handshake's rtt/2 uncertainty. The `run` clock table
+///   itself must be finite, non-negative-rtt, and rank-count sized.
 ///
 /// Returns all violations, not just the first.
 pub fn validate_stream(events: &[Event]) -> Result<(), Vec<String>> {
     use std::collections::{BTreeMap, BTreeSet};
     let mut span_paths: BTreeSet<(usize, &str)> = BTreeSet::new();
     let mut run_ranks: Option<usize> = None;
+    let mut run_offsets: Option<&Vec<f64>> = None;
+    let mut run_rtts: Option<&Vec<f64>> = None;
     for ev in events {
         match ev {
             Event::Span { rank, path, .. } => {
                 span_paths.insert((*rank, path.as_str()));
             }
-            Event::Run { ranks, .. } => run_ranks = run_ranks.or(Some(*ranks)),
+            Event::Run { ranks, clock_offsets, clock_rtts, .. } => {
+                run_ranks = run_ranks.or(Some(*ranks));
+                run_offsets = run_offsets.or(clock_offsets.as_ref());
+                run_rtts = run_rtts.or(clock_rtts.as_ref());
+            }
             _ => {}
         }
     }
     let mut errors = Vec::new();
+    // Clock table sanity (schema v5).
+    for (name, table) in [("clock_offsets", run_offsets), ("clock_rtts", run_rtts)] {
+        let Some(table) = table else { continue };
+        if let Some(n) = run_ranks {
+            if table.len() != n {
+                errors.push(format!(
+                    "run {name}: {} entries for a {n}-rank run",
+                    table.len()
+                ));
+            }
+        }
+        for (r, v) in table.iter().enumerate() {
+            if !v.is_finite() {
+                errors.push(format!("run {name}[{r}]: non-finite"));
+            } else if name == "clock_rtts" && *v < 0.0 {
+                errors.push(format!("run {name}[{r}]: negative round-trip"));
+            }
+        }
+    }
+    // Offset-corrected time for rank r; identity when no table was recorded.
+    let offset = |r: usize| run_offsets.and_then(|o| o.get(r)).copied().unwrap_or(0.0);
+    let rtt = |r: usize| run_rtts.and_then(|o| o.get(r)).copied().unwrap_or(0.0);
     // (src, dst, class) → [sender view, receiver view] as (msgs, bytes).
     type EdgeViews<'a> = BTreeMap<(usize, usize, &'a str), [Option<(u64, u64)>; 2]>;
     let mut edge_views: EdgeViews = BTreeMap::new();
+    // Same key → [sender view, receiver view] as (min t_first, max t_last).
+    type EdgeTimes<'a> = BTreeMap<(usize, usize, &'a str), [Option<(f64, f64)>; 2]>;
+    let mut edge_times: EdgeTimes = BTreeMap::new();
+    // rank → timestamped span windows as (path, depth, t0, end).
+    let mut span_windows: BTreeMap<usize, Vec<(&str, usize, f64, f64)>> = BTreeMap::new();
     // kind → rank → total count; plus the set of ranks reporting anything.
     let mut coll_counts: BTreeMap<&str, BTreeMap<usize, u64>> = BTreeMap::new();
     let mut coll_ranks: BTreeSet<usize> = BTreeSet::new();
     for ev in events {
         match ev {
+            Event::Span { rank, path, depth, secs, t0: Some(t0) } => {
+                if !t0.is_finite() || *t0 < 0.0 {
+                    errors.push(format!(
+                        "span rank {rank} path {path:?}: non-finite or negative t0"
+                    ));
+                } else {
+                    span_windows.entry(*rank).or_default().push((
+                        path.as_str(),
+                        *depth,
+                        *t0,
+                        t0 + secs,
+                    ));
+                }
+            }
             Event::PhasePerf { rank, label, .. } if label.contains('/') => {
                 let suffix = format!("/{label}");
                 let known = span_paths.iter().any(|&(r, p)| {
@@ -580,7 +674,7 @@ pub fn validate_stream(events: &[Event]) -> Result<(), Vec<String>> {
                     }
                 }
             }
-            Event::Checkpoint { rank, step, generation, bytes, secs } => {
+            Event::Checkpoint { rank, step, generation, bytes, secs, .. } => {
                 if *bytes == 0 {
                     errors.push(format!(
                         "checkpoint rank {rank} generation {generation}: zero bytes written"
@@ -606,7 +700,7 @@ pub fn validate_stream(events: &[Event]) -> Result<(), Vec<String>> {
                     }
                 }
             }
-            Event::Restore { rank, step, generation } => {
+            Event::Restore { rank, step, generation, .. } => {
                 if (*generation as usize) > *step {
                     errors.push(format!(
                         "restore rank {rank}: resumed generation {generation} is newer \
@@ -621,7 +715,7 @@ pub fn validate_stream(events: &[Event]) -> Result<(), Vec<String>> {
                     }
                 }
             }
-            Event::CommEdge { rank, src, dst, class, msgs, bytes } => {
+            Event::CommEdge { rank, src, dst, class, msgs, bytes, t_first, t_last } => {
                 if src == dst {
                     errors.push(format!("comm_edge rank {rank}: self-edge {src}->{dst}"));
                 }
@@ -650,6 +744,19 @@ pub fn validate_stream(events: &[Event]) -> Result<(), Vec<String>> {
                 let totals = slot[view].get_or_insert((0, 0));
                 totals.0 += msgs;
                 totals.1 += bytes;
+                if let (Some(tf), Some(tl)) = (t_first, t_last) {
+                    if tl < tf {
+                        errors.push(format!(
+                            "comm_edge {src}->{dst} [{class}] rank {rank}: \
+                             t_last {tl} before t_first {tf}"
+                        ));
+                    }
+                    let slot =
+                        edge_times.entry((*src, *dst, class.as_str())).or_default();
+                    let t = slot[view].get_or_insert((f64::INFINITY, f64::NEG_INFINITY));
+                    t.0 = t.0.min(*tf);
+                    t.1 = t.1.max(*tl);
+                }
             }
             Event::Collective { rank, kind, count, .. } => {
                 if let Some(n) = run_ranks {
@@ -673,6 +780,59 @@ pub fn validate_stream(events: &[Event]) -> Result<(), Vec<String>> {
                     "comm_edge {src}->{dst} [{class}]: sender recorded {} msgs / {} bytes \
                      but receiver recorded {} msgs / {} bytes",
                     s.0, s.1, r.0, r.1
+                ));
+            }
+        }
+    }
+    // Causality: once both endpoints put their timestamps on one
+    // timeline, a message cannot complete receipt before it started
+    // sending. The offset table carries rtt/2 of uncertainty per rank,
+    // so that much slack (plus float dust) is allowed.
+    for ((src, dst, class), views) in &edge_times {
+        let (Some(send), Some(recv)) = (views[0], views[1]) else { continue };
+        let slack = rtt(*src) / 2.0 + rtt(*dst) / 2.0 + 1e-6;
+        let send = (send.0 + offset(*src), send.1 + offset(*src));
+        let recv = (recv.0 + offset(*dst), recv.1 + offset(*dst));
+        for (what, s, r) in [("first", send.0, recv.0), ("last", send.1, recv.1)] {
+            if r + slack < s {
+                errors.push(format!(
+                    "comm_edge {src}->{dst} [{class}]: {what} receive at aligned \
+                     t={r:.9} precedes {what} send at t={s:.9} (slack {slack:.3e})"
+                ));
+            }
+        }
+    }
+    // Span nesting: a child's window must lie inside a same-rank parent
+    // instance's window. Paths repeat across timesteps, so any enclosing
+    // instance of the parent path qualifies; a missing-but-expected
+    // parent (none recorded with timestamps) is skipped — per-rank
+    // partial streams stay valid.
+    for (rank, spans) in &span_windows {
+        for &(path, depth, t0, end) in spans {
+            if depth == 0 {
+                continue;
+            }
+            let Some(parent_path) = path.rsplit_once('/').map(|(p, _)| p) else {
+                errors.push(format!(
+                    "span rank {rank} path {path:?}: depth {depth} but no parent in path"
+                ));
+                continue;
+            };
+            let parents: Vec<&(&str, usize, f64, f64)> = spans
+                .iter()
+                .filter(|(p, d, _, _)| *p == parent_path && *d == depth - 1)
+                .collect();
+            if parents.is_empty() {
+                continue;
+            }
+            let eps = 1e-6;
+            let nested = parents
+                .iter()
+                .any(|(_, _, pt0, pend)| *pt0 <= t0 + eps && end <= pend + eps);
+            if !nested {
+                errors.push(format!(
+                    "span rank {rank} path {path:?}: window [{t0:.9}, {end:.9}] not \
+                     nested in any {parent_path:?} instance"
                 ));
             }
         }
@@ -865,6 +1025,7 @@ mod tests {
             path: "timestep/picard/continuity/solve".into(),
             depth: 3,
             secs: 0.1,
+            t0: None,
         };
         let perf = |rank: usize, label: &str| Event::PhasePerf {
             rank,
@@ -913,6 +1074,8 @@ mod tests {
             transport: "inproc".into(),
             kernel_policy: "auto".into(),
             git_commit: None,
+            clock_offsets: None,
+            clock_rtts: None,
         };
         let edge = |rank: usize, src: usize, dst: usize, bytes: u64| Event::CommEdge {
             rank,
@@ -921,6 +1084,8 @@ mod tests {
             class: "p2p".into(),
             msgs: 1,
             bytes,
+            t_first: None,
+            t_last: None,
         };
         // Symmetric sender/receiver pair: ok.
         assert!(
@@ -948,6 +1113,8 @@ mod tests {
             class: "halo".into(),
             msgs: 0,
             bytes: 10,
+            t_first: None,
+            t_last: None,
         };
         let errs = validate_stream(&[bad]).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("zero messages")), "{errs:?}");
@@ -962,6 +1129,8 @@ mod tests {
             bytes: 0,
             secs: 0.0,
             buckets: Vec::new(),
+            t_first: None,
+            t_last: None,
         };
         // All participating ranks report the kind with equal counts: ok.
         assert!(
@@ -981,6 +1150,111 @@ mod tests {
         let errs =
             validate_stream(&[coll(0, "allreduce", 3), coll(1, "allreduce", 2)]).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("counts disagree")), "{errs:?}");
+    }
+
+    #[test]
+    fn validate_stream_checks_span_nesting_windows() {
+        let span = |path: &str, depth: usize, t0: f64, secs: f64| Event::Span {
+            rank: 0,
+            path: path.into(),
+            depth,
+            secs,
+            t0: Some(t0),
+        };
+        // Child window inside the parent instance: ok. Paths repeat
+        // across timesteps, so a second parent instance also counts.
+        assert!(validate_stream(&[
+            span("timestep", 0, 0.0, 1.0),
+            span("timestep/picard", 1, 0.25, 0.5),
+            span("timestep", 0, 2.0, 1.0),
+            span("timestep/picard", 1, 2.25, 0.5),
+        ])
+        .is_ok());
+        // Child extends past every parent instance: rejected.
+        let errs = validate_stream(&[
+            span("timestep", 0, 0.0, 1.0),
+            span("timestep/picard", 1, 0.5, 2.0),
+        ])
+        .unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("not nested")), "{errs:?}");
+        // No timestamped parent recorded at all (partial stream): ok.
+        assert!(validate_stream(&[span("timestep/picard", 1, 0.5, 2.0)]).is_ok());
+        // Pre-v5 spans without t0 are never window-checked.
+        let untimed = Event::Span {
+            rank: 0,
+            path: "timestep/picard".into(),
+            depth: 1,
+            secs: 9.0,
+            t0: None,
+        };
+        assert!(validate_stream(&[span("timestep", 0, 0.0, 1.0), untimed]).is_ok());
+    }
+
+    #[test]
+    fn validate_stream_checks_comm_edge_causality() {
+        let run = |offsets: Option<Vec<f64>>, rtts: Option<Vec<f64>>| Event::Run {
+            ranks: 2,
+            threads: 1,
+            transport: "socket".into(),
+            kernel_policy: "auto".into(),
+            git_commit: None,
+            clock_offsets: offsets,
+            clock_rtts: rtts,
+        };
+        let edge = |rank: usize, tf: f64, tl: f64| Event::CommEdge {
+            rank,
+            src: 0,
+            dst: 1,
+            class: "halo".into(),
+            msgs: 2,
+            bytes: 64,
+            t_first: Some(tf),
+            t_last: Some(tl),
+        };
+        // Receives after sends on the shared timeline: ok.
+        let ok = run(Some(vec![0.0, 0.0]), Some(vec![0.0, 0.0]));
+        assert!(validate_stream(&[ok.clone(), edge(0, 1.0, 2.0), edge(1, 1.1, 2.1)]).is_ok());
+        // First receive precedes first send: rejected.
+        let errs =
+            validate_stream(&[ok.clone(), edge(0, 1.0, 2.0), edge(1, 0.5, 2.1)]).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("precedes")), "{errs:?}");
+        // The same raw timestamps pass once the receiver's clock offset
+        // explains the skew…
+        let skewed = run(Some(vec![0.0, 0.6]), Some(vec![0.0, 0.0]));
+        assert!(
+            validate_stream(&[skewed, edge(0, 1.0, 2.0), edge(1, 0.5, 2.1)]).is_ok()
+        );
+        // …or once the handshake admits that much rtt uncertainty.
+        let fuzzy = run(Some(vec![0.0, 0.0]), Some(vec![0.0, 1.2]));
+        assert!(validate_stream(&[fuzzy, edge(0, 1.0, 2.0), edge(1, 0.5, 2.1)]).is_ok());
+        // A single view reversing its own interval is always wrong.
+        let errs = validate_stream(&[ok, edge(0, 2.0, 1.0)]).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("t_last")), "{errs:?}");
+        // Clock table must be sized to the run and finite.
+        let bad_table = run(Some(vec![0.0]), Some(vec![f64::NAN, -1.0]));
+        let errs = validate_stream(&[bad_table]).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("entries for a 2-rank run")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("non-finite")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("negative round-trip")), "{errs:?}");
+    }
+
+    #[test]
+    fn enabled_spans_carry_epoch_timestamps() {
+        let t = Telemetry::enabled(0);
+        {
+            let _a = t.span("timestep");
+            let _b = t.span("picard");
+        }
+        let events = t.finish();
+        for ev in &events {
+            let Event::Span { t0, secs, .. } = ev else { continue };
+            let t0 = t0.expect("enabled spans are timestamped");
+            assert!(t0.is_finite() && t0 >= 0.0);
+            assert!(*secs >= 0.0);
+        }
+        assert!(validate_stream(&events).is_ok());
+        assert!(t.elapsed_secs().is_some());
+        assert!(Telemetry::disabled().elapsed_secs().is_none());
     }
 
     #[test]

@@ -20,6 +20,7 @@ use std::fmt::Write as _;
 use crate::event::{AmgLevelRow, Event};
 use crate::histogram::{LogHistogram, UNDERFLOW_BUCKET};
 use crate::json::Json;
+use crate::trace::StepPath;
 
 /// Aggregated GMRES statistics for one equation system.
 #[derive(Clone, Debug, Default)]
@@ -144,6 +145,66 @@ pub struct CollectiveSummary {
     pub latency: LogHistogram,
 }
 
+/// Per-equation solver-health trend over the stream (`step_health`
+/// events; rank 0 only — one linear solve is collective, every rank
+/// reports the same iteration counts).
+#[derive(Clone, Debug, Default)]
+pub struct EqTrend {
+    /// GMRES iterations at the first observed step.
+    pub first_iters: u64,
+    /// GMRES iterations at the last observed step.
+    pub last_iters: u64,
+    /// Worst step's iteration count.
+    pub max_iters: u64,
+    /// Residual-reduction rate (`-log10(final_rel)/iters`) at the first
+    /// observed step.
+    pub first_rate: f64,
+    /// Rate at the last observed step.
+    pub last_rate: f64,
+}
+
+/// One degradation verdict from the stream's `health_verdict` events.
+#[derive(Clone, Debug)]
+pub struct VerdictRow {
+    pub step: usize,
+    /// Detector kind label, e.g. `gmres-iters`.
+    pub kind: String,
+    /// Equation the verdict concerns (`None` for solver-wide kinds).
+    pub eq: Option<String>,
+    pub value: f64,
+    pub baseline: f64,
+}
+
+/// The solver-health time series aggregated over the stream.
+#[derive(Clone, Debug, Default)]
+pub struct HealthTrend {
+    /// Steps with `step_health` rows.
+    pub steps: u64,
+    /// AMG operator complexity at the last observed step.
+    pub last_operator_complexity: f64,
+    /// Recovery-ladder attempts summed over the series.
+    pub recoveries: u64,
+    pub per_eq: BTreeMap<String, EqTrend>,
+    /// Degradation verdicts in stream order.
+    pub verdicts: Vec<VerdictRow>,
+}
+
+impl HealthTrend {
+    /// Whether the stream carried any health telemetry.
+    pub fn is_empty(&self) -> bool {
+        self.steps == 0 && self.verdicts.is_empty()
+    }
+
+    /// The equation whose iteration count grew the most over the series
+    /// (ties broken by the worse final count), with its trend.
+    pub fn worst_equation(&self) -> Option<(&str, &EqTrend)> {
+        self.per_eq
+            .iter()
+            .max_by_key(|(_, t)| (t.last_iters.saturating_sub(t.first_iters), t.last_iters))
+            .map(|(eq, t)| (eq.as_str(), t))
+    }
+}
+
 /// Rank-imbalance figures for one comm phase.
 #[derive(Clone, Debug, Default)]
 pub struct PhaseImbalance {
@@ -179,9 +240,9 @@ pub struct Report {
     /// has no `run` event).
     pub kernel_policy: String,
     pub git_commit: Option<String>,
-    /// Phase column order: first appearance in the stream (the emitters
-    /// walk phases in plot order, so this reproduces it without this
-    /// crate depending on the `Phase` enum).
+    /// Phase column order: the solver's plot order for known phases,
+    /// then any others sorted — fixed regardless of the order per-rank
+    /// streams were merged in (see [`canonical_phase_order`]).
     pub phases: Vec<String>,
     /// Mean seconds per rank for each `(equation, phase)`.
     pub phase_secs: BTreeMap<(String, String), f64>,
@@ -207,10 +268,30 @@ pub struct Report {
     pub imbalance: BTreeMap<String, PhaseImbalance>,
     /// Hot-kernel throughput summed over ranks (`kernel_perf` events).
     pub kernels: BTreeMap<String, KernelSummary>,
+    /// Solver-health time series + degradation verdicts (`step_health`
+    /// and `health_verdict` events).
+    pub health: HealthTrend,
+    /// Per-step critical paths reconstructed from aligned span
+    /// timestamps (empty when the stream has no schema-v5 timestamps).
+    pub critical_path: Vec<StepPath>,
     /// Measured machine bandwidth (GB/s) for the roofline column; set by
     /// the caller from `machine::host_baseline()` — this crate sits below
     /// `machine` in the dependency graph and cannot measure it itself.
     pub bw_baseline_gbs: Option<f64>,
+}
+
+/// Pin the phase column order: the solver's plot order (this crate sits
+/// below `core` and cannot see its `Phase` enum, so the labels are
+/// mirrored here and checked by `core`'s tests), then unknown labels
+/// sorted. First-appearance order would depend on which rank's stream
+/// merged first.
+fn canonical_phase_order(phases: &mut [String]) {
+    const PLOT_ORDER: [&str; 5] =
+        ["graph+physics", "local assembly", "global assembly", "precond setup", "solve"];
+    phases.sort_by_key(|p| match PLOT_ORDER.iter().position(|c| c == p) {
+        Some(i) => (i, String::new()),
+        None => (PLOT_ORDER.len(), p.clone()),
+    });
 }
 
 /// Equation system of a span path like
@@ -240,7 +321,7 @@ impl Report {
         let mut edge_receiver: BTreeMap<(usize, usize, String), CommEdgeSummary> = BTreeMap::new();
         for ev in events {
             match ev {
-                Event::Run { ranks, threads, transport, kernel_policy, git_commit } => {
+                Event::Run { ranks, threads, transport, kernel_policy, git_commit, .. } => {
                     r.ranks = *ranks;
                     r.threads = *threads;
                     r.transport = transport.clone();
@@ -257,7 +338,7 @@ impl Report {
                     *phase_rank.entry(phase.clone()).or_default().entry(*rank).or_insert(0.0) +=
                         secs;
                 }
-                Event::Span { rank, path, depth, secs } => {
+                Event::Span { rank, path, depth, secs, .. } => {
                     max_rank = max_rank.max(*rank);
                     let s = r.spans.entry(path.clone()).or_default();
                     s.depth = *depth;
@@ -361,14 +442,14 @@ impl Report {
                     *wait_rank.entry(phase.clone()).or_insert(0.0) += wait_secs;
                     *transfer_rank.entry(phase).or_insert(0.0) += transfer_secs;
                 }
-                Event::CommEdge { rank, src, dst, class, msgs, bytes } => {
+                Event::CommEdge { rank, src, dst, class, msgs, bytes, .. } => {
                     max_rank = max_rank.max(*rank).max(*src).max(*dst);
                     let map = if rank == src { &mut edge_sender } else { &mut edge_receiver };
                     let e = map.entry((*src, *dst, class.clone())).or_default();
                     e.msgs += msgs;
                     e.bytes += bytes;
                 }
-                Event::Collective { rank, kind, count, bytes, secs, buckets } => {
+                Event::Collective { rank, kind, count, bytes, secs, buckets, .. } => {
                     max_rank = max_rank.max(*rank);
                     let s = r.collectives.entry(kind.clone()).or_default();
                     s.count = s.count.max(*count);
@@ -386,9 +467,53 @@ impl Report {
                     k.flops += flops;
                     k.dofs += dofs;
                 }
+                Event::StepHealth {
+                    rank, step, eqs, operator_complexity, recoveries, ..
+                } => {
+                    max_rank = max_rank.max(*rank);
+                    // Solves are collective; every rank reports the same
+                    // series, so count it once via rank 0.
+                    if *rank != 0 {
+                        continue;
+                    }
+                    let h = &mut r.health;
+                    h.steps = h.steps.max(*step as u64 + 1);
+                    h.last_operator_complexity = *operator_complexity;
+                    h.recoveries += *recoveries;
+                    for row in eqs {
+                        let t = h.per_eq.entry(row.eq.clone()).or_insert_with(|| EqTrend {
+                            first_iters: row.iters,
+                            first_rate: row.rate,
+                            ..EqTrend::default()
+                        });
+                        t.last_iters = row.iters;
+                        t.max_iters = t.max_iters.max(row.iters);
+                        t.last_rate = row.rate;
+                    }
+                }
+                Event::HealthVerdict { rank, step, kind, eq, value, baseline } => {
+                    max_rank = max_rank.max(*rank);
+                    // The detector runs on identical collective inputs on
+                    // every rank; count verdicts once via rank 0.
+                    if *rank != 0 {
+                        continue;
+                    }
+                    r.health.verdicts.push(VerdictRow {
+                        step: *step,
+                        kind: kind.clone(),
+                        eq: eq.clone(),
+                        value: *value,
+                        baseline: *baseline,
+                    });
+                }
                 Event::Bench { .. } => {}
             }
         }
+        canonical_phase_order(&mut r.phases);
+        r.health
+            .verdicts
+            .sort_by(|a, b| (a.step, &a.kind, &a.eq).cmp(&(b.step, &b.kind, &b.eq)));
+        r.critical_path = crate::trace::critical_paths(events);
         if r.ranks == 0 {
             r.ranks = max_rank + 1;
         }
@@ -547,6 +672,64 @@ impl Report {
             }
         }
 
+        // --- Critical path -----------------------------------------------
+        if !self.critical_path.is_empty() {
+            let steps = self.critical_path.len();
+            let makespan: f64 = self.critical_path.iter().map(|p| p.makespan).sum();
+            let coverage: f64 = self
+                .critical_path
+                .iter()
+                .map(|p| p.coverage())
+                .sum::<f64>()
+                / steps as f64;
+            let _ = writeln!(
+                out,
+                "\n-- critical path (aligned cross-rank makespan attribution) --"
+            );
+            let _ = writeln!(
+                out,
+                "steps {}   total makespan {:.4}s   path coverage {:.1}%",
+                steps,
+                makespan,
+                100.0 * coverage
+            );
+            // Compute segments keyed by span label, waits by blamed rank.
+            let mut compute: BTreeMap<&str, f64> = BTreeMap::new();
+            let mut blame: BTreeMap<usize, f64> = BTreeMap::new();
+            let mut wait_total = 0.0;
+            for p in &self.critical_path {
+                for s in &p.segments {
+                    match s.wait_on {
+                        Some(peer) => {
+                            *blame.entry(peer).or_insert(0.0) += s.secs();
+                            wait_total += s.secs();
+                        }
+                        None => *compute.entry(s.label.as_str()).or_insert(0.0) += s.secs(),
+                    }
+                }
+            }
+            let mut top: Vec<(&str, f64)> = compute.into_iter().collect();
+            top.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
+            let _ = writeln!(out, "{:<34} {:>10} {:>7}", "top path segments", "secs", "share");
+            for (label, secs) in top.iter().take(8) {
+                let share = if makespan > 0.0 { 100.0 * secs / makespan } else { 0.0 };
+                let _ = writeln!(out, "{label:<34} {secs:>10.4} {share:>6.1}%");
+            }
+            if wait_total > 0.0 {
+                let share = if makespan > 0.0 { 100.0 * wait_total / makespan } else { 0.0 };
+                let _ = writeln!(
+                    out,
+                    "{:<34} {wait_total:>10.4} {share:>6.1}%",
+                    "(waiting on another rank)"
+                );
+                let blames: Vec<String> = blame
+                    .iter()
+                    .map(|(r, s)| format!("rank {r} {s:.4}s"))
+                    .collect();
+                let _ = writeln!(out, "blame (time the path waited on rank): {}", blames.join("  "));
+            }
+        }
+
         // --- Communication matrix ----------------------------------------
         if !self.comm_edges.is_empty() {
             let _ = writeln!(
@@ -665,6 +848,45 @@ impl Report {
                         "{eq} last-solve convergence (log10 rel residual per iteration):"
                     );
                     let _ = writeln!(out, "  {}", render_curve(&s.last_history));
+                }
+            }
+        }
+
+        // --- Solver health trend -----------------------------------------
+        if !self.health.is_empty() {
+            let h = &self.health;
+            let _ = writeln!(
+                out,
+                "\n-- solver health trend ({} steps; EWMA degradation detector) --",
+                h.steps
+            );
+            let _ = writeln!(
+                out,
+                "{:<12} {:>12} {:>9} {:>16}",
+                "equation", "iters", "worst", "rate/iter"
+            );
+            for (eq, t) in &h.per_eq {
+                let _ = writeln!(
+                    out,
+                    "{:<12} {:>5} -> {:<4} {:>9} {:>7.3} -> {:<6.3}",
+                    eq, t.first_iters, t.last_iters, t.max_iters, t.first_rate, t.last_rate
+                );
+            }
+            let _ = writeln!(
+                out,
+                "operator complexity (last) {:.3}   recoveries {}",
+                h.last_operator_complexity, h.recoveries
+            );
+            if h.verdicts.is_empty() {
+                let _ = writeln!(out, "no degradation verdicts");
+            } else {
+                for v in &h.verdicts {
+                    let on = v.eq.as_deref().map_or(String::new(), |e| format!(" on {e}"));
+                    let _ = writeln!(
+                        out,
+                        "step {:>4}: {}{on}: {:.4} vs baseline {:.4}",
+                        v.step, v.kind, v.value, v.baseline
+                    );
                 }
             }
         }
@@ -802,6 +1024,33 @@ impl Report {
             }
         }
         out
+    }
+
+    /// One-line solver-health summary for dashboards and the
+    /// `exawind-perf report` header: the most recent degradation verdict
+    /// (or "ok") plus the equation whose iteration count degraded the
+    /// most. `None` when the stream carried no health telemetry.
+    pub fn health_summary(&self) -> Option<String> {
+        let h = &self.health;
+        if h.is_empty() {
+            return None;
+        }
+        let verdict = match h.verdicts.last() {
+            Some(v) => {
+                let on = v.eq.as_deref().map_or(String::new(), |e| format!(" on {e}"));
+                format!(
+                    "{}{on} at step {} ({:.3} vs baseline {:.3})",
+                    v.kind, v.step, v.value, v.baseline
+                )
+            }
+            None => format!("ok over {} steps", h.steps),
+        };
+        let worst = h
+            .worst_equation()
+            .map_or(String::new(), |(eq, t)| {
+                format!("; worst eq {eq} {} -> {} iters", t.first_iters, t.last_iters)
+            });
+        Some(format!("health: {verdict}{worst}"))
     }
 
     /// The report as a JSON object (machine-readable form of the ASCII
@@ -952,6 +1201,78 @@ impl Report {
                 ])
             })
             .collect();
+        let health = {
+            let per_eq: Vec<Json> = self
+                .health
+                .per_eq
+                .iter()
+                .map(|(eq, t)| {
+                    Json::obj(vec![
+                        ("equation", Json::Str(eq.clone())),
+                        ("first_iters", Json::Int(t.first_iters as i128)),
+                        ("last_iters", Json::Int(t.last_iters as i128)),
+                        ("max_iters", Json::Int(t.max_iters as i128)),
+                        ("first_rate", Json::Float(t.first_rate)),
+                        ("last_rate", Json::Float(t.last_rate)),
+                    ])
+                })
+                .collect();
+            let verdicts: Vec<Json> = self
+                .health
+                .verdicts
+                .iter()
+                .map(|v| {
+                    Json::obj(vec![
+                        ("step", Json::Int(v.step as i128)),
+                        ("kind", Json::Str(v.kind.clone())),
+                        ("eq", v.eq.clone().map_or(Json::Null, Json::Str)),
+                        ("value", Json::Float(v.value)),
+                        ("baseline", Json::Float(v.baseline)),
+                    ])
+                })
+                .collect();
+            Json::obj(vec![
+                ("steps", Json::Int(self.health.steps as i128)),
+                (
+                    "operator_complexity",
+                    Json::Float(self.health.last_operator_complexity),
+                ),
+                ("recoveries", Json::Int(self.health.recoveries as i128)),
+                ("equations", Json::Arr(per_eq)),
+                ("verdicts", Json::Arr(verdicts)),
+                (
+                    "summary",
+                    self.health_summary().map_or(Json::Null, Json::Str),
+                ),
+            ])
+        };
+        let critical_path: Vec<Json> = self
+            .critical_path
+            .iter()
+            .map(|p| {
+                let segments: Vec<Json> = p
+                    .segments
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("rank", Json::Int(s.rank as i128)),
+                            ("label", Json::Str(s.label.clone())),
+                            (
+                                "wait_on",
+                                s.wait_on.map_or(Json::Null, |r| Json::Int(r as i128)),
+                            ),
+                            ("secs", Json::Float(s.secs())),
+                        ])
+                    })
+                    .collect();
+                Json::obj(vec![
+                    ("step", Json::Int(p.step as i128)),
+                    ("makespan", Json::Float(p.makespan)),
+                    ("coverage", Json::Float(p.coverage())),
+                    ("segments", Json::Arr(segments)),
+                ])
+            })
+            .collect();
         Json::obj(vec![
             ("ranks", Json::Int(self.ranks as i128)),
             ("threads", Json::Int(self.threads as i128)),
@@ -981,6 +1302,8 @@ impl Report {
                     ),
                 ]),
             ),
+            ("health", health),
+            ("critical_path", Json::Arr(critical_path)),
             ("kernels", Json::Arr(kernels)),
             ("comm_matrix", Json::Arr(comm_matrix)),
             ("collectives", Json::Arr(collectives)),
@@ -1155,9 +1478,10 @@ mod tests {
                     generation,
                     bytes: 1000,
                     secs: 0.001,
+                    t: None,
                 });
             }
-            evs.push(Event::Restore { rank, step: 4, generation: 4 });
+            evs.push(Event::Restore { rank, step: 4, generation: 4, t: None });
         }
         let r = Report::from_events(&evs);
         let c = &r.checkpoints;
@@ -1220,7 +1544,16 @@ mod tests {
     fn comm_matrix_prefers_sender_view_and_falls_back() {
         let mut evs = sample_events();
         let edge = |rank: usize, src: usize, dst: usize, class: &str, bytes: u64| {
-            Event::CommEdge { rank, src, dst, class: class.into(), msgs: 2, bytes }
+            Event::CommEdge {
+                rank,
+                src,
+                dst,
+                class: class.into(),
+                msgs: 2,
+                bytes,
+                t_first: None,
+                t_last: None,
+            }
         };
         // Edge 0->1 reported by both endpoints (identical, as the
         // instrumentation guarantees): counted once, not doubled.
@@ -1255,6 +1588,8 @@ mod tests {
                 bytes: 16,
                 secs: h.total(),
                 buckets: h.buckets(),
+                t_first: None,
+                t_last: None,
             });
         }
         let r = Report::from_events(&evs);
@@ -1306,6 +1641,150 @@ mod tests {
         assert!(ascii.contains("1.50"), "{ascii}");
         let json = r.to_json().to_string();
         assert!(json.contains("\"phase_imbalance\""), "{json}");
+    }
+
+    #[test]
+    fn report_is_invariant_under_merge_order() {
+        // Same per-rank streams merged in different orders must render
+        // byte-identical reports: rank-swapped interleave and full
+        // reversal both front-load rank 1's `solve` rows, which under
+        // first-appearance phase ordering would reorder the columns.
+        let evs = sample_events();
+        let mut swapped: Vec<Event> = evs
+            .iter()
+            .filter(|e| matches!(e, Event::Run { .. }))
+            .cloned()
+            .collect();
+        for want in [1usize, 0] {
+            swapped.extend(
+                evs.iter()
+                    .filter(|e| match e {
+                        Event::Run { .. } => false,
+                        Event::PhaseTime { rank, .. }
+                        | Event::Gmres { rank, .. }
+                        | Event::AmgSetup { rank, .. } => *rank == want,
+                        _ => true,
+                    })
+                    .cloned(),
+            );
+        }
+        let mut reversed = evs.clone();
+        reversed.reverse();
+        let base = Report::from_events(&evs);
+        assert_eq!(
+            base.phases,
+            vec!["graph+physics", "local assembly", "solve"],
+            "plot order, not merge order"
+        );
+        for other in [swapped, reversed] {
+            let r = Report::from_events(&other);
+            assert_eq!(base.render_ascii(), r.render_ascii());
+            assert_eq!(base.to_json().to_string(), r.to_json().to_string());
+        }
+    }
+
+    #[test]
+    fn health_events_aggregate_into_trend_and_summary() {
+        use crate::event::EqHealthRow;
+        let mut evs = sample_events();
+        for (step, iters) in [(0usize, 6u64), (1, 7), (2, 18)] {
+            for rank in 0..2usize {
+                evs.push(Event::StepHealth {
+                    rank,
+                    step,
+                    eqs: vec![EqHealthRow {
+                        eq: "continuity".into(),
+                        iters,
+                        final_rel: 1e-6,
+                        rate: 6.0 / iters as f64,
+                    }],
+                    amg_levels: 3,
+                    grid_complexity: 1.2,
+                    operator_complexity: 1.3,
+                    recoveries: 0,
+                    checkpoint: None,
+                });
+            }
+        }
+        evs.push(Event::HealthVerdict {
+            rank: 0,
+            step: 2,
+            kind: "gmres-iters".into(),
+            eq: Some("continuity".into()),
+            value: 18.0,
+            baseline: 6.5,
+        });
+        // Rank 1's copy of the verdict must not double-count.
+        evs.push(Event::HealthVerdict {
+            rank: 1,
+            step: 2,
+            kind: "gmres-iters".into(),
+            eq: Some("continuity".into()),
+            value: 18.0,
+            baseline: 6.5,
+        });
+        let r = Report::from_events(&evs);
+        let t = &r.health.per_eq["continuity"];
+        assert_eq!(r.health.steps, 3);
+        assert_eq!((t.first_iters, t.last_iters, t.max_iters), (6, 18, 18));
+        assert_eq!(r.health.verdicts.len(), 1, "rank-0 verdicts only");
+        let (worst, _) = r.health.worst_equation().unwrap();
+        assert_eq!(worst, "continuity");
+        let ascii = r.render_ascii();
+        assert!(ascii.contains("solver health trend"), "{ascii}");
+        assert!(ascii.contains("gmres-iters on continuity"), "{ascii}");
+        let line = r.health_summary().unwrap();
+        assert!(line.contains("gmres-iters"), "{line}");
+        assert!(line.contains("worst eq continuity 6 -> 18 iters"), "{line}");
+        let json = r.to_json().to_string();
+        assert!(json.contains("\"health\""), "{json}");
+        assert!(json.contains("\"verdicts\""), "{json}");
+        // A quiet stream summarizes as ok and renders no verdict lines.
+        let quiet: Vec<Event> = evs
+            .iter()
+            .filter(|e| !matches!(e, Event::HealthVerdict { .. }))
+            .cloned()
+            .collect();
+        let rq = Report::from_events(&quiet);
+        let line = rq.health_summary().unwrap();
+        assert!(line.contains("ok over 3 steps"), "{line}");
+        assert!(rq.render_ascii().contains("no degradation verdicts"));
+    }
+
+    #[test]
+    fn critical_path_section_attributes_makespan() {
+        let mut evs = vec![crate::run_info(2)];
+        // Rank 1 finishes its picard work early and the step ends when
+        // rank 0 does: the path is rank 0's compute.
+        for rank in 0..2usize {
+            let secs = if rank == 0 { 1.0 } else { 0.4 };
+            evs.push(Event::Span {
+                rank,
+                path: "timestep".into(),
+                depth: 0,
+                secs: 1.0,
+                t0: Some(0.0),
+            });
+            evs.push(Event::Span {
+                rank,
+                path: "timestep/picard".into(),
+                depth: 1,
+                secs,
+                t0: Some(0.0),
+            });
+        }
+        let r = Report::from_events(&evs);
+        assert_eq!(r.critical_path.len(), 1);
+        assert!(r.critical_path[0].coverage() > 0.95, "{:?}", r.critical_path);
+        let ascii = r.render_ascii();
+        assert!(ascii.contains("critical path"), "{ascii}");
+        assert!(ascii.contains("picard"), "{ascii}");
+        let json = r.to_json().to_string();
+        assert!(json.contains("\"critical_path\""), "{json}");
+        // Streams without timestamps render no section.
+        let quiet = Report::from_events(&sample_events());
+        assert!(quiet.critical_path.is_empty());
+        assert!(!quiet.render_ascii().contains("critical path"));
     }
 
     #[test]

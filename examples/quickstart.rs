@@ -92,8 +92,9 @@ fn main() {
                 }
             }
         }
+        let clock = sim.clock_tables();
         let events = sim.finish_telemetry(rank);
-        (lines, probe, events)
+        (lines, probe, events, clock)
     });
 
     // As a launched worker process this binary holds one rank; only the
@@ -101,7 +102,7 @@ fn main() {
     if Comm::worker_rank().unwrap_or(0) != 0 {
         return;
     }
-    let (lines, probe, _) = &outputs[0];
+    let (lines, probe, ..) = &outputs[0];
     println!("== ExaWind-RS quickstart: empty wind tunnel on {nranks} ranks ({transport} transport) ==");
     for l in lines {
         println!("{l}");
@@ -112,9 +113,12 @@ fn main() {
     }
 
     if let Some(path) = tel_path {
-        let mut events = vec![telemetry::run_info(nranks)];
+        // Rank 0's clock tables (identical on every rank after the
+        // startup handshake) align the per-rank epochs in the header.
+        let clock = outputs[0].3.clone();
+        let mut events = vec![telemetry::run_info_with_clock(nranks, clock)];
         events.extend(telemetry::merge_ranks(
-            outputs.into_iter().map(|(_, _, ev)| ev).collect(),
+            outputs.into_iter().map(|(_, _, ev, _)| ev).collect(),
         ));
         telemetry::write_jsonl(&path, &events)
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));

@@ -89,11 +89,12 @@ fn main() {
                 breakdown.push(format!("{eq:12} {}", row.join("  ")));
             }
         }
+        let clock = sim.clock_tables();
         let events = sim.finish_telemetry(rank);
-        (lines, deficit, breakdown, events)
+        (lines, deficit, breakdown, events, clock)
     });
 
-    let (lines, deficit, breakdown, _) = &outputs[0];
+    let (lines, deficit, breakdown, ..) = &outputs[0];
     for l in lines {
         println!("{l}");
     }
@@ -107,9 +108,12 @@ fn main() {
     }
 
     if let Some(path) = tel_path {
-        let mut events = vec![telemetry::run_info(nranks)];
+        // Rank 0's clock tables (identical on every rank after the
+        // startup handshake) align the per-rank epochs in the header.
+        let clock = outputs[0].4.clone();
+        let mut events = vec![telemetry::run_info_with_clock(nranks, clock)];
         events.extend(telemetry::merge_ranks(
-            outputs.into_iter().map(|(_, _, _, ev)| ev).collect(),
+            outputs.into_iter().map(|(_, _, _, ev, _)| ev).collect(),
         ));
         telemetry::write_jsonl(&path, &events)
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));

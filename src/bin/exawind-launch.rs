@@ -55,6 +55,7 @@ use exawind::parcomm::{
     TRANSPORT_ENV,
 };
 use exawind::resilience::checkpoint;
+use exawind::telemetry;
 
 struct Args {
     ranks: usize,
@@ -459,14 +460,28 @@ fn status_line(start: Instant, last_hb: &[Option<Heartbeat>], live: usize) -> St
         .fold(0.0_f64, f64::max);
     let msgs: u64 = last_hb.iter().flatten().map(|h| h.msgs).sum();
     let bytes: u64 = last_hb.iter().flatten().map(|h| h.bytes).sum();
+    // Most recent solver-health degradation verdict any rank reported:
+    // rendered as `kind@step` so a slow convergence slide is visible
+    // live, not just in the post-run report.
+    let health = last_hb
+        .iter()
+        .flatten()
+        .filter_map(|h| h.health)
+        .max_by_key(|&(_, step)| step)
+        .and_then(|(code, step)| {
+            let kind = telemetry::health::DegradationKind::from_code(code)?;
+            Some(format!(" health: {}@step {step}", kind.label()))
+        })
+        .unwrap_or_default();
     format!(
-        "exawind-launch: [{:6.1}s] steps [{}] residual {:.2e} msgs {} bytes {} ({} rank(s) live)",
+        "exawind-launch: [{:6.1}s] steps [{}] residual {:.2e} msgs {} bytes {} ({} rank(s) live){}",
         start.elapsed().as_secs_f64(),
         steps.join(" "),
         worst_res,
         msgs,
         bytes,
-        live
+        live,
+        health
     )
 }
 

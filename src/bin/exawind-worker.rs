@@ -52,6 +52,19 @@ fn small_box() -> Mesh {
     )
 }
 
+/// `--mesh big`: a box whose pressure system (288 rows) sits outside
+/// the AMG stall tolerance, so a seeded `coarsen-stall` fault is fatal
+/// and drives the recovery ladder — the workload the CI health-detector
+/// smoke runs.
+fn bigger_box() -> Mesh {
+    box_mesh(
+        uniform_spacing(0.0, 4.0, 8),
+        uniform_spacing(0.0, 2.0, 6),
+        uniform_spacing(0.0, 2.0, 6),
+        BoxBc::wind_tunnel(),
+    )
+}
+
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).map(|i| {
         args.get(i + 1)
@@ -80,6 +93,14 @@ fn main() {
         })
     });
     let nranks = Comm::env_size(default_ranks);
+    let mesh = match flag_value(&args, "--mesh").as_deref().unwrap_or("small") {
+        "small" => small_box(),
+        "big" => bigger_box(),
+        other => {
+            eprintln!("exawind-worker: unknown --mesh {other:?} (small|big)");
+            std::process::exit(2);
+        }
+    };
 
     // Cold-start guard, mirroring the launcher's: with checkpointing
     // configured but no resume requested, a manifest that already names
@@ -111,7 +132,7 @@ fn main() {
         };
         let picard_iters = cfg.picard_iters as u64;
         let transport = cfg.transport;
-        let mut sim = Simulation::new(rank, vec![small_box()], cfg);
+        let mut sim = Simulation::new(rank, vec![mesh.clone()], cfg);
 
         // Supervised relaunch: restore the newest complete generation
         // before the first step; the loop below then runs only the
@@ -188,7 +209,7 @@ fn main() {
             let path = format!("{tel_prefix}.rank{}.jsonl", rank.rank());
             let mut stream = Vec::new();
             if rank.rank() == 0 {
-                stream.push(telemetry::run_info(rank.size()));
+                stream.push(telemetry::run_info_with_clock(rank.size(), sim.clock_tables()));
             }
             stream.extend(events);
             telemetry::write_jsonl(&path, &stream)
@@ -217,6 +238,9 @@ fn heartbeat(rank: &Rank, sim: &Simulation, step: u64, picard: u64, residual: f6
         bytes: t.msg_bytes,
         collectives: t.collectives,
         checkpoint: sim.last_checkpoint(),
+        health: sim
+            .last_health_verdict()
+            .map(|v| (v.kind.code(), v.step as u64)),
     }
 }
 

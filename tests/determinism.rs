@@ -144,10 +144,10 @@ fn assembly_and_amg_setup_bitwise_identical_across_thread_counts() {
 /// End-to-end: one full `Simulation::step` (assembly, AMG-preconditioned
 /// solves, smoother sweeps, projection) must leave bitwise-identical
 /// fields whatever the thread count.
-fn step_field_bits(threads: usize, telemetry: bool) -> Vec<Vec<u64>> {
+fn step_field_bits(threads: usize, telemetry: bool, transport: TransportKind) -> Vec<Vec<u64>> {
     let tm = generate(NrelCase::SingleLow, 1e-4);
     let meshes = tm.meshes;
-    Comm::run(2, move |rank| {
+    Comm::run_with(transport, 2, move |rank| {
         let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
         pool.install(|| {
             let cfg = SolverConfig {
@@ -187,9 +187,9 @@ fn step_field_bits(threads: usize, telemetry: bool) -> Vec<Vec<u64>> {
 
 #[test]
 fn converged_fields_bitwise_identical_across_thread_counts() {
-    let baseline = step_field_bits(1, false);
+    let baseline = step_field_bits(1, false, TransportKind::Inproc);
     for threads in THREAD_COUNTS {
-        let other = step_field_bits(threads, false);
+        let other = step_field_bits(threads, false, TransportKind::Inproc);
         assert_eq!(
             baseline, other,
             "solution fields differ between 1 and {threads} threads"
@@ -197,17 +197,22 @@ fn converged_fields_bitwise_identical_across_thread_counts() {
     }
 }
 
-/// Telemetry is an observer: turning the event stream on must not change
-/// a single bit of the solution fields, at any thread count.
+/// Telemetry is an observer: turning the event stream on — which since
+/// schema v5 also runs the startup clock handshake, stamps wall-clock
+/// timestamps on spans/edges/collectives, and feeds the health detector
+/// — must not change a single bit of the solution fields, at any thread
+/// count, on either transport.
 #[test]
 fn telemetry_does_not_perturb_solution_bits() {
-    let baseline = step_field_bits(1, false);
-    for threads in [1, 8] {
-        let with_tel = step_field_bits(threads, true);
-        assert_eq!(
-            baseline, with_tel,
-            "telemetry perturbed the solution at {threads} threads"
-        );
+    let baseline = step_field_bits(1, false, TransportKind::Inproc);
+    for transport in [TransportKind::Inproc, TransportKind::Socket] {
+        for threads in [1, 8] {
+            let with_tel = step_field_bits(threads, true, transport);
+            assert_eq!(
+                baseline, with_tel,
+                "telemetry perturbed the solution at {threads} threads on {transport:?}"
+            );
+        }
     }
 }
 

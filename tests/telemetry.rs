@@ -97,11 +97,16 @@ fn sim_events(threads: usize) -> Vec<Event> {
             let mut sim = Simulation::new(rank, vec![mesh.clone()], cfg);
             sim.step(rank);
             sim.step(rank);
-            sim.finish_telemetry(rank)
+            let clock = sim.clock_tables();
+            (clock, sim.finish_telemetry(rank))
         })
     });
-    let mut events = vec![telemetry::run_info(2)];
-    events.extend(telemetry::merge_ranks(per_rank));
+    // The run header carries the clock-alignment table the handshake
+    // produced (identical on every rank), as `exawind-worker` writes it;
+    // the cross-rank comm_edge causality check depends on it.
+    let clock = per_rank[0].0.clone();
+    let mut events = vec![telemetry::run_info_with_clock(2, clock)];
+    events.extend(telemetry::merge_ranks(per_rank.into_iter().map(|(_, e)| e).collect()));
     events
 }
 
@@ -270,6 +275,11 @@ fn structure(events: &[Event]) -> Vec<String> {
             ),
             Event::Collective { rank, kind, count, bytes, .. } => {
                 format!("collective r{rank} {kind} c{count} b{bytes}")
+            }
+            // Message/byte totals are deterministic; the v5 first/last
+            // wall-clock window is not.
+            Event::CommEdge { rank, src, dst, class, msgs, bytes, .. } => {
+                format!("comm_edge r{rank} {src}->{dst} {class} m{msgs} b{bytes}")
             }
             // Perf counts, AMG shapes, GMRES iteration counts and
             // residual bits must all be exactly reproducible.
